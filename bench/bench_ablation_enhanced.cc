@@ -1,0 +1,89 @@
+// Ablation A (DESIGN.md): the effect of enhanced summaries (§4.1). Strong
+// edges enlarge canonical trees (closure cost) but enable equivalences that
+// plain summaries cannot justify — the §1 "Summary-based optimization"
+// scenario: if every item has a mail descendant, a view over items lacking
+// the mail test can be used directly.
+#include <cstdio>
+
+#include "src/containment/containment.h"
+#include "src/pattern/pattern_parser.h"
+#include "src/summary/summary_builder.h"
+#include "src/util/timer.h"
+#include "src/workload/xmark.h"
+#include "src/workload/xmark_queries.h"
+
+namespace svx {
+namespace {
+
+void Run() {
+  XmarkOptions opts;
+  opts.scale = 10.0;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  std::unique_ptr<Summary> summary = SummaryBuilder::Build(doc.get());
+  std::printf("=== Ablation A: enhanced summaries (strong edges) ===\n");
+  std::printf("summary: %d nodes, %d strong edges, %d one-to-one\n\n",
+              summary->size(), summary->num_strong_edges(),
+              summary->num_one_to_one_edges());
+
+  // 1. Equivalences enabled only by strong edges.
+  struct Case {
+    const char* p;
+    const char* q;
+    const char* what;
+  };
+  const Case cases[] = {
+      {"site(//item{id})", "site(//item{id}(/name))",
+       "item ≡ item-with-name (name is a strong child)"},
+      {"site(//open_auction{id})",
+       "site(//open_auction{id}(/current /initial))",
+       "auction ≡ auction-with-required-fields"},
+      {"site(//closed_auction{id}(/price{v}))",
+       "site(//closed_auction{id}(/annotation /price{v}))",
+       "closed auction keeps its annotation"},
+  };
+  std::printf("%-55s %10s %10s\n", "equivalence", "enhanced", "plain");
+  for (const Case& c : cases) {
+    ContainmentOptions enhanced;
+    ContainmentOptions plain;
+    plain.model.use_strong_edges = false;
+    Result<bool> with = AreEquivalent(MustParsePattern(c.p),
+                                      MustParsePattern(c.q), *summary,
+                                      enhanced);
+    Result<bool> without = AreEquivalent(MustParsePattern(c.p),
+                                         MustParsePattern(c.q), *summary,
+                                         plain);
+    std::printf("%-55s %10s %10s\n", c.what,
+                with.ok() && *with ? "yes" : "no",
+                without.ok() && *without ? "yes" : "no");
+  }
+
+  // 2. Cost: self-containment of the 20 XMark patterns with/without the
+  // strong-edge closure.
+  double with_ms = 0;
+  double without_ms = 0;
+  for (const XmarkQuery& q : XmarkQueryPatterns()) {
+    Pattern p = GetXmarkQueryPattern(q.number);
+    ContainmentOptions enhanced;
+    Timer t;
+    (void)IsContained(p, p, *summary, enhanced);
+    with_ms += t.ElapsedMillis();
+    ContainmentOptions plain;
+    plain.model.use_strong_edges = false;
+    t.Reset();
+    (void)IsContained(p, p, *summary, plain);
+    without_ms += t.ElapsedMillis();
+  }
+  std::printf(
+      "\nself-containment of the 20 XMark patterns: enhanced %.1f ms, plain "
+      "%.1f ms\n(the closure grows canonical trees; the equivalences above "
+      "are what it buys)\n",
+      with_ms, without_ms);
+}
+
+}  // namespace
+}  // namespace svx
+
+int main() {
+  svx::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Shared harness for the Figure 13/14 synthetic containment sweeps (§5):
+// for each pattern size n and return arity r, generate `per_cell` random
+// satisfiable patterns with the paper's parameters and test pairwise
+// containment, reporting average times for positive and negative outcomes
+// separately (the paper: "the latter are faster because the algorithm exits
+// as soon as one canonical model tree contradicts the containment
+// condition").
+#ifndef SVX_BENCH_CONTAINMENT_SWEEP_H_
+#define SVX_BENCH_CONTAINMENT_SWEEP_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "src/containment/containment.h"
+#include "src/util/timer.h"
+#include "src/workload/pattern_generator.h"
+
+namespace svx {
+
+struct SweepCell {
+  int n = 0;
+  int r = 0;
+  int positives = 0;
+  int negatives = 0;
+  int skipped = 0;  // tests aborted by the canonical-model budget
+  double pos_ms_avg = 0;
+  double neg_ms_avg = 0;
+  double model_avg = 0;  // average trees examined per test
+};
+
+inline SweepCell RunSweepCell(const Summary& summary, int n, int r,
+                              int per_cell, double p_optional,
+                              const std::vector<std::string>& return_labels,
+                              uint64_t seed) {
+  Rng rng(seed);
+  PatternGenOptions gen;
+  gen.num_nodes = n;
+  gen.num_return = r;
+  gen.p_optional = p_optional;
+  gen.return_labels = return_labels;
+  std::vector<Pattern> patterns;
+  for (int i = 0; i < per_cell; ++i) {
+    Result<Pattern> p = GeneratePattern(summary, gen, &rng);
+    if (p.ok()) patterns.push_back(std::move(*p));
+  }
+
+  SweepCell cell;
+  cell.n = n;
+  cell.r = r;
+  double pos_total = 0;
+  double neg_total = 0;
+  double model_total = 0;
+  int model_count = 0;
+  ContainmentOptions opts;
+  // Budget per test: patterns over many formatting-tag paths can exceed it
+  // (the paper: "a query using three bold elements is not very realistic").
+  opts.model.max_trees = 3000;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (size_t j = i; j < patterns.size(); ++j) {
+      ContainmentStats stats;
+      Timer t;
+      Result<bool> c = IsContained(patterns[i], patterns[j], summary, opts,
+                                   &stats);
+      double ms = t.ElapsedMillis();
+      if (!c.ok()) {
+        ++cell.skipped;
+        continue;
+      }
+      model_total += static_cast<double>(stats.left_model_size);
+      ++model_count;
+      if (*c) {
+        ++cell.positives;
+        pos_total += ms;
+      } else {
+        ++cell.negatives;
+        neg_total += ms;
+      }
+    }
+  }
+  if (cell.positives > 0) cell.pos_ms_avg = pos_total / cell.positives;
+  if (cell.negatives > 0) cell.neg_ms_avg = neg_total / cell.negatives;
+  if (model_count > 0) cell.model_avg = model_total / model_count;
+  return cell;
+}
+
+inline void PrintSweepHeader() {
+  std::printf("%4s %3s %7s %7s %6s %12s %12s %10s\n", "n", "r", "pos", "neg",
+              "skip", "pos avg(ms)", "neg avg(ms)", "avg trees");
+}
+
+inline void PrintSweepCell(const SweepCell& c) {
+  std::printf("%4d %3d %7d %7d %6d %12.3f %12.3f %10.1f\n", c.n, c.r,
+              c.positives, c.negatives, c.skipped, c.pos_ms_avg, c.neg_ms_avg,
+              c.model_avg);
+  std::fflush(stdout);
+}
+
+}  // namespace svx
+
+#endif  // SVX_BENCH_CONTAINMENT_SWEEP_H_

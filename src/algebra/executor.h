@@ -1,0 +1,38 @@
+// Physical evaluation of logical plans over a catalog of materialized view
+// extents. Structural joins exploit the ORDPATH prefix property (an
+// ancestor's id is a prefix of its descendants' ids, [1][21][25]): the
+// ancestor join probes a hash table of left ids with the right ids'
+// prefixes, giving O(|R| x depth) instead of a nested loop.
+#ifndef SVX_ALGEBRA_EXECUTOR_H_
+#define SVX_ALGEBRA_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/algebra/plan.h"
+#include "src/algebra/relation.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+/// Name -> extent mapping used by view scans. Extents are borrowed.
+class Catalog {
+ public:
+  void Register(const std::string& name, const Table* table) {
+    views_[name] = table;
+  }
+  const Table* Find(const std::string& name) const {
+    auto it = views_.find(name);
+    return it == views_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, const Table*> views_;
+};
+
+/// Executes `plan` against `catalog`; returns the materialized result.
+Result<Table> Execute(const PlanNode& plan, const Catalog& catalog);
+
+}  // namespace svx
+
+#endif  // SVX_ALGEBRA_EXECUTOR_H_

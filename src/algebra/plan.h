@@ -1,0 +1,137 @@
+// Logical algebraic plans over materialized views (paper §3.2): view scans
+// combined with ⋈= (ID equality), ⋈≺ / ⋈≺≺ (structural joins, optionally
+// nested per §4.6), σ, π, ∪, plus the §4.6 adaptation operators: unnest,
+// group-by (re-nesting), XPath navigation inside stored content (navC) and
+// parent-ID derivation (navfID).
+#ifndef SVX_ALGEBRA_PLAN_H_
+#define SVX_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/relation.h"
+#include "src/pattern/pattern.h"
+#include "src/pattern/predicate.h"
+
+namespace svx {
+
+/// Operator tags.
+enum class PlanKind {
+  kViewScan,
+  kIdEqJoin,      // ⋈=: equality of structural ids
+  kStructJoin,    // ⋈≺ (parent) / ⋈≺≺ (ancestor)
+  kSelect,        // σ
+  kProject,       // π
+  kUnion,         // ∪ (set semantics)
+  kUnnest,        // flattens one nested column
+  kGroupBy,       // re-nests non-key columns under a new nested column
+  kNavigate,      // navC: XPath step navigation inside a content column
+  kDeriveParent,  // navfID: parent-ID derivation from a stored ID (§4.6)
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// Structural join flavor.
+enum class StructAxis { kParent, kAncestor };
+
+/// Selection predicate kinds (§4.6 adds label and value selections).
+enum class SelectKind { kNonNull, kIsNull, kLabelEq, kValuePred };
+
+/// One navigation step inside stored content.
+struct NavStep {
+  Axis axis = Axis::kChild;
+  std::string label;  // "*" allowed
+};
+
+/// A logical plan node. Children are owned; `schema` is the output schema,
+/// computed at construction.
+struct PlanNode {
+  PlanKind kind;
+  std::vector<std::unique_ptr<PlanNode>> children;
+  Schema schema;
+
+  // kViewScan
+  std::string view_name;
+
+  // kIdEqJoin / kStructJoin: column indexes into the *output* schemas of the
+  // two children (left columns first in the join output).
+  int32_t left_col = -1;
+  int32_t right_col = -1;
+  StructAxis struct_axis = StructAxis::kAncestor;
+  /// Nested structural join (§4.6): groups the right side under one nested
+  /// column instead of multiplying rows.
+  bool nested_join = false;
+  std::string nested_col_name;
+
+  // kSelect
+  SelectKind select_kind = SelectKind::kNonNull;
+  int32_t select_col = -1;
+  std::string select_label;
+  Predicate select_pred = Predicate::True();
+
+  // kProject
+  std::vector<int32_t> project_cols;
+
+  // kUnnest
+  int32_t unnest_col = -1;
+  /// Outer unnest: an empty (or ⊥) group yields one ⊥-padded row instead of
+  /// dropping the tuple — the inverse of the empty-group-preserving group-by
+  /// (Figure 12).
+  bool unnest_outer = false;
+
+  // kGroupBy
+  std::vector<int32_t> group_key_cols;
+  std::string group_col_name;
+
+  // kNavigate
+  int32_t navigate_col = -1;
+  std::vector<NavStep> navigate_steps;
+  uint8_t navigate_attrs = 0;  // kAttr* of the reached node
+  std::string navigate_name;   // prefix for the new columns
+
+  // kDeriveParent
+  int32_t derive_col = -1;
+  int32_t derive_steps = 1;
+  std::string derive_name;
+
+  /// Number of view occurrences in the plan — the plan size |P| of §3.2.
+  int32_t NumLeaves() const;
+
+  /// Deep copy.
+  std::unique_ptr<PlanNode> Clone() const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+// ---- Factories (each computes the output schema) ----
+
+PlanPtr MakeViewScan(const std::string& view_name, Schema schema);
+PlanPtr MakeIdEqJoin(PlanPtr left, PlanPtr right, int32_t left_col,
+                     int32_t right_col);
+PlanPtr MakeStructJoin(PlanPtr left, PlanPtr right, int32_t left_col,
+                       int32_t right_col, StructAxis axis);
+/// Nested structural join: right-side columns are grouped per left row under
+/// a nested column `nested_col_name`.
+PlanPtr MakeNestedStructJoin(PlanPtr left, PlanPtr right, int32_t left_col,
+                             int32_t right_col, StructAxis axis,
+                             const std::string& nested_col_name);
+PlanPtr MakeSelectNonNull(PlanPtr input, int32_t col);
+PlanPtr MakeSelectIsNull(PlanPtr input, int32_t col);
+PlanPtr MakeSelectLabel(PlanPtr input, int32_t col, const std::string& label);
+PlanPtr MakeSelectValue(PlanPtr input, int32_t col, Predicate pred);
+PlanPtr MakeProject(PlanPtr input, std::vector<int32_t> cols);
+PlanPtr MakeUnion(std::vector<PlanPtr> inputs);
+PlanPtr MakeUnnest(PlanPtr input, int32_t col);
+PlanPtr MakeOuterUnnest(PlanPtr input, int32_t col);
+PlanPtr MakeGroupBy(PlanPtr input, std::vector<int32_t> key_cols,
+                    const std::string& group_col_name);
+PlanPtr MakeNavigate(PlanPtr input, int32_t content_col,
+                     std::vector<NavStep> steps, uint8_t attrs,
+                     const std::string& name);
+PlanPtr MakeDeriveParent(PlanPtr input, int32_t id_col, int32_t steps,
+                         const std::string& name);
+
+}  // namespace svx
+
+#endif  // SVX_ALGEBRA_PLAN_H_

@@ -1,0 +1,20 @@
+// Text rendering of logical plans for tests, examples and the experiment
+// harnesses.
+#ifndef SVX_ALGEBRA_PLAN_PRINTER_H_
+#define SVX_ALGEBRA_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "src/algebra/plan.h"
+
+namespace svx {
+
+/// Multi-line indented operator tree.
+std::string PlanToString(const PlanNode& plan);
+
+/// One-line compact form, e.g. "(V1 ⋈= V2) ∪ V3".
+std::string PlanToCompactString(const PlanNode& plan);
+
+}  // namespace svx
+
+#endif  // SVX_ALGEBRA_PLAN_PRINTER_H_

@@ -1,0 +1,132 @@
+#include "src/algebra/relation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace svx {
+
+const char* ColumnKindName(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kId:
+      return "id";
+    case ColumnKind::kLabel:
+      return "l";
+    case ColumnKind::kValue:
+      return "v";
+    case ColumnKind::kContent:
+      return "c";
+    case ColumnKind::kNested:
+      return "nested";
+  }
+  return "?";
+}
+
+bool ColumnSpec::operator==(const ColumnSpec& other) const {
+  if (name != other.name || kind != other.kind) return false;
+  if ((nested == nullptr) != (other.nested == nullptr)) return false;
+  if (nested != nullptr && !(*nested == *other.nested)) return false;
+  return true;
+}
+
+int32_t Schema::Find(const std::string& name) const {
+  for (int32_t i = 0; i < size(); ++i) {
+    if (columns_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int32_t i = 0; i < size(); ++i) {
+    if (i > 0) out += ", ";
+    const ColumnSpec& c = columns_[static_cast<size_t>(i)];
+    out += c.name;
+    out += ':';
+    out += ColumnKindName(c.kind);
+    if (c.kind == ColumnKind::kNested && c.nested != nullptr) {
+      out += '(' + c.nested->ToString() + ')';
+    }
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  return columns_ == other.columns_;
+}
+
+size_t TupleHash(const Tuple& t) {
+  size_t h = 0x9E3779B97f4A7C15ULL;
+  for (const Value& v : t) {
+    h ^= v.Hash() + 0x9E3779B9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+void Table::Deduplicate() {
+  struct Entry {
+    const Tuple* t;
+    size_t hash;
+    bool operator==(const Entry& other) const { return *t == *other.t; }
+  };
+  struct EntryHash {
+    size_t operator()(const Entry& e) const { return e.hash; }
+  };
+  std::unordered_set<Entry, EntryHash> seen;
+  std::vector<Tuple> kept;
+  kept.reserve(rows_.size());
+  for (Tuple& row : rows_) {
+    // Two-phase: test membership against kept rows.
+    Entry probe{&row, TupleHash(row)};
+    if (seen.find(probe) != seen.end()) continue;
+    kept.push_back(std::move(row));
+    seen.insert(Entry{&kept.back(), probe.hash});
+  }
+  rows_ = std::move(kept);
+}
+
+void Table::SortByIdColumn(int32_t col) {
+  SVX_CHECK(col >= 0 && col < schema_.size());
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [col](const Tuple& a, const Tuple& b) {
+                     const Value& va = a[static_cast<size_t>(col)];
+                     const Value& vb = b[static_cast<size_t>(col)];
+                     if (va.IsNull()) return false;
+                     if (vb.IsNull()) return true;
+                     return va.AsId() < vb.AsId();
+                   });
+}
+
+bool Table::EqualsIgnoringOrder(const Table& other) const {
+  if (NumRows() != other.NumRows()) return false;
+  // Multiset comparison via matching flags (tables are small in tests; view
+  // extents are deduplicated sets anyway).
+  std::vector<bool> used(static_cast<size_t>(other.NumRows()), false);
+  for (const Tuple& row : rows_) {
+    bool found = false;
+    for (size_t j = 0; j < used.size(); ++j) {
+      if (used[j]) continue;
+      if (other.rows_[j] == row) {
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString() const {
+  std::string out = schema_.ToString();
+  out += '\n';
+  for (const Tuple& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace svx

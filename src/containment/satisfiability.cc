@@ -1,0 +1,27 @@
+#include "src/containment/satisfiability.h"
+
+#include "src/pattern/embedding.h"
+
+namespace svx {
+
+std::vector<Pattern> FilterSatisfiable(const std::vector<Pattern>& patterns,
+                                       const Summary& summary,
+                                       const CanonicalModelOptions& options) {
+  std::vector<Pattern> out;
+  for (const Pattern& p : patterns) {
+    Result<bool> sat = IsSatisfiable(p, summary, options);
+    if (!sat.ok() || *sat) out.push_back(p);
+  }
+  return out;
+}
+
+bool TriviallyUnsatisfiable(const Pattern& p, const Summary& summary) {
+  // Only the non-optional skeleton must embed; optional subtrees may be
+  // unmatchable without making the pattern unsatisfiable.
+  std::vector<PatternNodeId> optional = p.OptionalEdges();
+  Pattern skeleton = p.EraseSubtrees(optional);
+  AssociatedPaths paths = ComputeAssociatedPaths(skeleton, summary);
+  return !paths.AllNonEmpty();
+}
+
+}  // namespace svx

@@ -1,0 +1,31 @@
+// Satisfiability utilities layered on the canonical model (paper §2.4:
+// p is S-satisfiable iff modS(p) is non-empty). The rewriting algorithm
+// (§3.3) discards intermediate join patterns as soon as they become
+// S-unsatisfiable.
+#ifndef SVX_CONTAINMENT_SATISFIABILITY_H_
+#define SVX_CONTAINMENT_SATISFIABILITY_H_
+
+#include <vector>
+
+#include "src/pattern/canonical.h"
+#include "src/pattern/pattern.h"
+#include "src/summary/summary.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+/// Keeps only the S-satisfiable patterns of `patterns`; preserves order.
+/// Patterns whose satisfiability cannot be decided within the option limits
+/// are kept (conservative).
+std::vector<Pattern> FilterSatisfiable(const std::vector<Pattern>& patterns,
+                                       const Summary& summary,
+                                       const CanonicalModelOptions& options = {});
+
+/// True when the pattern trivially has no embedding in the summary (a
+/// cheap O(|p| x |S|) necessary test: some node has no associated path).
+/// IsSatisfiable (canonical.h) is the exact test.
+bool TriviallyUnsatisfiable(const Pattern& p, const Summary& summary);
+
+}  // namespace svx
+
+#endif  // SVX_CONTAINMENT_SATISFIABILITY_H_

@@ -1,0 +1,170 @@
+#include "src/pattern/embedding.h"
+
+#include <algorithm>
+
+namespace svx {
+
+namespace {
+
+bool LabelMatches(const Pattern::Node& pn, const Summary& s, PathId path) {
+  return pn.IsWildcard() || s.label(path) == pn.label;
+}
+
+bool EdgeOk(const Summary& s, PathId parent_path, PathId child_path,
+            Axis axis) {
+  if (axis == Axis::kChild) return s.parent(child_path) == parent_path;
+  return s.IsAncestor(parent_path, child_path);
+}
+
+}  // namespace
+
+AssociatedPaths ComputeAssociatedPaths(const Pattern& p,
+                                       const Summary& summary) {
+  AssociatedPaths out;
+  out.feasible.assign(static_cast<size_t>(p.size()), {});
+  if (p.size() == 0 || summary.size() == 0) return out;
+
+  // Phase 1 (bottom-up): cand[n] = label-matching paths such that every
+  // child subtree can embed below.
+  std::vector<std::vector<PathId>> cand(static_cast<size_t>(p.size()));
+  // Process nodes in reverse preorder, which visits children before parents
+  // (node ids are in preorder by construction of Pattern).
+  for (PatternNodeId n = p.size() - 1; n >= 0; --n) {
+    const Pattern::Node& pn = p.node(n);
+    std::vector<PathId>& cn = cand[static_cast<size_t>(n)];
+    if (n == p.root()) {
+      // Patterns are absolutely rooted (§2.2): the root maps to S's root.
+      if (LabelMatches(pn, summary, summary.root())) {
+        cn.push_back(summary.root());
+      }
+    } else {
+      for (PathId s = 0; s < summary.size(); ++s) {
+        if (LabelMatches(pn, summary, s)) cn.push_back(s);
+      }
+    }
+    // Filter by children feasibility.
+    std::vector<PathId> kept;
+    for (PathId s : cn) {
+      bool ok = true;
+      for (PatternNodeId m : pn.children) {
+        const Pattern::Node& pm = p.node(m);
+        bool found = false;
+        for (PathId t : cand[static_cast<size_t>(m)]) {
+          if (EdgeOk(summary, s, t, pm.axis)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) kept.push_back(s);
+    }
+    cn = std::move(kept);
+  }
+
+  // Phase 2 (top-down): keep candidates reachable from a feasible parent.
+  out.feasible[0] = cand[0];
+  for (PatternNodeId n = 1; n < p.size(); ++n) {
+    const Pattern::Node& pn = p.node(n);
+    const std::vector<PathId>& parent_ok =
+        out.feasible[static_cast<size_t>(pn.parent)];
+    std::vector<PathId>& fn = out.feasible[static_cast<size_t>(n)];
+    for (PathId t : cand[static_cast<size_t>(n)]) {
+      for (PathId s : parent_ok) {
+        if (EdgeOk(summary, s, t, pn.axis)) {
+          fn.push_back(t);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class EmbeddingEnumerator {
+ public:
+  EmbeddingEnumerator(const Pattern& p, const Summary& summary, size_t limit,
+                      const std::function<bool(const SummaryEmbedding&)>& emit)
+      : p_(p),
+        summary_(summary),
+        limit_(limit),
+        emit_(emit),
+        paths_(ComputeAssociatedPaths(p, summary)) {}
+
+  Status Run() {
+    if (!paths_.AllNonEmpty()) return Status::OK();  // no embeddings
+    assignment_.assign(static_cast<size_t>(p_.size()), kInvalidPath);
+    stopped_ = false;
+    Status s = Assign(0);
+    if (!s.ok()) return s;
+    return Status::OK();
+  }
+
+ private:
+  // Assign pattern nodes in preorder id order (parents have smaller ids).
+  Status Assign(PatternNodeId n) {
+    if (stopped_) return Status::OK();
+    if (n == p_.size()) {
+      if (++count_ > limit_) {
+        return Status::ResourceExhausted("embedding enumeration limit");
+      }
+      if (!emit_(assignment_)) stopped_ = true;
+      return Status::OK();
+    }
+    const Pattern::Node& pn = p_.node(n);
+    for (PathId s : paths_.feasible[static_cast<size_t>(n)]) {
+      if (n != p_.root()) {
+        PathId sp = assignment_[static_cast<size_t>(pn.parent)];
+        if (!EdgeOkLocal(sp, s, pn.axis)) continue;
+      }
+      assignment_[static_cast<size_t>(n)] = s;
+      Status st = Assign(n + 1);
+      if (!st.ok()) return st;
+      if (stopped_) break;
+    }
+    assignment_[static_cast<size_t>(n)] = kInvalidPath;
+    return Status::OK();
+  }
+
+  bool EdgeOkLocal(PathId parent_path, PathId child_path, Axis axis) const {
+    if (axis == Axis::kChild) return summary_.parent(child_path) == parent_path;
+    return summary_.IsAncestor(parent_path, child_path);
+  }
+
+  const Pattern& p_;
+  const Summary& summary_;
+  size_t limit_;
+  const std::function<bool(const SummaryEmbedding&)>& emit_;
+  AssociatedPaths paths_;
+  SummaryEmbedding assignment_;
+  size_t count_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+Status EnumerateEmbeddings(
+    const Pattern& p, const Summary& summary, size_t limit,
+    const std::function<bool(const SummaryEmbedding&)>& emit) {
+  if (p.size() == 0) return Status::InvalidArgument("empty pattern");
+  return EmbeddingEnumerator(p, summary, limit, emit).Run();
+}
+
+Result<size_t> CountEmbeddings(const Pattern& p, const Summary& summary,
+                               size_t limit) {
+  size_t n = 0;
+  Status s = EnumerateEmbeddings(p, summary, limit,
+                                 [&](const SummaryEmbedding&) {
+                                   ++n;
+                                   return true;
+                                 });
+  if (!s.ok()) return s;
+  return n;
+}
+
+}  // namespace svx

@@ -1,0 +1,58 @@
+// Embeddings of patterns into structural summaries (paper §2.3-§2.4).
+// Provides:
+//   * the "paths associated to a node" computation (Def. 2.1) in
+//     O(|p| x |S|) by two-phase arc consistency on the pattern tree, and
+//   * enumeration of all embeddings e : p -> S (the basis of modS(p)).
+#ifndef SVX_PATTERN_EMBEDDING_H_
+#define SVX_PATTERN_EMBEDDING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/pattern/pattern.h"
+#include "src/summary/summary.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+/// One embedding: pattern node id -> summary path id.
+using SummaryEmbedding = std::vector<PathId>;
+
+/// Per-pattern-node feasible summary nodes. feasible[n] is the exact set of
+/// paths associated to n (Def. 2.1): sn is in feasible[n] iff some embedding
+/// maps n to sn. Sets are sorted.
+struct AssociatedPaths {
+  std::vector<std::vector<PathId>> feasible;
+
+  /// True iff every pattern node has at least one associated path
+  /// (equivalently, modS(p) != empty for strict conjunctive p).
+  bool AllNonEmpty() const {
+    for (const auto& f : feasible) {
+      if (f.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// Computes the associated paths of every node of (the strict version of)
+/// `p` in `summary`. Optional and nested markers are ignored: the edge
+/// constraints are the / and // axes only.
+AssociatedPaths ComputeAssociatedPaths(const Pattern& p,
+                                       const Summary& summary);
+
+/// Enumerates all embeddings of `p` in `summary`, invoking `emit` per
+/// embedding. Stops early (returning ResourceExhausted) after `limit`
+/// embeddings to bound the worst case |S|^|p| (§3.1). `emit` may return
+/// false to stop enumeration (returns OK).
+Status EnumerateEmbeddings(const Pattern& p, const Summary& summary,
+                           size_t limit,
+                           const std::function<bool(const SummaryEmbedding&)>& emit);
+
+/// Counts embeddings up to `limit`.
+Result<size_t> CountEmbeddings(const Pattern& p, const Summary& summary,
+                               size_t limit);
+
+}  // namespace svx
+
+#endif  // SVX_PATTERN_EMBEDDING_H_

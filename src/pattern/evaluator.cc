@@ -1,0 +1,273 @@
+#include "src/pattern/evaluator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace svx {
+
+bool DocumentTreeView::Matches(const Pattern::Node& pn, int32_t n,
+                               FormulaMode mode) const {
+  (void)mode;
+  if (!pn.IsWildcard() && doc_.label(n) != pn.label) return false;
+  if (pn.pred.IsTrue()) return true;
+  // A document node carries the formula v = value; phi must accept it.
+  return doc_.has_value(n) && pn.pred.ContainsValue(doc_.value(n));
+}
+
+size_t EvalRow::Hash() const {
+  size_t h = 0x9E3779B97f4A7C15ULL;
+  auto mix = [&h](size_t x) {
+    h ^= x + 0x9E3779B9 + (h << 6) + (h >> 2);
+  };
+  for (int32_t n : nodes) mix(static_cast<size_t>(n) + 7);
+  mix(0xABCD);
+  for (const auto& seq : nesting) {
+    mix(0x1111);
+    for (int32_t n : seq) mix(static_cast<size_t>(n) + 13);
+  }
+  return h;
+}
+
+namespace {
+
+/// Recursive enumerator implementing Def. 4.1 (optional embeddings),
+/// producing full pattern-node assignments. Subtree matchability is
+/// memoized per (pattern node, tree node); descendants lists per tree node.
+class Enumerator {
+ public:
+  Enumerator(const Pattern& p, const TreeLike& tree, FormulaMode mode,
+             const std::function<bool(const TreeEmbedding&)>& emit,
+             const std::vector<int32_t>* pinned)
+      : p_(p), tree_(tree), mode_(mode), emit_(emit), pinned_(pinned) {}
+
+  void Run() {
+    if (p_.size() == 0 || tree_.Root() < 0) return;
+    assignment_.assign(static_cast<size_t>(p_.size()), kBottomBinding);
+    if (!tree_.Matches(p_.node(p_.root()), tree_.Root(), mode_)) return;
+    if (Pin(p_.root()) != kUnpinnedBinding && Pin(p_.root()) != tree_.Root()) {
+      return;
+    }
+    assignment_[0] = tree_.Root();
+    MatchChildren(p_.root(), tree_.Root(), 0);
+  }
+
+ private:
+  int32_t Pin(PatternNodeId n) const {
+    return pinned_ == nullptr ? kUnpinnedBinding
+                              : (*pinned_)[static_cast<size_t>(n)];
+  }
+
+  const std::vector<int32_t>& Descendants(int32_t n) {
+    auto it = descendants_.find(n);
+    if (it != descendants_.end()) return it->second;
+    std::vector<int32_t> out;
+    std::vector<int32_t> stack = tree_.Children(n);
+    while (!stack.empty()) {
+      int32_t cur = stack.back();
+      stack.pop_back();
+      out.push_back(cur);
+      for (int32_t c : tree_.Children(cur)) stack.push_back(c);
+    }
+    return descendants_.emplace(n, std::move(out)).first->second;
+  }
+
+  void BindBottom(PatternNodeId pn) {
+    for (PatternNodeId m : p_.SubtreeNodes(pn)) {
+      assignment_[static_cast<size_t>(m)] = kBottomBinding;
+    }
+  }
+
+  /// True if the subtree rooted at `m`, anchored under tree node `tn` via
+  /// its own axis, has at least one (strict) embedding. Pins are ignored —
+  /// matchability is the Def 4.1 existence test.
+  bool SubtreeMatchable(PatternNodeId m, int32_t tn) {
+    uint64_t key = (static_cast<uint64_t>(m) << 32) |
+                   static_cast<uint32_t>(tn);
+    auto it = matchable_.find(key);
+    if (it != matchable_.end()) return it->second;
+    const Pattern::Node& child = p_.node(m);
+    bool ok = false;
+    const std::vector<int32_t>& cands = child.axis == Axis::kChild
+                                            ? ChildrenOf(tn)
+                                            : Descendants(tn);
+    for (int32_t cand : cands) {
+      if (AnyEmbedding(m, cand)) {
+        ok = true;
+        break;
+      }
+    }
+    matchable_.emplace(key, ok);
+    return ok;
+  }
+
+  const std::vector<int32_t>& ChildrenOf(int32_t n) {
+    auto it = children_.find(n);
+    if (it != children_.end()) return it->second;
+    return children_.emplace(n, tree_.Children(n)).first->second;
+  }
+
+  /// True if the pattern subtree rooted at `pn` embeds at `tn` (existence
+  /// only; optional edges always fall back to ⊥).
+  bool AnyEmbedding(PatternNodeId pn, int32_t tn) {
+    uint64_t key = (static_cast<uint64_t>(pn) << 32) |
+                   static_cast<uint32_t>(tn);
+    key ^= 0x8000000000000000ULL;
+    auto it = matchable_.find(key);
+    if (it != matchable_.end()) return it->second;
+    bool ok = tree_.Matches(p_.node(pn), tn, mode_);
+    if (ok) {
+      for (PatternNodeId m : p_.node(pn).children) {
+        if (p_.node(m).optional) continue;
+        if (!SubtreeMatchable(m, tn)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    matchable_.emplace(key, ok);
+    return ok;
+  }
+
+  /// Enumerates assignments of the children of `pn` (bound to `tn`),
+  /// starting at child index `ci`. Returns false to abort enumeration.
+  bool MatchChildren(PatternNodeId pn, int32_t tn, size_t ci) {
+    const auto& children = p_.node(pn).children;
+    if (ci == children.size()) {
+      return EmitOrDescend();
+    }
+    PatternNodeId m = children[ci];
+    const Pattern::Node& child = p_.node(m);
+    int32_t pin = Pin(m);
+
+    if (pin == kBottomBinding) {
+      // The caller requires ⊥ here; Def 4.1 allows it only if nothing
+      // matches under tn.
+      if (!child.optional || SubtreeMatchable(m, tn)) return true;
+      BindBottom(m);
+      return MatchChildren(pn, tn, ci + 1);
+    }
+
+    const std::vector<int32_t>& cands = child.axis == Axis::kChild
+                                            ? ChildrenOf(tn)
+                                            : Descendants(tn);
+    bool matched_any = false;
+    for (int32_t cand : cands) {
+      if (pin != kUnpinnedBinding && cand != pin) continue;
+      if (!AnyEmbedding(m, cand)) continue;
+      matched_any = true;
+      assignment_[static_cast<size_t>(m)] = cand;
+      pending_.push_back({pn, tn, ci + 1});
+      bool keep_going = MatchChildren(m, cand, 0);
+      pending_.pop_back();
+      if (!keep_going) return false;
+    }
+    if (!matched_any && pin == kUnpinnedBinding) {
+      if (!child.optional) return true;  // required branch failed
+      if (SubtreeMatchable(m, tn)) return true;  // pinned elsewhere? no: a
+      // match exists, so ⊥ is not allowed (Def 4.1) — but matched_any was
+      // false only because pins filtered nothing here; with no pin this
+      // means no candidate embeds, so this line is unreachable; kept for
+      // clarity.
+      BindBottom(m);
+      return MatchChildren(pn, tn, ci + 1);
+    }
+    if (!matched_any && pin != kUnpinnedBinding) {
+      // Pinned candidate did not embed: also consider the ⊥ fallback only
+      // when the pin allows it (it does not — pin is a concrete node).
+      return true;
+    }
+    return true;
+  }
+
+  bool EmitOrDescend() {
+    if (pending_.empty()) {
+      return emit_(assignment_);
+    }
+    Frame f = pending_.back();
+    pending_.pop_back();
+    bool keep_going = MatchChildren(f.node, f.tree_node, f.child_index);
+    pending_.push_back(f);
+    return keep_going;
+  }
+
+  struct Frame {
+    PatternNodeId node;
+    int32_t tree_node;
+    size_t child_index;
+  };
+
+  const Pattern& p_;
+  const TreeLike& tree_;
+  FormulaMode mode_;
+  const std::function<bool(const TreeEmbedding&)>& emit_;
+  const std::vector<int32_t>* pinned_;
+  TreeEmbedding assignment_;
+  std::vector<Frame> pending_;
+  std::unordered_map<int32_t, std::vector<int32_t>> descendants_;
+  std::unordered_map<int32_t, std::vector<int32_t>> children_;
+  std::unordered_map<uint64_t, bool> matchable_;
+};
+
+struct RowHasher {
+  size_t operator()(const EvalRow& r) const { return r.Hash(); }
+};
+
+}  // namespace
+
+void EnumerateTreeEmbeddings(
+    const Pattern& p, const TreeLike& tree, FormulaMode mode,
+    const std::function<bool(const TreeEmbedding&)>& emit,
+    const std::vector<int32_t>* pinned) {
+  Enumerator(p, tree, mode, emit, pinned).Run();
+}
+
+std::vector<EvalRow> EvaluateReturnRows(const Pattern& p, const TreeLike& tree,
+                                        FormulaMode mode) {
+  std::vector<EvalRow> out;
+  if (p.size() == 0) return out;
+  std::vector<PatternNodeId> rets = p.ReturnNodes();
+  bool has_nested = p.HasNestedEdges();
+  // Upper nodes of the nested edges above each return node (§4.5).
+  std::vector<std::vector<PatternNodeId>> uppers(rets.size());
+  if (has_nested) {
+    for (size_t i = 0; i < rets.size(); ++i) {
+      for (PatternNodeId m : p.NestingAncestors(rets[i])) {
+        uppers[i].push_back(p.node(m).parent);
+      }
+    }
+  }
+  std::unordered_set<EvalRow, RowHasher> seen;
+  EnumerateTreeEmbeddings(p, tree, mode, [&](const TreeEmbedding& a) {
+    EvalRow row;
+    row.nodes.reserve(rets.size());
+    row.nesting.assign(rets.size(), {});
+    for (size_t i = 0; i < rets.size(); ++i) {
+      int32_t binding = a[static_cast<size_t>(rets[i])];
+      row.nodes.push_back(binding);
+      if (has_nested && binding != EvalRow::kBottom) {
+        for (PatternNodeId u : uppers[i]) {
+          row.nesting[i].push_back(a[static_cast<size_t>(u)]);
+        }
+      }
+    }
+    if (seen.insert(row).second) out.push_back(std::move(row));
+    return true;
+  });
+  return out;
+}
+
+std::vector<EvalRow> EvaluateOnDocument(const Pattern& p,
+                                        const Document& doc) {
+  DocumentTreeView view(doc);
+  return EvaluateReturnRows(p, view, FormulaMode::kImplication);
+}
+
+bool ContainsNodeTuple(const std::vector<EvalRow>& rows,
+                       const std::vector<int32_t>& nodes) {
+  for (const EvalRow& r : rows) {
+    if (r.nodes == nodes) return true;
+  }
+  return false;
+}
+
+}  // namespace svx

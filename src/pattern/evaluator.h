@@ -1,0 +1,104 @@
+// Pattern semantics: evaluation of (extended) tree patterns over trees,
+// producing the set of return-node binding tuples (paper §2.2), with
+// optional-embedding semantics for dashed edges (Def. 4.1: a node under an
+// optional edge binds to ⊥ only when no match exists under its parent's
+// binding) and per-return-node nesting sequences (§4.5).
+//
+// Evaluation runs over an abstract TreeLike so the same code serves
+//   * Documents (formula check = does the node's value satisfy the
+//     predicate), and
+//   * canonical trees (decorated trees whose nodes carry formulas; the
+//     check is formula implication or satisfiability, §4.2).
+#ifndef SVX_PATTERN_EVALUATOR_H_
+#define SVX_PATTERN_EVALUATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/pattern/pattern.h"
+#include "src/xml/document.h"
+
+namespace svx {
+
+/// How a pattern node's formula is tested against a tree node's
+/// formula/value (paper §4.2).
+enum class FormulaMode {
+  kIgnore,         // structural matching only
+  kImplication,    // decorated embedding: phi_tree(v) => phi_pattern(v)
+  kSatisfiability  // phi_tree(v) ∧ phi_pattern(v) != F
+};
+
+/// Abstract rooted tree with label/formula matching.
+class TreeLike {
+ public:
+  virtual ~TreeLike() = default;
+  virtual int32_t Root() const = 0;
+  virtual std::vector<int32_t> Children(int32_t n) const = 0;
+  /// Label + formula test of pattern node `pn` against tree node `n`.
+  virtual bool Matches(const Pattern::Node& pn, int32_t n,
+                       FormulaMode mode) const = 0;
+};
+
+/// Adapter over a Document. The formula check ignores `mode`: a document
+/// node carries a concrete value val, i.e. the formula v = val, for which
+/// implication and satisfiability coincide with phi(val).
+class DocumentTreeView : public TreeLike {
+ public:
+  explicit DocumentTreeView(const Document& doc) : doc_(doc) {}
+  int32_t Root() const override { return doc_.root(); }
+  std::vector<int32_t> Children(int32_t n) const override {
+    return doc_.children(n);
+  }
+  bool Matches(const Pattern::Node& pn, int32_t n,
+               FormulaMode mode) const override;
+
+ private:
+  const Document& doc_;
+};
+
+/// A full optional embedding: pattern node id -> tree node, or kBottom (⊥)
+/// for nodes under unmatched optional edges.
+using TreeEmbedding = std::vector<int32_t>;
+inline constexpr int32_t kBottomBinding = -1;
+/// Pin marker: no constraint on a pattern node's binding.
+inline constexpr int32_t kUnpinnedBinding = -2;
+
+/// Enumerates every optional embedding (Def. 4.1) of `p` into `tree`.
+/// `emit` may return false to stop enumeration early. `pinned` (optional,
+/// size p.size()) constrains bindings: kUnpinnedBinding = free, a tree node
+/// = must bind exactly there, kBottomBinding = must be ⊥ (which per Def 4.1
+/// additionally requires that no match exists).
+void EnumerateTreeEmbeddings(
+    const Pattern& p, const TreeLike& tree, FormulaMode mode,
+    const std::function<bool(const TreeEmbedding&)>& emit,
+    const std::vector<int32_t>* pinned = nullptr);
+
+/// Binding of a pattern's return nodes. nodes[i] is the tree node bound to
+/// the i-th return node (pattern preorder), or kBottom for ⊥. nesting[i]
+/// lists the bindings of the i-th return node's nested-edge upper nodes
+/// (outermost first) — the §4.5 nesting sequence ns(n_i, e).
+struct EvalRow {
+  static constexpr int32_t kBottom = -1;
+  std::vector<int32_t> nodes;
+  std::vector<std::vector<int32_t>> nesting;
+
+  bool operator==(const EvalRow& other) const = default;
+  size_t Hash() const;
+};
+
+/// Evaluates `p` over `tree` and returns the deduplicated rows.
+std::vector<EvalRow> EvaluateReturnRows(const Pattern& p, const TreeLike& tree,
+                                        FormulaMode mode);
+
+/// Convenience: evaluation over a document (tuples of NodeIndex).
+std::vector<EvalRow> EvaluateOnDocument(const Pattern& p, const Document& doc);
+
+/// True iff `rows` contains a row with the given node bindings (nesting
+/// sequences ignored).
+bool ContainsNodeTuple(const std::vector<EvalRow>& rows,
+                       const std::vector<int32_t>& nodes);
+
+}  // namespace svx
+
+#endif  // SVX_PATTERN_EVALUATOR_H_

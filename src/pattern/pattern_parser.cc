@@ -1,0 +1,185 @@
+#include "src/pattern/pattern_parser.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace svx {
+
+namespace {
+
+class PatternParserImpl {
+ public:
+  explicit PatternParserImpl(std::string_view text) : text_(text) {}
+
+  Result<Pattern> Parse() {
+    SkipSpace();
+    Status s = ParseNode(-1, Axis::kChild, false, false);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StrFormat("trailing pattern input at offset %zu", pos_));
+    }
+    return std::move(pattern_);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r' ||
+            text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  static bool IsLabelStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '*' || c == '@' || c == '#';
+  }
+  static bool IsLabelChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '@' || c == '#';
+  }
+
+  Status ParseNode(PatternNodeId parent, Axis axis, bool optional,
+                   bool nested) {
+    if (pos_ >= text_.size() || !IsLabelStart(text_[pos_])) {
+      return Status::ParseError(
+          StrFormat("expected pattern label at offset %zu", pos_));
+    }
+    size_t start = pos_;
+    ++pos_;
+    if (text_[start] != '*') {
+      while (pos_ < text_.size() && IsLabelChar(text_[pos_])) ++pos_;
+    }
+    std::string label(text_.substr(start, pos_ - start));
+
+    uint8_t attrs = 0;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '{') {
+      ++pos_;
+      SkipSpace();  // note: SkipSpace also consumes commas
+      bool any = false;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        size_t astart = pos_;
+        while (pos_ < text_.size() &&
+               std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        std::string_view a = text_.substr(astart, pos_ - astart);
+        if (a == "id" || a == "ID") {
+          attrs |= kAttrId;
+        } else if (a == "l" || a == "L") {
+          attrs |= kAttrLabel;
+        } else if (a == "v" || a == "V") {
+          attrs |= kAttrValue;
+        } else if (a == "c" || a == "C") {
+          attrs |= kAttrContent;
+        } else {
+          return Status::ParseError(
+              StrFormat("unknown attribute '%s'", std::string(a).c_str()));
+        }
+        any = true;
+        SkipSpace();
+      }
+      if (!any || pos_ >= text_.size() || text_[pos_] != '}') {
+        return Status::ParseError("missing '}' in attribute list");
+      }
+      ++pos_;
+      SkipSpace();
+    }
+
+    Predicate pred = Predicate::True();
+    if (pos_ < text_.size() && text_[pos_] == '[') {
+      size_t depth = 1;
+      size_t pstart = ++pos_;
+      while (pos_ < text_.size() && depth > 0) {
+        if (text_[pos_] == '[') ++depth;
+        if (text_[pos_] == ']') --depth;
+        if (depth > 0) ++pos_;
+      }
+      if (depth != 0) return Status::ParseError("missing ']' in predicate");
+      Result<Predicate> r =
+          Predicate::Parse(text_.substr(pstart, pos_ - pstart));
+      if (!r.ok()) return r.status();
+      pred = *r;
+      ++pos_;
+      SkipSpace();
+    }
+
+    PatternNodeId id;
+    if (parent < 0) {
+      if (optional || nested) {
+        return Status::ParseError("the root has no incoming edge");
+      }
+      id = pattern_.SetRoot(label, attrs, pred);
+    } else {
+      id = pattern_.AddChild(parent, label, axis, attrs, pred, optional,
+                             nested);
+    }
+
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      SkipSpace();
+      bool any = false;
+      while (pos_ < text_.size() && text_[pos_] != ')') {
+        Status s = ParseEdge(id);
+        if (!s.ok()) return s;
+        any = true;
+        SkipSpace();
+      }
+      if (pos_ >= text_.size()) return Status::ParseError("missing ')'");
+      if (!any) return Status::ParseError("empty child list in pattern");
+      ++pos_;
+      SkipSpace();
+    }
+    return Status::OK();
+  }
+
+  Status ParseEdge(PatternNodeId parent) {
+    bool optional = false;
+    bool nested = false;
+    if (pos_ < text_.size() && text_[pos_] == '?') {
+      optional = true;
+      ++pos_;
+    }
+    if (pos_ + 1 < text_.size() && text_[pos_] == 'n' &&
+        text_[pos_ + 1] == '/') {
+      nested = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '/') {
+      return Status::ParseError(
+          StrFormat("expected '/' or '//' at offset %zu", pos_));
+    }
+    ++pos_;
+    Axis axis = Axis::kChild;
+    if (pos_ < text_.size() && text_[pos_] == '/') {
+      axis = Axis::kDescendant;
+      ++pos_;
+    }
+    return ParseNode(parent, axis, optional, nested);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Pattern pattern_;
+};
+
+}  // namespace
+
+Result<Pattern> ParsePattern(std::string_view text) {
+  return PatternParserImpl(text).Parse();
+}
+
+Pattern MustParsePattern(std::string_view text) {
+  Result<Pattern> r = ParsePattern(text);
+  SVX_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return std::move(r).value();
+}
+
+}  // namespace svx

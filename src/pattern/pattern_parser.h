@@ -1,0 +1,34 @@
+// Concrete text syntax for tree patterns, used throughout tests, benches and
+// examples. Grammar:
+//
+//   pattern  := node
+//   node     := label attrs? pred? children?
+//   label    := NAME | '*'
+//   attrs    := '{' a (',' a)* '}'        a := 'id' | 'l' | 'v' | 'c'
+//   pred     := '[' predicate ']'         (see Predicate::Parse)
+//   children := '(' edge+ ')'             whitespace/comma separated
+//   edge     := ['?'] ['n'] ('//' | '/') node
+//
+// '?' marks the edge optional (dashed in the paper), 'n' marks it nested.
+// Examples:
+//   "site(//item{id}(/name{v}, ?n//listitem{c}))"
+//   "a(//b{id}[v>2] /c(/d{id}))"
+#ifndef SVX_PATTERN_PATTERN_PARSER_H_
+#define SVX_PATTERN_PATTERN_PARSER_H_
+
+#include <string_view>
+
+#include "src/pattern/pattern.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+/// Parses the pattern syntax above.
+Result<Pattern> ParsePattern(std::string_view text);
+
+/// Parses or aborts — convenience for tests and static tables.
+Pattern MustParsePattern(std::string_view text);
+
+}  // namespace svx
+
+#endif  // SVX_PATTERN_PATTERN_PARSER_H_

@@ -1,0 +1,53 @@
+#include "src/pattern/pattern_printer.h"
+
+namespace svx {
+
+namespace {
+
+void PrintNode(const Pattern& p, PatternNodeId id, std::string* out) {
+  const Pattern::Node& n = p.node(id);
+  out->append(n.label);
+  if (n.attrs != 0) {
+    out->push_back('{');
+    bool first = true;
+    auto add = [&](const char* name) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append(name);
+    };
+    if (n.attrs & kAttrId) add("id");
+    if (n.attrs & kAttrLabel) add("l");
+    if (n.attrs & kAttrValue) add("v");
+    if (n.attrs & kAttrContent) add("c");
+    out->push_back('}');
+  }
+  if (!n.pred.IsTrue()) {
+    out->push_back('[');
+    out->append(n.pred.ToString());
+    out->push_back(']');
+  }
+  if (!n.children.empty()) {
+    out->push_back('(');
+    bool first = true;
+    for (PatternNodeId c : n.children) {
+      if (!first) out->push_back(' ');
+      first = false;
+      const Pattern::Node& cn = p.node(c);
+      if (cn.optional) out->push_back('?');
+      if (cn.nested) out->push_back('n');
+      out->append(cn.axis == Axis::kChild ? "/" : "//");
+      PrintNode(p, c, out);
+    }
+    out->push_back(')');
+  }
+}
+
+}  // namespace
+
+std::string PatternToString(const Pattern& p) {
+  std::string out;
+  if (p.size() > 0) PrintNode(p, p.root(), &out);
+  return out;
+}
+
+}  // namespace svx

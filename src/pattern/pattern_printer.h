@@ -1,0 +1,16 @@
+// Serialization of patterns back to the ParsePattern syntax.
+#ifndef SVX_PATTERN_PATTERN_PRINTER_H_
+#define SVX_PATTERN_PATTERN_PRINTER_H_
+
+#include <string>
+
+#include "src/pattern/pattern.h"
+
+namespace svx {
+
+/// Round-trippable pattern text, e.g. "site(//item{id}(?n//listitem{c}))".
+std::string PatternToString(const Pattern& p);
+
+}  // namespace svx
+
+#endif  // SVX_PATTERN_PATTERN_PRINTER_H_

@@ -1,0 +1,302 @@
+#include "src/pattern/predicate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace svx {
+
+namespace {
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+}  // namespace
+
+Predicate Predicate::True() { return Predicate({{kMin, kMax}}); }
+Predicate Predicate::False() { return Predicate({}); }
+Predicate Predicate::Eq(int64_t c) { return Predicate({{c, c}}); }
+
+Predicate Predicate::Lt(int64_t c) {
+  if (c == kMin) return False();
+  return Predicate({{kMin, c - 1}});
+}
+
+Predicate Predicate::Gt(int64_t c) {
+  if (c == kMax) return False();
+  return Predicate({{c + 1, kMax}});
+}
+
+Predicate Predicate::Le(int64_t c) { return Predicate({{kMin, c}}); }
+Predicate Predicate::Ge(int64_t c) { return Predicate({{c, kMax}}); }
+
+Predicate Predicate::Range(int64_t lo, int64_t hi) {
+  if (lo > hi) return False();
+  return Predicate({{lo, hi}});
+}
+
+std::vector<Predicate::Interval> Predicate::Normalize(
+    std::vector<Interval> in) {
+  std::vector<Interval> valid;
+  for (const Interval& iv : in) {
+    if (iv.lo <= iv.hi) valid.push_back(iv);
+  }
+  std::sort(valid.begin(), valid.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+            });
+  std::vector<Interval> out;
+  for (const Interval& iv : valid) {
+    if (!out.empty()) {
+      Interval& last = out.back();
+      // Merge overlapping or integer-adjacent intervals ([1,2] + [3,4]).
+      bool adjacent = last.hi != kMax && iv.lo <= last.hi + 1;
+      bool overlap = iv.lo <= last.hi;
+      if (overlap || adjacent) {
+        last.hi = std::max(last.hi, iv.hi);
+        continue;
+      }
+    }
+    out.push_back(iv);
+  }
+  return out;
+}
+
+Predicate Predicate::And(const Predicate& other) const {
+  std::vector<Interval> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    int64_t lo = std::max(a.lo, b.lo);
+    int64_t hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.push_back({lo, hi});
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return Predicate(std::move(out));
+}
+
+Predicate Predicate::Or(const Predicate& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return Predicate(Normalize(std::move(all)));
+}
+
+Predicate Predicate::Not() const {
+  std::vector<Interval> out;
+  int64_t cursor = kMin;
+  bool cursor_valid = true;
+  for (const Interval& iv : intervals_) {
+    if (cursor_valid && cursor <= iv.lo - 1 && iv.lo != kMin) {
+      out.push_back({cursor, iv.lo - 1});
+    }
+    if (iv.hi == kMax) {
+      cursor_valid = false;
+    } else {
+      cursor = iv.hi + 1;
+    }
+  }
+  if (cursor_valid) out.push_back({cursor, kMax});
+  return Predicate(Normalize(std::move(out)));
+}
+
+bool Predicate::Implies(const Predicate& other) const {
+  return And(other.Not()).IsFalse();
+}
+
+bool Predicate::IsTrue() const {
+  return intervals_.size() == 1 && intervals_[0].lo == kMin &&
+         intervals_[0].hi == kMax;
+}
+
+bool Predicate::Contains(int64_t v) const {
+  for (const Interval& iv : intervals_) {
+    if (v < iv.lo) return false;
+    if (v <= iv.hi) return true;
+  }
+  return false;
+}
+
+bool Predicate::ContainsValue(std::string_view value) const {
+  if (IsTrue()) return true;
+  auto v = ParseInt64(Trim(value));
+  if (!v.has_value()) return false;
+  return Contains(*v);
+}
+
+std::vector<int64_t> Predicate::Endpoints() const {
+  std::vector<int64_t> out;
+  for (const Interval& iv : intervals_) {
+    if (iv.lo != kMin) out.push_back(iv.lo);
+    if (iv.hi != kMax) out.push_back(iv.hi);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Predicate::ToString() const {
+  if (IsTrue()) return "";
+  if (IsFalse()) return "false";
+  std::string out;
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += '|';
+    const Interval& iv = intervals_[i];
+    if (iv.lo == iv.hi) {
+      out += StrFormat("v=%lld", static_cast<long long>(iv.lo));
+    } else if (iv.lo == kMin) {
+      out += StrFormat("v<%lld", static_cast<long long>(iv.hi) + 1);
+    } else if (iv.hi == kMax) {
+      out += StrFormat("v>%lld", static_cast<long long>(iv.lo) - 1);
+    } else {
+      out += StrFormat("v>%lld&v<%lld", static_cast<long long>(iv.lo) - 1,
+                       static_cast<long long>(iv.hi) + 1);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser for the predicate syntax:
+///   expr := term ('|' term)*      term := factor ('&' factor)*
+///   factor := atom | '(' expr ')' atom := 'v' ('='|'<'|'>'|'<='|'>=') INT
+class PredicateParser {
+ public:
+  explicit PredicateParser(std::string_view text) : text_(text) {}
+
+  Result<Predicate> Parse() {
+    SkipSpace();
+    if (Peek("true") && text_.size() == 4) return Predicate::True();
+    if (Peek("false") && text_.size() == 5) return Predicate::False();
+    Result<Predicate> r = ParseExpr();
+    if (!r.ok()) return r;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StrFormat("trailing predicate input at offset %zu", pos_));
+    }
+    return r;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  bool Peek(std::string_view s) const {
+    return text_.size() - pos_ >= s.size() && text_.substr(pos_, s.size()) == s;
+  }
+
+  Result<Predicate> ParseExpr() {
+    Result<Predicate> lhs = ParseTerm();
+    if (!lhs.ok()) return lhs;
+    Predicate acc = *lhs;
+    SkipSpace();
+    while (pos_ < text_.size() && text_[pos_] == '|') {
+      ++pos_;
+      Result<Predicate> rhs = ParseTerm();
+      if (!rhs.ok()) return rhs;
+      acc = acc.Or(*rhs);
+      SkipSpace();
+    }
+    return acc;
+  }
+
+  Result<Predicate> ParseTerm() {
+    Result<Predicate> lhs = ParseFactor();
+    if (!lhs.ok()) return lhs;
+    Predicate acc = *lhs;
+    SkipSpace();
+    while (pos_ < text_.size() && text_[pos_] == '&') {
+      ++pos_;
+      Result<Predicate> rhs = ParseFactor();
+      if (!rhs.ok()) return rhs;
+      acc = acc.And(*rhs);
+      SkipSpace();
+    }
+    return acc;
+  }
+
+  Result<Predicate> ParseFactor() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      Result<Predicate> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::ParseError("missing ')' in predicate");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (!Peek("v")) {
+      return Status::ParseError(
+          StrFormat("expected 'v' at offset %zu", pos_));
+    }
+    ++pos_;
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::ParseError("truncated predicate");
+    char op = text_[pos_];
+    bool or_equal = false;
+    if (op != '=' && op != '<' && op != '>') {
+      return Status::ParseError(
+          StrFormat("expected comparison operator at offset %zu", pos_));
+    }
+    ++pos_;
+    if ((op == '<' || op == '>') && pos_ < text_.size() &&
+        text_[pos_] == '=') {
+      or_equal = true;
+      ++pos_;
+    }
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+    auto c = ParseInt64(text_.substr(start, pos_ - start));
+    if (!c.has_value()) {
+      return Status::ParseError(
+          StrFormat("expected integer constant at offset %zu", start));
+    }
+    switch (op) {
+      case '=':
+        return Predicate::Eq(*c);
+      case '<':
+        return or_equal ? Predicate::Le(*c) : Predicate::Lt(*c);
+      default:
+        return or_equal ? Predicate::Ge(*c) : Predicate::Gt(*c);
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Predicate> Predicate::Parse(std::string_view text) {
+  return PredicateParser(text).Parse();
+}
+
+size_t Predicate::Hash() const {
+  size_t h = 0x9E3779B97f4A7C15ULL;
+  for (const Interval& iv : intervals_) {
+    h ^= static_cast<size_t>(iv.lo) + 0x9E3779B9 + (h << 6) + (h >> 2);
+    h ^= static_cast<size_t>(iv.hi) + 0x9E3779B9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace svx

@@ -1,0 +1,100 @@
+// Value-predicate formulas on pattern nodes (paper §4.2). A formula phi(v)
+// is built from atoms v=c, v<c, v>c with AND / OR (and, internally, NOT).
+// Following the paper, the domain A of atomic values is totally ordered and
+// enumerable, so every formula has a compact canonical representation as a
+// union of disjoint integer intervals, on which conjunction, disjunction,
+// negation and implication are cheap.
+#ifndef SVX_PATTERN_PREDICATE_H_
+#define SVX_PATTERN_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace svx {
+
+/// A canonical formula: a sorted union of disjoint, non-adjacent closed
+/// integer intervals. True = (-inf, +inf); False = empty set.
+class Predicate {
+ public:
+  /// One closed interval [lo, hi] (inclusive).
+  struct Interval {
+    int64_t lo;
+    int64_t hi;
+    bool operator==(const Interval&) const = default;
+  };
+
+  /// The always-true formula T.
+  static Predicate True();
+  /// The always-false formula F.
+  static Predicate False();
+  /// v = c.
+  static Predicate Eq(int64_t c);
+  /// v < c.
+  static Predicate Lt(int64_t c);
+  /// v > c.
+  static Predicate Gt(int64_t c);
+  /// v <= c.
+  static Predicate Le(int64_t c);
+  /// v >= c.
+  static Predicate Ge(int64_t c);
+  /// lo <= v <= hi.
+  static Predicate Range(int64_t lo, int64_t hi);
+
+  /// Conjunction (set intersection).
+  Predicate And(const Predicate& other) const;
+  /// Disjunction (set union).
+  Predicate Or(const Predicate& other) const;
+  /// Negation (set complement).
+  Predicate Not() const;
+
+  /// True iff this formula implies `other` (phi1(v) => phi2(v) for all v).
+  bool Implies(const Predicate& other) const;
+
+  bool IsTrue() const;
+  bool IsFalse() const { return intervals_.empty(); }
+
+  /// Membership test for a concrete value.
+  bool Contains(int64_t v) const;
+
+  /// Membership test for a document value string: parsed as an integer when
+  /// possible; non-numeric values satisfy only the True formula.
+  bool ContainsValue(std::string_view value) const;
+
+  bool operator==(const Predicate& other) const {
+    return intervals_ == other.intervals_;
+  }
+  bool operator!=(const Predicate& other) const { return !(*this == other); }
+
+  /// All finite interval endpoints (the constants the formula mentions),
+  /// used to build the finite evaluation grid of the §4.2 union test.
+  std::vector<int64_t> Endpoints() const;
+
+  /// Round-trippable concrete syntax: "v=3", "v>2&v<7", "v<0|v=5", "false";
+  /// "" (empty) for True.
+  std::string ToString() const;
+
+  /// Parses the ToString syntax (also accepts "true").
+  static Result<Predicate> Parse(std::string_view text);
+
+  /// Stable hash of the canonical form.
+  size_t Hash() const;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+ private:
+  explicit Predicate(std::vector<Interval> intervals)
+      : intervals_(std::move(intervals)) {}
+
+  /// Sorts, merges overlapping/adjacent intervals.
+  static std::vector<Interval> Normalize(std::vector<Interval> in);
+
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace svx
+
+#endif  // SVX_PATTERN_PREDICATE_H_

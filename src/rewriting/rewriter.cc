@@ -1,0 +1,1023 @@
+#include "src/rewriting/rewriter.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/algebra/plan_printer.h"
+#include "src/pattern/embedding.h"
+#include "src/pattern/pattern_printer.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+namespace svx {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Query analysis
+// ---------------------------------------------------------------------------
+
+struct QueryInfo {
+  Pattern original;
+  Pattern flat;  // nested edges flattened to optional edges
+  std::vector<PatternNodeId> cols;          // return nodes (preorder)
+  std::vector<uint8_t> col_attrs;
+  std::vector<std::vector<PathId>> col_paths;  // associated paths per column
+  std::vector<bool> col_optional;           // under an optional edge in flat
+  std::vector<PatternNodeId> nested_edges;  // deepest-first
+  std::vector<bool> related_path;           // Prop 3.4 relevance set over S
+  /// Join-endpoint relevance: associated paths of q nodes and their
+  /// ancestors. Joining on other paths cannot tighten the structural
+  /// relationships between q nodes (§3.2: useful partners either carry a
+  /// query path or an ancestor of one, like p2 in Figure 6).
+  std::vector<bool> join_relevant;
+  /// Exact associated paths of q nodes (search-order heuristic: candidates
+  /// carrying these paths are explored first).
+  std::vector<bool> assoc_exact;
+  std::vector<std::string> labels;          // concrete labels of q nodes
+};
+
+int32_t PatternDepth(const Pattern& p, PatternNodeId n) {
+  int32_t d = 0;
+  for (PatternNodeId cur = n; cur >= 0; cur = p.node(cur).parent) ++d;
+  return d;
+}
+
+std::vector<int32_t> PreorderRanks(const Pattern& p) {
+  std::vector<int32_t> rank(static_cast<size_t>(p.size()), 0);
+  int32_t r = 0;
+  std::vector<PatternNodeId> stack{p.root()};
+  while (!stack.empty()) {
+    PatternNodeId n = stack.back();
+    stack.pop_back();
+    rank[static_cast<size_t>(n)] = r++;
+    const auto& cs = p.node(n).children;
+    for (auto it = cs.rbegin(); it != cs.rend(); ++it) stack.push_back(*it);
+  }
+  return rank;
+}
+
+QueryInfo AnalyzeQuery(const Pattern& q, const Summary& summary) {
+  QueryInfo info;
+  info.original = q;
+  info.flat = q;
+  for (PatternNodeId n = 1; n < info.flat.size(); ++n) {
+    Pattern::Node& node = info.flat.mutable_node(n);
+    if (node.nested) {
+      node.nested = false;
+      node.optional = true;
+    }
+  }
+  info.cols = info.flat.ReturnNodes();
+  for (PatternNodeId c : info.cols) {
+    info.col_attrs.push_back(info.flat.node(c).attrs);
+    bool optional = false;
+    for (PatternNodeId cur = c; cur > 0; cur = info.flat.node(cur).parent) {
+      optional = optional || info.flat.node(cur).optional;
+    }
+    info.col_optional.push_back(optional);
+  }
+
+  // Associated paths (Prop 3.7): computed on the strict skeleton; nodes in
+  // optional subtrees may have no feasible path — then the check is skipped.
+  AssociatedPaths paths = ComputeAssociatedPaths(info.flat, summary);
+  for (PatternNodeId c : info.cols) {
+    info.col_paths.push_back(paths.feasible[static_cast<size_t>(c)]);
+  }
+
+  // Nested edges of the original query, deepest first (adaptation order).
+  for (PatternNodeId n = 1; n < q.size(); ++n) {
+    if (q.node(n).nested) info.nested_edges.push_back(n);
+  }
+  std::sort(info.nested_edges.begin(), info.nested_edges.end(),
+            [&](PatternNodeId a, PatternNodeId b) {
+              return PatternDepth(q, a) > PatternDepth(q, b);
+            });
+
+  // Prop 3.4 relevance set: every associated path of any *non-root* q node
+  // (the paper explicitly excludes the roots — all patterns share the
+  // document root), closed under ancestors and descendants.
+  info.related_path.assign(static_cast<size_t>(summary.size()), false);
+  info.join_relevant.assign(static_cast<size_t>(summary.size()), false);
+  info.assoc_exact.assign(static_cast<size_t>(summary.size()), false);
+  for (PatternNodeId n = 1; n < info.flat.size(); ++n) {
+    for (PathId s : paths.feasible[static_cast<size_t>(n)]) {
+      info.related_path[static_cast<size_t>(s)] = true;
+      info.join_relevant[static_cast<size_t>(s)] = true;
+      info.assoc_exact[static_cast<size_t>(s)] = true;
+      for (PathId a = summary.parent(s); a != kInvalidPath;
+           a = summary.parent(a)) {
+        info.related_path[static_cast<size_t>(a)] = true;
+        info.join_relevant[static_cast<size_t>(a)] = true;
+      }
+      for (PathId d : summary.Descendants(s)) {
+        info.related_path[static_cast<size_t>(d)] = true;
+      }
+    }
+  }
+
+  for (PatternNodeId n = 0; n < q.size(); ++n) {
+    if (!q.node(n).IsWildcard()) info.labels.push_back(q.node(n).label);
+  }
+  std::sort(info.labels.begin(), info.labels.end());
+  info.labels.erase(std::unique(info.labels.begin(), info.labels.end()),
+                    info.labels.end());
+  return info;
+}
+
+/// Prop 3.4: a view is kept iff some non-root node has an associated path
+/// related (equal / ancestor / descendant) to a non-root query path.
+bool ViewRelated(const ViewDef& view, const QueryInfo& qi,
+                 const Summary& summary) {
+  if (view.pattern.size() <= 1) return false;
+  AssociatedPaths paths =
+      ComputeAssociatedPaths(view.pattern.Strict(), summary);
+  for (PatternNodeId n = 1; n < view.pattern.size(); ++n) {
+    for (PathId s : paths.feasible[static_cast<size_t>(n)]) {
+      if (qi.related_path[static_cast<size_t>(s)]) return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Candidate manipulation
+// ---------------------------------------------------------------------------
+
+void RetagPieces(std::vector<Piece>* pieces, const std::string& tag) {
+  for (Piece& p : *pieces) {
+    for (ColumnBinding& b : p.bindings) b.prefix = tag + b.prefix;
+  }
+}
+
+enum class JoinType { kEq, kParent, kAncestor };
+
+/// Root-to-node chain of pattern node ids (inclusive).
+std::vector<PatternNodeId> AncestorChain(const Pattern& p, PatternNodeId n) {
+  std::vector<PatternNodeId> rev;
+  for (PatternNodeId cur = n; cur >= 0; cur = p.node(cur).parent) {
+    rev.push_back(cur);
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+/// Merges piece `b` into piece `a` joined on (prefix_a, prefix_b) with `a`
+/// on the ancestor (or equal) side. Returns false when this piece pair is
+/// incompatible (contributes nothing to the join). `b_col_shift` relocates
+/// b's column indexes in the concatenated schema.
+bool MergePieces(const Summary& summary, const Piece& a,
+                 const std::string& prefix_a, const Piece& b,
+                 const std::string& prefix_b, JoinType type,
+                 int32_t b_col_shift, Piece* out) {
+  const ColumnBinding* ba = a.Find(prefix_a, kAttrId);
+  const ColumnBinding* bb = b.Find(prefix_b, kAttrId);
+  if (ba == nullptr || bb == nullptr || !ba->skeleton || !bb->skeleton) {
+    return false;
+  }
+  PathId pa = ba->path;
+  PathId pb = bb->path;
+  switch (type) {
+    case JoinType::kEq:
+      if (pa != pb) return false;
+      break;
+    case JoinType::kParent:
+      if (summary.parent(pb) != pa) return false;
+      break;
+    case JoinType::kAncestor:
+      if (!summary.IsAncestor(pa, pb)) return false;
+      break;
+  }
+
+  std::vector<PatternNodeId> a_chain = AncestorChain(a.pattern, ba->node);
+  std::vector<PatternNodeId> b_chain = AncestorChain(b.pattern, bb->node);
+  size_t unify_len = static_cast<size_t>(summary.depth(pa));
+  SVX_CHECK(a_chain.size() == unify_len);
+  SVX_CHECK(b_chain.size() >= unify_len);
+
+  *out = a;
+  std::vector<PatternNodeId> map_b(static_cast<size_t>(b.pattern.size()), -1);
+  for (size_t k = 0; k < unify_len; ++k) {
+    PatternNodeId an = a_chain[k];
+    PatternNodeId bn = b_chain[k];
+    // Both chains instantiate the same summary chain.
+    SVX_CHECK(out->node_paths[static_cast<size_t>(an)] ==
+              b.node_paths[static_cast<size_t>(bn)]);
+    map_b[static_cast<size_t>(bn)] = an;
+    Pattern::Node& merged = out->pattern.mutable_node(an);
+    merged.attrs |= b.pattern.node(bn).attrs;
+    merged.pred = merged.pred.And(b.pattern.node(bn).pred);
+    if (merged.pred.IsFalse()) return false;
+  }
+  // Copy the remaining b nodes (branches and the below-join part), parents
+  // first (ids are parent-before-child by construction).
+  for (PatternNodeId n = 0; n < b.pattern.size(); ++n) {
+    if (map_b[static_cast<size_t>(n)] >= 0) continue;
+    const Pattern::Node& node = b.pattern.node(n);
+    SVX_CHECK(node.parent >= 0);
+    PatternNodeId parent = map_b[static_cast<size_t>(node.parent)];
+    SVX_CHECK(parent >= 0);
+    PatternNodeId nid =
+        out->pattern.AddChild(parent, node.label, node.axis, node.attrs,
+                              node.pred, node.optional, node.nested);
+    map_b[static_cast<size_t>(n)] = nid;
+    out->node_paths.push_back(b.node_paths[static_cast<size_t>(n)]);
+  }
+  for (const ColumnBinding& binding : b.bindings) {
+    ColumnBinding nb = binding;
+    nb.node = map_b[static_cast<size_t>(binding.node)];
+    nb.col += b_col_shift;
+    out->bindings.push_back(std::move(nb));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence testing and plan adaptation
+// ---------------------------------------------------------------------------
+
+struct PlanSelect {
+  SelectKind kind;
+  int32_t col;
+  std::string label;
+  Predicate pred = Predicate::True();
+};
+
+/// One tested combination: column prefixes per query column.
+struct Assignment {
+  std::vector<std::string> prefixes;
+};
+
+struct Partial {
+  PlanPtr projected_plan;  // flat projected plan (no nesting adaptation yet)
+  std::vector<Pattern> test_patterns;
+  std::string key;  // dedup
+};
+
+class RewriteSession {
+ public:
+  RewriteSession(const Summary& summary, const RewriterOptions& options,
+                 const QueryInfo& qi, RewriteStats* stats)
+      : summary_(summary), options_(options), qi_(qi), stats_(stats) {}
+
+  /// Tests a candidate against the query; appends results and partial
+  /// covers. Returns true if the result budget is exhausted.
+  bool TryMatch(const Candidate& cand, std::vector<Rewriting>* results) {
+    std::vector<Assignment> assignments = EnumerateAssignments(cand);
+    for (const Assignment& asg : assignments) {
+      if (Exhausted(results)) return true;
+      if (stats_ != nullptr) ++stats_->equivalence_tests;
+      std::vector<PlanSelect> selects;
+      std::vector<Pattern> tps;
+      if (!BuildTestPatterns(cand, asg, &tps, &selects)) continue;
+
+      // Direction 1: every piece pattern is contained in the query.
+      bool all_contained = true;
+      for (const Pattern& tp : tps) {
+        Result<bool> c = IsContained(tp, qi_.flat, summary_,
+                                     options_.containment);
+        if (!c.ok() || !*c) {
+          all_contained = false;
+          break;
+        }
+      }
+      if (!all_contained) continue;
+
+      // Direction 2: the query is covered by the union of the pieces.
+      std::vector<const Pattern*> ptrs;
+      ptrs.reserve(tps.size());
+      for (const Pattern& tp : tps) ptrs.push_back(&tp);
+      Result<bool> covered = IsContainedInUnion(qi_.flat, ptrs, summary_,
+                                                options_.containment);
+      if (!covered.ok()) continue;
+
+      PlanPtr projected = BuildProjectedPlan(cand, asg, selects);
+      if (*covered) {
+        PlanPtr final_plan = AdaptNesting(projected->Clone());
+        std::string compact = PlanToCompactString(*final_plan);
+        bool duplicate = false;
+        for (const Rewriting& r : *results) {
+          if (r.compact == compact) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          results->push_back({std::move(final_plan), std::move(compact)});
+          if (stats_ != nullptr) {
+            ++stats_->results;
+          }
+        }
+        if (Exhausted(results)) return true;
+      } else if (partials_.size() < options_.max_union_partials) {
+        Partial p;
+        p.projected_plan = std::move(projected);
+        p.test_patterns = std::move(tps);
+        p.key = cand.CanonicalString();
+        bool dup = false;
+        for (const Partial& existing : partials_) {
+          if (existing.key == p.key) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) partials_.push_back(std::move(p));
+      }
+    }
+    return Exhausted(results);
+  }
+
+  /// Algorithm 1 lines 13-14: minimal unions of partial covers.
+  void UnionPhase(std::vector<Rewriting>* results) {
+    size_t n = partials_.size();
+    if (n < 2) return;
+    std::vector<std::vector<size_t>> found_subsets;
+    // Enumerate subsets by increasing size so minimality is by construction.
+    for (size_t size = 2; size <= options_.max_union_size && size <= n;
+         ++size) {
+      std::vector<size_t> idx(size);
+      // Initialize combination 0,1,...,size-1.
+      for (size_t i = 0; i < size; ++i) idx[i] = i;
+      while (true) {
+        if (Exhausted(results)) return;
+        bool superset_of_found = false;
+        for (const std::vector<size_t>& f : found_subsets) {
+          if (std::includes(idx.begin(), idx.end(), f.begin(), f.end())) {
+            superset_of_found = true;
+            break;
+          }
+        }
+        if (!superset_of_found) {
+          std::vector<const Pattern*> all;
+          for (size_t i : idx) {
+            for (const Pattern& tp : partials_[i].test_patterns) {
+              all.push_back(&tp);
+            }
+          }
+          if (stats_ != nullptr) ++stats_->equivalence_tests;
+          Result<bool> covered = IsContainedInUnion(
+              qi_.flat, all, summary_, options_.containment);
+          if (covered.ok() && *covered) {
+            found_subsets.push_back(idx);
+            std::vector<PlanPtr> plans;
+            for (size_t i : idx) {
+              plans.push_back(partials_[i].projected_plan->Clone());
+            }
+            PlanPtr u = MakeUnion(std::move(plans));
+            PlanPtr final_plan = AdaptNesting(std::move(u));
+            std::string compact = PlanToCompactString(*final_plan);
+            results->push_back({std::move(final_plan), std::move(compact)});
+            if (stats_ != nullptr) ++stats_->results;
+          }
+        }
+        // Next combination.
+        size_t i = size;
+        while (i > 0) {
+          --i;
+          if (idx[i] != i + n - size) {
+            ++idx[i];
+            for (size_t j = i + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+            break;
+          }
+          if (i == 0) return;
+        }
+      }
+    }
+  }
+
+ private:
+  bool Exhausted(const std::vector<Rewriting>* results) const {
+    return results->size() >= options_.max_results ||
+           (options_.stop_at_first && !results->empty());
+  }
+
+  /// Available attributes per prefix: intersection over pieces of the attr
+  /// bits that have a binding.
+  std::unordered_map<std::string, uint8_t> AvailableAttrs(
+      const Candidate& cand) const {
+    std::unordered_map<std::string, uint8_t> avail;
+    if (cand.pieces.empty()) return avail;
+    std::unordered_map<std::string, uint8_t> first;
+    for (const ColumnBinding& b : cand.pieces[0].bindings) {
+      first[b.prefix] |= b.attr;
+    }
+    for (auto& [prefix, attrs] : first) {
+      uint8_t acc = attrs;
+      for (size_t i = 1; i < cand.pieces.size() && acc != 0; ++i) {
+        uint8_t here = 0;
+        for (const ColumnBinding& b : cand.pieces[i].bindings) {
+          if (b.prefix == prefix) here |= b.attr;
+        }
+        acc &= here;
+      }
+      if (acc != 0) avail[prefix] = acc;
+    }
+    return avail;
+  }
+
+  std::vector<Assignment> EnumerateAssignments(const Candidate& cand) const {
+    std::vector<Assignment> out;
+    if (cand.pieces.empty()) return out;
+    std::unordered_map<std::string, uint8_t> avail = AvailableAttrs(cand);
+
+    // Per column: prefixes whose attrs suffice and whose pinned paths pass
+    // Prop 3.7. A piece whose pinned path is incompatible is tolerated when
+    // a §4.6 label selection can filter its rows out (different label, L
+    // stored); the containment tests remain the exactness arbiter.
+    std::vector<std::vector<std::string>> choices(qi_.cols.size());
+    for (size_t i = 0; i < qi_.cols.size(); ++i) {
+      uint8_t need = qi_.col_attrs[i];
+      const Pattern::Node& qnode = qi_.flat.node(qi_.cols[i]);
+      for (const auto& [prefix, attrs] : avail) {
+        if ((need & attrs) != need) continue;
+        bool ok = true;
+        bool any_path_match = false;
+        for (const Piece& piece : cand.pieces) {
+          auto bs = piece.FindPrefix(prefix);
+          if (bs.empty()) {
+            ok = false;
+            break;
+          }
+          const ColumnBinding* b = bs[0];
+          if (!b->skeleton || qi_.col_paths[i].empty()) {
+            any_path_match = true;
+            continue;
+          }
+          if (std::binary_search(qi_.col_paths[i].begin(),
+                                 qi_.col_paths[i].end(), b->path)) {
+            any_path_match = true;
+            continue;
+          }
+          // Incompatible piece: only acceptable when σ L = label removes it.
+          bool neutralizable =
+              !qnode.IsWildcard() && (attrs & kAttrLabel) != 0 &&
+              summary_.label(b->path) != qnode.label;
+          if (!neutralizable) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok && any_path_match) choices[i].push_back(prefix);
+      }
+      if (choices[i].empty()) return out;
+      std::sort(choices[i].begin(), choices[i].end());
+    }
+
+    // Cartesian product with per-piece preorder-order verification.
+    std::vector<std::string> current(qi_.cols.size());
+    EnumerateRec(cand, choices, 0, &current, &out);
+    return out;
+  }
+
+  void EnumerateRec(const Candidate& cand,
+                    const std::vector<std::vector<std::string>>& choices,
+                    size_t i, std::vector<std::string>* current,
+                    std::vector<Assignment>* out) const {
+    if (out->size() >= options_.max_assignments) return;
+    if (i == choices.size()) {
+      if (OrderConsistent(cand, *current)) out->push_back({*current});
+      return;
+    }
+    for (const std::string& prefix : choices[i]) {
+      (*current)[i] = prefix;
+      EnumerateRec(cand, choices, i + 1, current, out);
+      if (out->size() >= options_.max_assignments) return;
+    }
+  }
+
+  /// The chosen nodes must appear in piece preorder in column order, in
+  /// every piece (containment compares return nodes positionally).
+  bool OrderConsistent(const Candidate& cand,
+                       const std::vector<std::string>& prefixes) const {
+    for (const Piece& piece : cand.pieces) {
+      std::vector<int32_t> ranks = PreorderRanks(piece.pattern);
+      int32_t last = -1;
+      for (const std::string& prefix : prefixes) {
+        auto bs = piece.FindPrefix(prefix);
+        if (bs.empty()) return false;
+        int32_t r = ranks[static_cast<size_t>(bs[0]->node)];
+        if (r <= last) return false;
+        last = r;
+      }
+    }
+    return true;
+  }
+
+  /// Builds the per-piece containment test patterns, collecting the §4.6
+  /// label/value selections the plan must apply. Returns false when the
+  /// assignment cannot be made valid.
+  bool BuildTestPatterns(const Candidate& cand, const Assignment& asg,
+                         std::vector<Pattern>* tps,
+                         std::vector<PlanSelect>* selects) const {
+    std::unordered_set<std::string> select_keys;
+    for (const Piece& piece : cand.pieces) {
+      Pattern tp = piece.pattern;
+      for (PatternNodeId n = 0; n < tp.size(); ++n) {
+        tp.mutable_node(n).attrs = 0;
+      }
+      for (size_t i = 0; i < asg.prefixes.size(); ++i) {
+        const std::string& prefix = asg.prefixes[i];
+        auto bs = piece.FindPrefix(prefix);
+        SVX_CHECK(!bs.empty());
+        PatternNodeId n = bs[0]->node;
+        Pattern::Node& node = tp.mutable_node(n);
+        node.attrs = qi_.col_attrs[i];
+
+        const Pattern::Node& qnode =
+            qi_.flat.node(qi_.cols[i]);
+        // Label adaptation (§4.6): σ L = label narrows a wildcard node, and
+        // also neutralizes pieces pinned to a different label (their test
+        // pattern becomes S-unsatisfiable, matching the σ dropping all of
+        // their rows).
+        if (!qnode.IsWildcard() && node.label != qnode.label) {
+          const ColumnBinding* lb = piece.Find(prefix, kAttrLabel);
+          if (lb == nullptr) return false;
+          node.label = qnode.label;
+          std::string key = "L:" + prefix;
+          if (select_keys.insert(key).second) {
+            selects->push_back({SelectKind::kLabelEq, lb->col, qnode.label});
+          }
+        }
+        // Value adaptation (§4.6): narrow by a value selection.
+        if (!node.pred.Implies(qnode.pred)) {
+          const ColumnBinding* vb = piece.Find(prefix, kAttrValue);
+          if (vb == nullptr || qi_.col_optional[i]) return false;
+          node.pred = node.pred.And(qnode.pred);
+          std::string key = "V:" + prefix + ":" + qnode.pred.ToString();
+          if (select_keys.insert(key).second) {
+            selects->push_back(
+                {SelectKind::kValuePred, vb->col, "", qnode.pred});
+          }
+        }
+        // Optional strengthening: a piece node under optional edges can
+        // serve a required query column when a ⊥-witness column exists —
+        // σ ≠ ⊥ makes the path to the node required.
+        if (!qi_.col_optional[i]) {
+          bool under_optional = false;
+          for (PatternNodeId cur = n; cur > 0;
+               cur = tp.node(cur).parent) {
+            under_optional = under_optional || tp.node(cur).optional;
+          }
+          if (under_optional) {
+            const ColumnBinding* wb = piece.Find(prefix, kAttrId);
+            if (wb == nullptr) wb = piece.Find(prefix, kAttrContent);
+            if (wb == nullptr) wb = piece.Find(prefix, kAttrLabel);
+            // A V column may be ⊥ for a matched but valueless node and
+            // cannot witness the match.
+            if (wb == nullptr) return false;
+            for (PatternNodeId cur = n; cur > 0;
+                 cur = tp.node(cur).parent) {
+              tp.mutable_node(cur).optional = false;
+            }
+            std::string key = "N:" + prefix;
+            if (select_keys.insert(key).second) {
+              selects->push_back({SelectKind::kNonNull, wb->col, ""});
+            }
+          }
+        }
+      }
+      tps->push_back(PruneAttrlessSubtrees(tp));
+    }
+    return true;
+  }
+
+  PlanPtr BuildProjectedPlan(const Candidate& cand, const Assignment& asg,
+                             const std::vector<PlanSelect>& selects) const {
+    PlanPtr plan = cand.plan->Clone();
+    for (const PlanSelect& s : selects) {
+      switch (s.kind) {
+        case SelectKind::kLabelEq:
+          plan = MakeSelectLabel(std::move(plan), s.col, s.label);
+          break;
+        case SelectKind::kValuePred:
+          plan = MakeSelectValue(std::move(plan), s.col, s.pred);
+          break;
+        case SelectKind::kNonNull:
+          plan = MakeSelectNonNull(std::move(plan), s.col);
+          break;
+        default:
+          SVX_CHECK(false);
+      }
+    }
+    // Projection: query columns in preorder, attrs in (id, l, v, c) order —
+    // the ViewSchema layout.
+    std::vector<int32_t> cols;
+    for (size_t i = 0; i < asg.prefixes.size(); ++i) {
+      for (uint8_t attr : {kAttrId, kAttrLabel, kAttrValue, kAttrContent}) {
+        if ((qi_.col_attrs[i] & attr) == 0) continue;
+        const ColumnBinding* b = cand.pieces[0].Find(asg.prefixes[i], attr);
+        SVX_CHECK(b != nullptr);
+        cols.push_back(b->col);
+      }
+    }
+    PlanPtr projected = MakeProject(std::move(plan), cols);
+    PruneUnusedAppendOps(projected.get());
+    return projected;
+  }
+
+  /// Removes navfID / navC operators on the unary chain under `root` whose
+  /// appended (suffix) columns no selection or projection above consumes.
+  /// Splicing such an operator never shifts a retained index: its columns
+  /// are the last ones of its output and nothing above references at or
+  /// beyond them.
+  static void PruneUnusedAppendOps(PlanNode* root) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // Collect consumed column indexes along the unary chain.
+      std::vector<int32_t> used;
+      for (PlanNode* node = root;
+           node->children.size() == 1 &&
+           (node->kind == PlanKind::kProject ||
+            node->kind == PlanKind::kSelect ||
+            node->kind == PlanKind::kDeriveParent ||
+            node->kind == PlanKind::kNavigate);
+           node = node->children[0].get()) {
+        if (node->kind == PlanKind::kProject) {
+          for (int32_t c : node->project_cols) used.push_back(c);
+        } else if (node->kind == PlanKind::kSelect) {
+          used.push_back(node->select_col);
+        }
+      }
+      // Splice the topmost removable operator.
+      for (PlanNode* parent = root;
+           parent->children.size() == 1 && !changed;
+           parent = parent->children[0].get()) {
+        PlanNode* child = parent->children[0].get();
+        if (child->kind != PlanKind::kDeriveParent &&
+            child->kind != PlanKind::kNavigate) {
+          continue;
+        }
+        int32_t lo = child->children[0]->schema.size();
+        bool safe = true;
+        for (int32_t c : used) safe = safe && c < lo;
+        if (safe) {
+          PlanPtr grandchild = std::move(child->children[0]);
+          parent->children[0] = std::move(grandchild);
+          changed = true;
+        }
+      }
+      if (changed) RecomputeChainSchemas(root);
+    }
+  }
+
+  /// Refreshes the cached output schemas of the unary chain after a splice
+  /// (selects are width-preserving; derive/navigate re-append their suffix
+  /// columns onto the new child schema).
+  static void RecomputeChainSchemas(PlanNode* root) {
+    std::vector<PlanNode*> chain;
+    for (PlanNode* node = root;; node = node->children[0].get()) {
+      chain.push_back(node);
+      if (node->children.size() != 1 ||
+          (node->kind != PlanKind::kProject &&
+           node->kind != PlanKind::kSelect &&
+           node->kind != PlanKind::kDeriveParent &&
+           node->kind != PlanKind::kNavigate)) {
+        break;
+      }
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      PlanNode* node = *it;
+      if (node->children.size() != 1) continue;
+      const Schema& child = node->children[0]->schema;
+      switch (node->kind) {
+        case PlanKind::kSelect: {
+          node->schema = child;
+          break;
+        }
+        case PlanKind::kDeriveParent:
+        case PlanKind::kNavigate: {
+          int32_t appended =
+              node->kind == PlanKind::kDeriveParent
+                  ? 1
+                  : __builtin_popcount(node->navigate_attrs);
+          Schema fresh = child;
+          for (int32_t k = node->schema.size() - appended;
+               k < node->schema.size(); ++k) {
+            fresh.Append(node->schema.column(k));
+          }
+          node->schema = std::move(fresh);
+          break;
+        }
+        case PlanKind::kProject: {
+          Schema fresh;
+          for (int32_t c : node->project_cols) {
+            fresh.Append(child.column(c));
+          }
+          node->schema = std::move(fresh);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  /// §4.6: re-nests the flat projected plan per the query's nested edges
+  /// (deepest first), restoring the ViewSchema column layout after each
+  /// grouping.
+  PlanPtr AdaptNesting(PlanPtr plan) const {
+    if (qi_.nested_edges.empty()) return plan;
+    const Pattern& q = qi_.original;
+    std::vector<int32_t> ranks = PreorderRanks(q);
+
+    // Current layout: one item per column, tagged by representative q node.
+    struct Item {
+      PatternNodeId rep;
+      int32_t order;  // tiebreak within a node (attr order)
+    };
+    std::vector<Item> items;
+    int32_t seq = 0;
+    for (size_t i = 0; i < qi_.cols.size(); ++i) {
+      for (uint8_t attr : {kAttrId, kAttrLabel, kAttrValue, kAttrContent}) {
+        if ((qi_.col_attrs[i] & attr) == 0) continue;
+        items.push_back({qi_.cols[i], seq++});
+      }
+    }
+
+    for (PatternNodeId m : qi_.nested_edges) {
+      std::vector<int32_t> keys;
+      std::vector<Item> key_items;
+      for (size_t c = 0; c < items.size(); ++c) {
+        if (!q.IsAncestorOrSelf(m, items[c].rep)) {
+          keys.push_back(static_cast<int32_t>(c));
+          key_items.push_back(items[c]);
+        }
+      }
+      std::string name = StrFormat("g%d", m);
+      plan = MakeGroupBy(std::move(plan), keys, name);
+      items = key_items;
+      items.push_back({m, seq++});
+
+      // Restore preorder layout.
+      std::vector<int32_t> perm(items.size());
+      for (size_t c = 0; c < perm.size(); ++c) {
+        perm[c] = static_cast<int32_t>(c);
+      }
+      std::stable_sort(perm.begin(), perm.end(), [&](int32_t x, int32_t y) {
+        int32_t rx = ranks[static_cast<size_t>(items[static_cast<size_t>(x)].rep)];
+        int32_t ry = ranks[static_cast<size_t>(items[static_cast<size_t>(y)].rep)];
+        if (rx != ry) return rx < ry;
+        return items[static_cast<size_t>(x)].order <
+               items[static_cast<size_t>(y)].order;
+      });
+      bool identity = true;
+      for (size_t c = 0; c < perm.size(); ++c) {
+        identity = identity && perm[c] == static_cast<int32_t>(c);
+      }
+      if (!identity) {
+        std::vector<Item> reordered;
+        for (int32_t x : perm) {
+          reordered.push_back(items[static_cast<size_t>(x)]);
+        }
+        plan = MakeProject(std::move(plan), perm);
+        items = std::move(reordered);
+      }
+    }
+    return plan;
+  }
+
+  const Summary& summary_;
+  const RewriterOptions& options_;
+  const QueryInfo& qi_;
+  RewriteStats* stats_;
+  std::vector<Partial> partials_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rewriter
+// ---------------------------------------------------------------------------
+
+Rewriter::Rewriter(const Summary& summary, RewriterOptions options)
+    : summary_(summary), options_(std::move(options)) {}
+
+void Rewriter::AddView(ViewDef def) { views_.push_back(std::move(def)); }
+
+Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
+                                                 RewriteStats* stats) {
+  Timer total_timer;
+  if (q.size() == 0 || q.Arity() == 0) {
+    return Status::InvalidArgument("query must have return nodes");
+  }
+  QueryInfo qi = AnalyzeQuery(q, summary_);
+
+  // ---- Setup: Prop 3.4 pruning + view expansion. ----
+  if (stats != nullptr) stats->views_total = views_.size();
+  std::vector<const ViewDef*> kept;
+  for (const ViewDef& v : views_) {
+    if (!options_.prune_views || ViewRelated(v, qi, summary_)) {
+      kept.push_back(&v);
+    }
+  }
+  if (stats != nullptr) stats->views_kept = kept.size();
+
+  std::vector<Candidate> m0;
+  int instance = 0;
+  for (const ViewDef* v : kept) {
+    Result<std::vector<Candidate>> expanded =
+        ExpandView(*v, summary_, qi.labels, options_.expansion);
+    if (!expanded.ok()) continue;  // over-budget views are skipped
+    for (Candidate& c : *expanded) {
+      RetagPieces(&c.pieces, StrFormat("i%d.", instance++));
+      m0.push_back(std::move(c));
+      if (m0.size() >= options_.max_candidates) break;
+    }
+    if (m0.size() >= options_.max_candidates) break;
+  }
+  // Search-order heuristic: candidates whose attributed nodes sit on exact
+  // query paths first — the budgeted join enumeration reaches the useful
+  // combinations sooner.
+  auto exactness = [&](const Candidate& c) {
+    for (const Piece& piece : c.pieces) {
+      for (const ColumnBinding& b : piece.bindings) {
+        if (b.skeleton && b.path != kInvalidPath &&
+            qi.assoc_exact[static_cast<size_t>(b.path)]) {
+          return 0;
+        }
+      }
+    }
+    return 1;
+  };
+  std::stable_sort(m0.begin(), m0.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     return exactness(a) < exactness(b);
+                   });
+
+  if (stats != nullptr) {
+    stats->candidates_built = m0.size();
+    stats->setup_ms = total_timer.ElapsedMillis();
+  }
+
+  std::vector<Rewriting> results;
+  RewriteSession session(summary_, options_, qi, stats);
+  auto note_first = [&]() {
+    if (stats != nullptr && stats->first_ms < 0 && !results.empty()) {
+      stats->first_ms = total_timer.ElapsedMillis();
+    }
+  };
+
+  // ---- Phase A: single-view candidates. ----
+  for (const Candidate& c : m0) {
+    if (session.TryMatch(c, &results)) break;
+    note_first();
+    if (total_timer.ElapsedMillis() > options_.time_budget_ms) break;
+  }
+  note_first();
+
+  // ---- Phase B: left-deep join enumeration (Algorithm 1 lines 2-11). ----
+  std::unordered_set<std::string> seen_patterns;
+  for (const Candidate& c : m0) seen_patterns.insert(c.CanonicalString());
+
+  std::vector<Candidate> m = {};
+  for (Candidate& c : m0) m.push_back(std::move(c));
+  size_t frontier_begin = 0;
+  size_t total_candidates = m.size();
+  bool done = results.size() >= options_.max_results ||
+              (options_.stop_at_first && !results.empty());
+
+  while (!done && frontier_begin < m.size() &&
+         total_timer.ElapsedMillis() < options_.time_budget_ms) {
+    size_t frontier_end = m.size();
+    for (size_t ci = frontier_begin; ci < frontier_end && !done; ++ci) {
+      for (size_t cj = 0; cj < frontier_end && !done; ++cj) {
+        // Right operand drawn from the initial set only (left-deep plans).
+        if (m[cj].used_views.size() != 1) continue;
+        if (static_cast<int32_t>(m[ci].used_views.size() +
+                                 m[cj].used_views.size()) >
+            options_.max_plan_views) {
+          continue;
+        }
+        if (total_timer.ElapsedMillis() > options_.time_budget_ms) break;
+
+        auto relevant = [&](const Candidate& cand, const std::string& prefix) {
+          for (const Piece& piece : cand.pieces) {
+            const ColumnBinding* binding = piece.Find(prefix, kAttrId);
+            if (binding != nullptr && binding->skeleton &&
+                qi.join_relevant[static_cast<size_t>(binding->path)]) {
+              return true;
+            }
+          }
+          return false;
+        };
+        std::vector<std::string> pi;
+        for (const std::string& p : m[ci].JoinablePrefixes()) {
+          if (relevant(m[ci], p)) pi.push_back(p);
+        }
+        std::vector<std::string> pj;
+        for (const std::string& p : m[cj].JoinablePrefixes()) {
+          if (relevant(m[cj], p)) pj.push_back(p);
+        }
+        for (const std::string& a : pi) {
+          for (const std::string& b : pj) {
+            for (JoinType type :
+                 {JoinType::kEq, JoinType::kParent, JoinType::kAncestor}) {
+              for (bool i_is_ancestor : {true, false}) {
+                if (type == JoinType::kEq && !i_is_ancestor) continue;
+                if (done) break;
+                const Candidate& anc = i_is_ancestor ? m[ci] : m[cj];
+                const Candidate& desc = i_is_ancestor ? m[cj] : m[ci];
+                const std::string& anc_prefix = i_is_ancestor ? a : b;
+                const std::string& desc_prefix = i_is_ancestor ? b : a;
+
+                int32_t shift = anc.plan->schema.size();
+                std::vector<Piece> merged;
+                for (const Piece& pa : anc.pieces) {
+                  for (const Piece& pb : desc.pieces) {
+                    Piece out;
+                    if (MergePieces(summary_, pa, anc_prefix, pb, desc_prefix,
+                                    type, shift, &out)) {
+                      merged.push_back(std::move(out));
+                    }
+                    if (merged.size() > options_.max_pieces) break;
+                  }
+                  if (merged.size() > options_.max_pieces) break;
+                }
+                if (merged.empty() || merged.size() > options_.max_pieces) {
+                  continue;
+                }
+
+                Candidate joined;
+                joined.pieces = std::move(merged);
+                joined.used_views = anc.used_views;
+                joined.used_views.insert(joined.used_views.end(),
+                                         desc.used_views.begin(),
+                                         desc.used_views.end());
+                // Retag the right side to keep prefixes unique. The merge
+                // used original prefixes; retag only newly absorbed ones...
+                // prefixes are already unique per instance, and both sides
+                // came from distinct instances, so no action is needed here.
+                int32_t anc_col =
+                    anc.pieces[0].Find(anc_prefix, kAttrId)->col;
+                int32_t desc_col =
+                    desc.pieces[0].Find(desc_prefix, kAttrId)->col;
+                PlanPtr left = anc.plan->Clone();
+                PlanPtr right = desc.plan->Clone();
+                PlanPtr jplan;
+                switch (type) {
+                  case JoinType::kEq:
+                    jplan = MakeIdEqJoin(std::move(left), std::move(right),
+                                         anc_col, desc_col);
+                    break;
+                  case JoinType::kParent:
+                    jplan = MakeStructJoin(std::move(left), std::move(right),
+                                           anc_col, desc_col,
+                                           StructAxis::kParent);
+                    break;
+                  case JoinType::kAncestor:
+                    jplan = MakeStructJoin(std::move(left), std::move(right),
+                                           anc_col, desc_col,
+                                           StructAxis::kAncestor);
+                    break;
+                }
+                joined.plan = std::move(jplan);
+
+                // Prop 3.5: skip when the joined pattern set coincides with
+                // a child's; global dedup otherwise.
+                std::string canon = joined.CanonicalString();
+                if (options_.prune_same_pattern &&
+                    (canon == anc.CanonicalString() ||
+                     canon == desc.CanonicalString())) {
+                  continue;
+                }
+                if (!seen_patterns.insert(canon).second) continue;
+                if (total_candidates >= options_.max_candidates) {
+                  done = true;
+                  break;
+                }
+                ++total_candidates;
+                if (stats != nullptr) ++stats->join_candidates;
+
+                done = session.TryMatch(joined, &results) || done;
+                note_first();
+                m.push_back(std::move(joined));
+              }
+              if (done) break;
+            }
+            if (done) break;
+          }
+          if (done) break;
+        }
+      }
+    }
+    frontier_begin = frontier_end;
+    done = done || results.size() >= options_.max_results ||
+           (options_.stop_at_first && !results.empty());
+  }
+
+  // ---- Union phase (Algorithm 1 lines 13-14). ----
+  if (!(options_.stop_at_first && !results.empty())) {
+    session.UnionPhase(&results);
+    note_first();
+  }
+
+  if (stats != nullptr) {
+    stats->results = results.size();
+    stats->total_ms = total_timer.ElapsedMillis();
+  }
+  return results;
+}
+
+}  // namespace svx

@@ -1,0 +1,92 @@
+// View-based rewriting under summary constraints — Algorithm 1 of §3.3 with
+// the §4.6 extensions:
+//   * plan-pattern pairs, where the pattern side is a union of pinned
+//     pieces (Prop 3.3), kept S-equivalent to the plan by construction;
+//   * left-deep join enumeration over ⋈=, ⋈≺, ⋈≺≺ on stored (or §4.6
+//     derived) structural IDs;
+//   * pruning: Prop 3.4 (unrelated views), Prop 3.5 (join result pattern
+//     coincides with a child's), Prop 3.7 (return-node path compatibility),
+//     S-unsatisfiable join pieces discarded (line 6 context of Algorithm 1);
+//   * §4.6 adaptations: label selections on L columns, value selections on
+//     V columns, content unfolding (navC), virtual parent IDs (navfID),
+//     group-by re-nesting for the query's nested edges;
+//   * the union phase (Algorithm 1 lines 13-14) over partial covers.
+#ifndef SVX_REWRITING_REWRITER_H_
+#define SVX_REWRITING_REWRITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/plan.h"
+#include "src/containment/containment.h"
+#include "src/rewriting/annotated_pattern.h"
+#include "src/rewriting/view.h"
+#include "src/summary/summary.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+/// Rewriter tuning. The Prop 3.6 bound (n(Q)-1)*|S| is astronomically loose
+/// in practice; `max_plan_views` is the practical cap.
+struct RewriterOptions {
+  ContainmentOptions containment;
+  ExpansionOptions expansion;
+  int32_t max_plan_views = 3;
+  size_t max_candidates = 2000;
+  size_t max_pieces = 128;     // per joined candidate
+  size_t max_assignments = 64;  // return-node choices tested per candidate
+  size_t max_results = 8;
+  size_t max_union_size = 3;
+  size_t max_union_partials = 24;
+  bool prune_views = true;       // Prop 3.4
+  bool prune_same_pattern = true;  // Prop 3.5
+  bool stop_at_first = false;
+  double time_budget_ms = 60000;
+};
+
+/// One equivalent rewriting: a plan whose output columns are exactly the
+/// query's return-node attribute columns, in query preorder.
+struct Rewriting {
+  PlanPtr plan;
+  std::string compact;  // e.g. "(V1 ⋈= V2) ∪ V3"
+};
+
+/// Measurements for the §5 experiments (Figure 15).
+struct RewriteStats {
+  size_t views_total = 0;
+  size_t views_kept = 0;  // after Prop 3.4 pruning
+  size_t candidates_built = 0;
+  size_t join_candidates = 0;
+  size_t equivalence_tests = 0;
+  size_t results = 0;
+  double setup_ms = 0;   // expansion + pruning
+  double first_ms = -1;  // time to first rewriting (includes setup)
+  double total_ms = 0;
+};
+
+/// Rewrites queries over a fixed summary and view set.
+class Rewriter {
+ public:
+  Rewriter(const Summary& summary, RewriterOptions options = {});
+
+  /// Registers a view definition (extents bind at execution time via the
+  /// Catalog).
+  void AddView(ViewDef def);
+
+  int32_t num_views() const { return static_cast<int32_t>(views_.size()); }
+
+  /// Finds equivalent rewritings of `q` (up to options.max_results).
+  /// Returns an empty vector when none exists within the budgets.
+  Result<std::vector<Rewriting>> Rewrite(const Pattern& q,
+                                         RewriteStats* stats = nullptr);
+
+ private:
+  const Summary& summary_;
+  RewriterOptions options_;
+  std::vector<ViewDef> views_;
+};
+
+}  // namespace svx
+
+#endif  // SVX_REWRITING_REWRITER_H_

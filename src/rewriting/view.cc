@@ -1,0 +1,189 @@
+#include "src/rewriting/view.h"
+
+#include "src/util/strings.h"
+
+namespace svx {
+
+namespace {
+
+std::string ColumnPrefix(const std::string& view_name, PatternNodeId n) {
+  return StrFormat("%s.n%d", view_name.c_str(), n);
+}
+
+/// Appends the attribute columns of `n` itself.
+void AppendOwnColumns(const Pattern& p, PatternNodeId n,
+                      const std::string& view_name, Schema* schema) {
+  const Pattern::Node& node = p.node(n);
+  std::string prefix = ColumnPrefix(view_name, n);
+  if (node.attrs & kAttrId) {
+    schema->Append({prefix + ".id", ColumnKind::kId, nullptr});
+  }
+  if (node.attrs & kAttrLabel) {
+    schema->Append({prefix + ".l", ColumnKind::kLabel, nullptr});
+  }
+  if (node.attrs & kAttrValue) {
+    schema->Append({prefix + ".v", ColumnKind::kValue, nullptr});
+  }
+  if (node.attrs & kAttrContent) {
+    schema->Append({prefix + ".c", ColumnKind::kContent, nullptr});
+  }
+}
+
+/// Schema of the pattern subtree rooted at `n` (own attrs, then children;
+/// nested children collapse into one nested column).
+Schema SubtreeSchema(const Pattern& p, PatternNodeId n,
+                     const std::string& view_name) {
+  Schema schema;
+  AppendOwnColumns(p, n, view_name, &schema);
+  for (PatternNodeId m : p.node(n).children) {
+    Schema child = SubtreeSchema(p, m, view_name);
+    if (p.node(m).nested) {
+      schema.Append({ColumnPrefix(view_name, m) + ".g", ColumnKind::kNested,
+                     std::make_shared<Schema>(std::move(child))});
+    } else {
+      for (const ColumnSpec& c : child.columns()) schema.Append(c);
+    }
+  }
+  return schema;
+}
+
+class Materializer {
+ public:
+  Materializer(const Pattern& p, const std::string& view_name,
+               const Document& doc)
+      : p_(p), view_name_(view_name), doc_(doc) {}
+
+  Table Run() {
+    Schema schema = SubtreeSchema(p_, p_.root(), view_name_);
+    Table out(schema);
+    if (Matches(p_.root(), doc_.root())) {
+      for (Tuple& row : MatchSub(p_.root(), doc_.root())) {
+        out.AddRow(std::move(row));
+      }
+    }
+    out.Deduplicate();
+    return out;
+  }
+
+ private:
+  bool Matches(PatternNodeId pn, NodeIndex dn) const {
+    const Pattern::Node& node = p_.node(pn);
+    if (!node.IsWildcard() && doc_.label(dn) != node.label) return false;
+    if (node.pred.IsTrue()) return true;
+    return doc_.has_value(dn) && node.pred.ContainsValue(doc_.value(dn));
+  }
+
+  std::vector<NodeIndex> Candidates(PatternNodeId pn, NodeIndex dn) const {
+    const Pattern::Node& node = p_.node(pn);
+    std::vector<NodeIndex> out;
+    if (node.axis == Axis::kChild) {
+      for (NodeIndex c = doc_.first_child(dn); c != kInvalidNode;
+           c = doc_.next_sibling(c)) {
+        if (Matches(pn, c)) out.push_back(c);
+      }
+    } else {
+      for (NodeIndex c = dn + 1; c < doc_.subtree_end(dn); ++c) {
+        if (Matches(pn, c)) out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  /// Width (column count) of the subtree rooted at `n` at this nesting
+  /// level (nested children count as one column).
+  int32_t SubtreeWidth(PatternNodeId n) const {
+    const Pattern::Node& node = p_.node(n);
+    int32_t w = __builtin_popcount(node.attrs);
+    for (PatternNodeId m : node.children) {
+      w += p_.node(m).nested ? 1 : SubtreeWidth(m);
+    }
+    return w;
+  }
+
+  Tuple OwnValues(PatternNodeId pn, NodeIndex dn) const {
+    const Pattern::Node& node = p_.node(pn);
+    Tuple out;
+    if (node.attrs & kAttrId) out.emplace_back(doc_.ord_path(dn));
+    if (node.attrs & kAttrLabel) out.emplace_back(doc_.label(dn));
+    if (node.attrs & kAttrValue) {
+      if (doc_.has_value(dn)) {
+        out.emplace_back(doc_.value(dn));
+      } else {
+        out.emplace_back();
+      }
+    }
+    if (node.attrs & kAttrContent) out.emplace_back(NodeRef{&doc_, dn});
+    return out;
+  }
+
+  /// Rows of the subtree pattern rooted at `pn`, given pn bound to `dn`.
+  /// Requires Matches(pn, dn).
+  std::vector<Tuple> MatchSub(PatternNodeId pn, NodeIndex dn) {
+    std::vector<Tuple> rows{OwnValues(pn, dn)};
+    for (PatternNodeId m : p_.node(pn).children) {
+      const Pattern::Node& child = p_.node(m);
+      std::vector<Tuple> sub;
+      for (NodeIndex cand : Candidates(m, dn)) {
+        std::vector<Tuple> s = MatchSub(m, cand);
+        sub.insert(sub.end(), std::make_move_iterator(s.begin()),
+                   std::make_move_iterator(s.end()));
+      }
+      if (child.nested) {
+        // One nested-table value groups all bindings (possibly none —
+        // Figure 12 keeps empty tables).
+        Schema nested_schema = SubtreeSchema(p_, m, view_name_);
+        auto nested = std::make_shared<Table>(nested_schema);
+        for (Tuple& t : sub) nested->AddRow(std::move(t));
+        nested->Deduplicate();
+        Value v{TablePtr(nested)};
+        for (Tuple& r : rows) r.push_back(v);
+        continue;
+      }
+      if (sub.empty()) {
+        if (!child.optional) return {};
+        // ⊥-padding (§4.3).
+        sub.emplace_back(static_cast<size_t>(SubtreeWidth(m)));
+      }
+      // Cartesian combination.
+      std::vector<Tuple> combined;
+      combined.reserve(rows.size() * sub.size());
+      for (const Tuple& a : rows) {
+        for (const Tuple& b : sub) {
+          Tuple r = a;
+          r.insert(r.end(), b.begin(), b.end());
+          combined.push_back(std::move(r));
+        }
+      }
+      rows = std::move(combined);
+    }
+    return rows;
+  }
+
+  const Pattern& p_;
+  const std::string& view_name_;
+  const Document& doc_;
+};
+
+}  // namespace
+
+Schema ViewSchema(const Pattern& pattern, const std::string& view_name) {
+  return SubtreeSchema(pattern, pattern.root(), view_name);
+}
+
+Table MaterializeView(const Pattern& pattern, const std::string& view_name,
+                      const Document& doc) {
+  return Materializer(pattern, view_name, doc).Run();
+}
+
+std::vector<MaterializedView> MaterializeAll(const std::vector<ViewDef>& defs,
+                                             const Document& doc) {
+  std::vector<MaterializedView> out;
+  out.reserve(defs.size());
+  for (const ViewDef& def : defs) {
+    out.push_back(
+        {def, MaterializeView(def.pattern, def.name, doc)});
+  }
+  return out;
+}
+
+}  // namespace svx

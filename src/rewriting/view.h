@@ -1,0 +1,50 @@
+// Materialized XML views (the XAMs of [3,4]): a view is defined by an
+// extended tree pattern (§4.4) and its extent is the nested, null-padded
+// table obtained by evaluating the pattern over a document (§1, Figures 11
+// and 12).
+//
+// Extent layout: one column per attribute of each return node, in pattern
+// preorder ("<view>.n<node>.<attr>"), except that the columns of a subtree
+// hanging under a nested edge are grouped into a single nested-table column
+// "<view>.n<node>.g" (Figure 12: attributes V3, C3 nest under A3).
+#ifndef SVX_REWRITING_VIEW_H_
+#define SVX_REWRITING_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/relation.h"
+#include "src/pattern/pattern.h"
+#include "src/util/status.h"
+#include "src/xml/document.h"
+
+namespace svx {
+
+/// A view definition: a name and an extended tree pattern.
+struct ViewDef {
+  std::string name;
+  Pattern pattern;
+};
+
+/// The extent schema of a view pattern (see layout above).
+Schema ViewSchema(const Pattern& pattern, const std::string& view_name);
+
+/// Evaluates `pattern` over `doc`, producing the extent. IDs are ORDPATHs,
+/// labels/values strings, content columns references into `doc`.
+Table MaterializeView(const Pattern& pattern, const std::string& view_name,
+                      const Document& doc);
+
+/// A named view together with its materialized extent.
+struct MaterializedView {
+  ViewDef def;
+  Table extent;
+};
+
+/// Materializes every definition over `doc`.
+std::vector<MaterializedView> MaterializeAll(const std::vector<ViewDef>& defs,
+                                             const Document& doc);
+
+}  // namespace svx
+
+#endif  // SVX_REWRITING_VIEW_H_

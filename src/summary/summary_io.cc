@@ -1,0 +1,132 @@
+#include "src/summary/summary_io.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace svx {
+
+namespace {
+
+class SummaryParser {
+ public:
+  explicit SummaryParser(std::string_view text)
+      : text_(text), summary_(new Summary()) {}
+
+  Result<std::unique_ptr<Summary>> Parse() {
+    SkipSpace();
+    Status s = ParseNode(kInvalidPath);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StrFormat("trailing input at offset %zu", pos_));
+    }
+    summary_->Seal();
+    return std::move(summary_);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r' ||
+            text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  static bool IsLabelStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '@' || c == '#';
+  }
+  static bool IsLabelChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '@' || c == '#';
+  }
+
+  Status ParseNode(PathId parent) {
+    if (pos_ >= text_.size() || !IsLabelStart(text_[pos_])) {
+      return Status::ParseError(
+          StrFormat("expected label at offset %zu", pos_));
+    }
+    size_t start = pos_;
+    ++pos_;
+    while (pos_ < text_.size() && IsLabelChar(text_[pos_])) ++pos_;
+    std::string_view label = text_.substr(start, pos_ - start);
+
+    bool strong = false;
+    bool one_to_one = false;
+    if (pos_ < text_.size() && text_[pos_] == '!') {
+      strong = true;
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '!') {
+        one_to_one = true;
+        ++pos_;
+      }
+    }
+    if (parent == kInvalidPath && strong) {
+      return Status::ParseError("the root cannot hang under a strong edge");
+    }
+
+    Summary& s = *summary_;
+    if (parent != kInvalidPath &&
+        s.FindChild(parent, std::string(label)) != kInvalidPath) {
+      return Status::ParseError(
+          StrFormat("duplicate child label '%s' in summary",
+                    std::string(label).c_str()));
+    }
+    PathId id = s.AppendNode(parent, label, strong, one_to_one);
+
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      SkipSpace();
+      while (pos_ < text_.size() && text_[pos_] != ')') {
+        Status st = ParseNode(id);
+        if (!st.ok()) return st;
+        SkipSpace();
+      }
+      if (pos_ >= text_.size()) return Status::ParseError("missing ')'");
+      ++pos_;
+      SkipSpace();
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::unique_ptr<Summary> summary_;
+};
+
+void NodeToString(const Summary& s, PathId n, std::string* out) {
+  out->append(s.label(n));
+  if (n != s.root() && s.one_to_one(n)) {
+    out->append("!!");
+  } else if (n != s.root() && s.strong_edge(n)) {
+    out->append("!");
+  }
+  const auto& cs = s.children(n);
+  if (!cs.empty()) {
+    out->push_back('(');
+    for (size_t i = 0; i < cs.size(); ++i) {
+      if (i > 0) out->push_back(' ');
+      NodeToString(s, cs[i], out);
+    }
+    out->push_back(')');
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Summary>> ParseSummary(std::string_view text) {
+  return SummaryParser(text).Parse();
+}
+
+std::string SummaryToString(const Summary& summary) {
+  std::string out;
+  if (summary.size() > 0) NodeToString(summary, summary.root(), &out);
+  return out;
+}
+
+}  // namespace svx

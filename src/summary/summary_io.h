@@ -1,0 +1,27 @@
+// Text serialization for summaries, so tests and benches can state a summary
+// directly (as the paper's figures do) instead of deriving it from a
+// document. Syntax: parenthesized tree of labels, where a label suffixed
+// with '!' hangs under a strong edge and '!!' under a one-to-one edge
+// (one-to-one implies strong):
+//   "a(b!(c(d b!) e) f!)"
+#ifndef SVX_SUMMARY_SUMMARY_IO_H_
+#define SVX_SUMMARY_SUMMARY_IO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/summary/summary.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+/// Parses the summary notation above.
+Result<std::unique_ptr<Summary>> ParseSummary(std::string_view text);
+
+/// Serializes `summary` in the same notation.
+std::string SummaryToString(const Summary& summary);
+
+}  // namespace svx
+
+#endif  // SVX_SUMMARY_SUMMARY_IO_H_

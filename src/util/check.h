@@ -1,0 +1,29 @@
+// Internal invariant checking. SVX_CHECK aborts with a message on violation;
+// it is active in all build types (database-style defensive checks on cheap
+// invariants, per the RocksDB/Arrow practice of never shipping silent
+// corruption).
+#ifndef SVX_UTIL_CHECK_H_
+#define SVX_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SVX_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SVX_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define SVX_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SVX_CHECK failed: %s (%s) at %s:%d\n", #cond,  \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // SVX_UTIL_CHECK_H_

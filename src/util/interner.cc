@@ -1,0 +1,26 @@
+#include "src/util/interner.h"
+
+#include "src/util/check.h"
+
+namespace svx {
+
+int32_t StringInterner::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+int32_t StringInterner::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNone : it->second;
+}
+
+const std::string& StringInterner::Get(int32_t id) const {
+  SVX_CHECK(id >= 0 && id < size());
+  return strings_[static_cast<size_t>(id)];
+}
+
+}  // namespace svx

@@ -1,0 +1,39 @@
+// String interning: maps strings to dense int32 ids and back. Used for
+// element labels and (optionally) atomic values, so that tree algorithms
+// compare ids instead of strings.
+#ifndef SVX_UTIL_INTERNER_H_
+#define SVX_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace svx {
+
+/// Dense string <-> id bidirectional map. Ids start at 0 and are stable.
+class StringInterner {
+ public:
+  /// Id used for "no string".
+  static constexpr int32_t kNone = -1;
+
+  /// Returns the id of `s`, interning it if new.
+  int32_t Intern(std::string_view s);
+
+  /// Returns the id of `s`, or kNone if it was never interned.
+  int32_t Find(std::string_view s) const;
+
+  /// Returns the string for `id`. Requires 0 <= id < size().
+  const std::string& Get(int32_t id) const;
+
+  int32_t size() const { return static_cast<int32_t>(strings_.size()); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace svx
+
+#endif  // SVX_UTIL_INTERNER_H_

@@ -1,0 +1,26 @@
+#include "src/util/rng.h"
+
+#include "src/util/check.h"
+
+namespace svx {
+
+uint64_t Rng::Next() {
+  // SplitMix64.
+  uint64_t z = (state_ += 0x9E3779B97f4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  SVX_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace svx

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. A thin wrapper over SplitMix64 (fast, reproducible across
+// platforms, unlike std::uniform_int_distribution).
+#ifndef SVX_UTIL_RNG_H_
+#define SVX_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svx {
+
+/// Reproducible RNG. Same seed => same sequence on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97f4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniformly picks one element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace svx
+
+#endif  // SVX_UTIL_RNG_H_

@@ -1,0 +1,38 @@
+// Small string helpers shared across modules.
+#ifndef SVX_UTIL_STRINGS_H_
+#define SVX_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svx {
+
+/// Splits `s` on the separator character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Parses a signed 64-bit integer; nullopt if `s` is not exactly an integer.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Escapes XML special characters (& < > " ') for text content.
+std::string XmlEscape(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace svx
+
+#endif  // SVX_UTIL_STRINGS_H_

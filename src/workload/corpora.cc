@@ -1,0 +1,186 @@
+#include "src/workload/corpora.h"
+
+#include "src/util/rng.h"
+#include "src/xml/builder.h"
+
+namespace svx {
+
+namespace {
+
+void Leaf(DocumentBuilder* b, const char* label, const std::string& value) {
+  b->StartElement(label);
+  b->AppendValue(value);
+  b->EndElement();
+}
+
+}  // namespace
+
+std::unique_ptr<Document> GenerateShakespeareLike(int acts, uint64_t seed) {
+  Rng rng(seed);
+  DocumentBuilder b;
+  b.StartElement("PLAY");
+  Leaf(&b, "TITLE", "The Tragedy of Structured Views");
+  b.StartElement("FM");
+  for (int i = 0; i < 3; ++i) Leaf(&b, "P", "front matter");
+  b.EndElement();
+  b.StartElement("PERSONAE");
+  Leaf(&b, "TITLE", "Dramatis Personae");
+  for (int i = 0; i < 4; ++i) Leaf(&b, "PERSONA", "Person " + std::to_string(i));
+  b.StartElement("PGROUP");
+  for (int i = 0; i < 2; ++i) Leaf(&b, "PERSONA", "Grouped");
+  Leaf(&b, "GRPDESCR", "attendants");
+  b.EndElement();
+  b.EndElement();
+  Leaf(&b, "SCNDESCR", "SCENE: a database lab");
+  Leaf(&b, "PLAYSUBT", "VIEWS");
+  b.StartElement("INDUCT");
+  Leaf(&b, "TITLE", "Induction");
+  b.StartElement("SPEECH");
+  Leaf(&b, "SPEAKER", "Narrator");
+  Leaf(&b, "LINE", "In fair Verona where we lay our scene");
+  b.EndElement();
+  b.EndElement();
+  for (int a = 0; a < acts; ++a) {
+    b.StartElement("ACT");
+    Leaf(&b, "TITLE", "ACT " + std::to_string(a + 1));
+    int scenes = static_cast<int>(rng.Uniform(2, 4));
+    for (int s = 0; s < scenes; ++s) {
+      b.StartElement("SCENE");
+      Leaf(&b, "TITLE", "SCENE " + std::to_string(s + 1));
+      if (rng.Bernoulli(0.5)) Leaf(&b, "STAGEDIR", "Enter the DBA");
+      int speeches = static_cast<int>(rng.Uniform(2, 5));
+      for (int sp = 0; sp < speeches; ++sp) {
+        b.StartElement("SPEECH");
+        Leaf(&b, "SPEAKER", "Speaker " + std::to_string(sp % 3));
+        int lines = static_cast<int>(rng.Uniform(1, 4));
+        for (int l = 0; l < lines; ++l) {
+          b.StartElement("LINE");
+          b.AppendValue("line of verse");
+          if (rng.Bernoulli(0.2)) Leaf(&b, "STAGEDIR", "aside");
+          b.EndElement();
+        }
+        b.EndElement();
+      }
+      b.EndElement();
+    }
+    b.EndElement();
+  }
+  b.StartElement("EPILOGUE");
+  Leaf(&b, "TITLE", "Epilogue");
+  b.StartElement("SPEECH");
+  Leaf(&b, "SPEAKER", "Chorus");
+  Leaf(&b, "LINE", "thus ends the play");
+  b.EndElement();
+  b.EndElement();
+  b.EndElement();
+  return b.Finish();
+}
+
+std::unique_ptr<Document> GenerateNasaLike(int datasets, uint64_t seed) {
+  Rng rng(seed);
+  DocumentBuilder b;
+  b.StartElement("datasets");
+  for (int i = 0; i < datasets; ++i) {
+    b.StartElement("dataset");
+    b.StartElement("@subject");
+    b.AppendValue("astronomy");
+    b.EndElement();
+    Leaf(&b, "title", "catalog " + std::to_string(i));
+    if (rng.Bernoulli(0.6)) Leaf(&b, "altname", "alt " + std::to_string(i));
+    b.StartElement("author");
+    Leaf(&b, "initial", "J");
+    Leaf(&b, "lastname", "Kepler");
+    b.EndElement();
+    b.StartElement("reference");
+    b.StartElement("source");
+    b.StartElement("journal");
+    Leaf(&b, "name", "ApJ");
+    Leaf(&b, "volume", std::to_string(rng.Uniform(1, 400)));
+    b.EndElement();
+    b.EndElement();
+    b.EndElement();
+    if (rng.Bernoulli(0.5)) {
+      b.StartElement("keywords");
+      Leaf(&b, "keyword", "stars");
+      b.EndElement();
+    }
+    Leaf(&b, "revision", std::to_string(rng.Uniform(1, 9)));
+    b.EndElement();
+  }
+  b.EndElement();
+  return b.Finish();
+}
+
+std::unique_ptr<Document> GenerateSwissProtLike(int entries, uint64_t seed) {
+  Rng rng(seed);
+  DocumentBuilder b;
+  b.StartElement("root");
+  for (int i = 0; i < entries; ++i) {
+    b.StartElement("Entry");
+    b.StartElement("@id");
+    b.AppendValue("P" + std::to_string(10000 + i));
+    b.EndElement();
+    Leaf(&b, "AC", "Q" + std::to_string(rng.Uniform(10000, 99999)));
+    b.StartElement("Mod");
+    Leaf(&b, "date", "01-JAN-2005");
+    Leaf(&b, "Rel", std::to_string(rng.Uniform(1, 50)));
+    b.EndElement();
+    Leaf(&b, "Descr", "Protein kinase");
+    b.StartElement("Species");
+    b.AppendValue("Homo sapiens");
+    b.EndElement();
+    b.StartElement("Org");
+    b.AppendValue("Eukaryota");
+    b.EndElement();
+    b.StartElement("Ref");
+    b.StartElement("@num");
+    b.AppendValue(std::to_string(rng.Uniform(1, 9)));
+    b.EndElement();
+    b.StartElement("Author");
+    b.AppendValue("Smith J.");
+    b.EndElement();
+    Leaf(&b, "Cite", "J. Biol. Chem.");
+    b.StartElement("MedlineID");
+    b.AppendValue(std::to_string(rng.Uniform(1000000, 9999999)));
+    b.EndElement();
+    b.EndElement();
+    if (rng.Bernoulli(0.7)) {
+      b.StartElement("Keyword");
+      b.AppendValue("Kinase");
+      b.EndElement();
+    }
+    b.StartElement("Features");
+    int feats = static_cast<int>(rng.Uniform(1, 3));
+    for (int f = 0; f < feats; ++f) {
+      b.StartElement("DOMAIN");
+      Leaf(&b, "from", std::to_string(rng.Uniform(1, 100)));
+      Leaf(&b, "to", std::to_string(rng.Uniform(100, 300)));
+      Leaf(&b, "Descr", "catalytic");
+      b.EndElement();
+    }
+    if (rng.Bernoulli(0.5)) {
+      b.StartElement("BINDING");
+      Leaf(&b, "from", std::to_string(rng.Uniform(1, 50)));
+      Leaf(&b, "to", std::to_string(rng.Uniform(50, 99)));
+      b.EndElement();
+    }
+    if (rng.Bernoulli(0.4)) {
+      b.StartElement("TRANSMEM");
+      Leaf(&b, "from", std::to_string(rng.Uniform(1, 50)));
+      Leaf(&b, "to", std::to_string(rng.Uniform(50, 99)));
+      b.EndElement();
+    }
+    b.EndElement();
+    b.StartElement("Sequence");
+    Leaf(&b, "Length", std::to_string(rng.Uniform(100, 999)));
+    Leaf(&b, "Weight", std::to_string(rng.Uniform(10000, 99999)));
+    Leaf(&b, "CRC64", "ABCDEF0123456789");
+    Leaf(&b, "Data", "MSTNPKPQRK");
+    b.EndElement();
+    b.EndElement();
+  }
+  b.EndElement();
+  return b.Finish();
+}
+
+}  // namespace svx

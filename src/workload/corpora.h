@@ -1,0 +1,28 @@
+// Shape-alike generators for the remaining Table 1 corpora: Shakespeare's
+// plays, the NASA astronomical dataset, and SwissProt. Only the summary
+// statistics matter for the experiment (see DESIGN.md substitutions).
+#ifndef SVX_WORKLOAD_CORPORA_H_
+#define SVX_WORKLOAD_CORPORA_H_
+
+#include <memory>
+
+#include "src/xml/document.h"
+
+namespace svx {
+
+/// PLAY/ACT/SCENE/SPEECH/LINE shaped document.
+std::unique_ptr<Document> GenerateShakespeareLike(int acts = 5,
+                                                  uint64_t seed = 1);
+
+/// datasets/dataset/(title, altname, author, tableHead...) shaped document.
+std::unique_ptr<Document> GenerateNasaLike(int datasets = 20,
+                                           uint64_t seed = 2);
+
+/// SwissProt entry/(protein, gene, organism, reference, feature...) shaped
+/// document — the widest schema of Table 1 (|S| = 117).
+std::unique_ptr<Document> GenerateSwissProtLike(int entries = 30,
+                                                uint64_t seed = 3);
+
+}  // namespace svx
+
+#endif  // SVX_WORKLOAD_CORPORA_H_

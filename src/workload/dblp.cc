@@ -1,0 +1,104 @@
+#include "src/workload/dblp.h"
+
+#include "src/util/rng.h"
+#include "src/xml/builder.h"
+
+namespace svx {
+
+namespace {
+
+const char* const kTypes[] = {"article",       "inproceedings", "proceedings",
+                              "book",          "incollection",  "phdthesis",
+                              "mastersthesis", "www"};
+
+const char* const kNames[] = {"Codd",  "Gray",   "Ullman", "Widom",
+                              "Abiteboul", "Suciu", "Halevy", "Naughton"};
+
+class DblpBuilder {
+ public:
+  explicit DblpBuilder(const DblpOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  std::unique_ptr<Document> Build() {
+    b_.StartElement("dblp");
+    for (const char* type : kTypes) {
+      for (int i = 0; i < options_.per_type; ++i) Publication(type);
+    }
+    b_.EndElement();
+    return b_.Finish();
+  }
+
+ private:
+  void Leaf(const char* label, const std::string& value) {
+    b_.StartElement(label);
+    b_.AppendValue(value);
+    b_.EndElement();
+  }
+
+  std::string Name() { return kNames[rng_.Uniform(0, 7)]; }
+  std::string Number(int lo, int hi) {
+    return std::to_string(rng_.Uniform(lo, hi));
+  }
+
+  void Publication(const std::string& type) {
+    b_.StartElement(type);
+    b_.StartElement("@key");
+    b_.AppendValue(type + "/" + Number(1, 9999));
+    b_.EndElement();
+    int authors = static_cast<int>(rng_.Uniform(1, 3));
+    for (int a = 0; a < authors; ++a) Leaf("author", Name());
+    Leaf("title", "On " + Name() + " structures");
+    Leaf("year", Number(1980, options_.snapshot_2005 ? 2005 : 2002));
+    if (type == "article") {
+      Leaf("journal", "TODS");
+      Leaf("volume", Number(1, 30));
+      if (rng_.Bernoulli(0.7)) Leaf("number", Number(1, 12));
+      Leaf("pages", Number(1, 100) + "-" + Number(101, 200));
+    } else if (type == "inproceedings" || type == "incollection") {
+      Leaf("booktitle", "SIGMOD");
+      Leaf("pages", Number(1, 100) + "-" + Number(101, 200));
+      if (rng_.Bernoulli(0.5)) Leaf("crossref", "conf/" + Number(1, 99));
+    } else if (type == "proceedings" || type == "book") {
+      Leaf("publisher", "ACM");
+      if (rng_.Bernoulli(0.5)) Leaf("isbn", Number(1000000, 9999999));
+      if (rng_.Bernoulli(0.5)) Leaf("editor", Name());
+    } else if (type == "phdthesis" || type == "mastersthesis") {
+      Leaf("school", "Stanford");
+    }
+    if (rng_.Bernoulli(0.6)) Leaf("url", "db/" + type + "/" + Number(1, 999));
+    if (rng_.Bernoulli(0.3)) {
+      int cites = static_cast<int>(rng_.Uniform(1, 3));
+      for (int c = 0; c < cites; ++c) Leaf("cite", "ref" + Number(1, 999));
+    }
+    if (options_.snapshot_2005) {
+      // Fields that appeared as DBLP grew (Table 1: |S| 145 -> 159).
+      if (rng_.Bernoulli(0.7)) Leaf("ee", "http://doi.org/" + Number(1, 999));
+      if (type == "www") Leaf("note", "home page");
+      if (type == "article" && rng_.Bernoulli(0.2)) {
+        Leaf("month", Number(1, 12));
+      }
+      if ((type == "book" || type == "proceedings") && rng_.Bernoulli(0.3)) {
+        Leaf("series", "LNCS");
+      }
+      if (type == "inproceedings" && rng_.Bernoulli(0.2)) {
+        Leaf("month", Number(1, 12));
+      }
+      if (type == "incollection" && rng_.Bernoulli(0.2)) {
+        Leaf("chapter", Number(1, 20));
+      }
+    }
+    b_.EndElement();
+  }
+
+  DblpOptions options_;
+  Rng rng_;
+  DocumentBuilder b_;
+};
+
+}  // namespace
+
+std::unique_ptr<Document> GenerateDblp(const DblpOptions& options) {
+  return DblpBuilder(options).Build();
+}
+
+}  // namespace svx

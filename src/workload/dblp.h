@@ -1,0 +1,26 @@
+// Synthetic DBLP-like document generator (substitute for the 2002/2005 DBLP
+// snapshots of Table 1; see DESIGN.md). Eight publication types, each with
+// the usual bibliographic fields; the 2005-style option adds the few extra
+// fields that grew the real summary from 145 to 159 nodes.
+#ifndef SVX_WORKLOAD_DBLP_H_
+#define SVX_WORKLOAD_DBLP_H_
+
+#include <memory>
+
+#include "src/xml/document.h"
+
+namespace svx {
+
+struct DblpOptions {
+  /// Number of publications per type.
+  int per_type = 10;
+  uint64_t seed = 7;
+  /// Adds the later-era fields (electronic editions, extra relations).
+  bool snapshot_2005 = false;
+};
+
+std::unique_ptr<Document> GenerateDblp(const DblpOptions& options);
+
+}  // namespace svx
+
+#endif  // SVX_WORKLOAD_DBLP_H_

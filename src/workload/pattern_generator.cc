@@ -1,0 +1,150 @@
+#include "src/workload/pattern_generator.h"
+
+#include <algorithm>
+
+namespace svx {
+
+namespace {
+
+/// One generation attempt: grow a tree of paths along the summary, then
+/// decorate. Returns an empty pattern on a dead end.
+Pattern TryGenerate(const Summary& summary, const PatternGenOptions& options,
+                    Rng* rng) {
+  struct NodePlan {
+    PathId path;
+    int parent;      // index into plan
+    bool descendant;
+    int children = 0;
+  };
+  std::vector<NodePlan> plan;
+  plan.push_back({summary.root(), -1, false});
+  std::vector<int> returns;
+
+  // Seed the return nodes first: pick a random path per requested label and
+  // anchor it under a random ancestor already in the plan (the root always
+  // qualifies), so the fixed return labels are always reachable.
+  for (int i = 0; i < options.num_return && !options.return_labels.empty();
+       ++i) {
+    const std::string& label =
+        options.return_labels[static_cast<size_t>(i) %
+                              options.return_labels.size()];
+    std::vector<PathId> candidates;
+    for (PathId s = 0; s < summary.size(); ++s) {
+      if (summary.label(s) == label) candidates.push_back(s);
+    }
+    if (candidates.empty()) return Pattern();
+    PathId target = candidates[static_cast<size_t>(rng->Uniform(
+        0, static_cast<int64_t>(candidates.size()) - 1))];
+    if (target == summary.root()) {
+      returns.push_back(0);
+      continue;
+    }
+    std::vector<int> anchors;
+    for (size_t k = 0; k < plan.size(); ++k) {
+      if (plan[k].children < options.max_fanout &&
+          summary.IsAncestor(plan[k].path, target)) {
+        anchors.push_back(static_cast<int>(k));
+      }
+    }
+    if (anchors.empty()) return Pattern();
+    int parent = anchors[static_cast<size_t>(rng->Uniform(
+        0, static_cast<int64_t>(anchors.size()) - 1))];
+    bool child_step = summary.parent(target) == plan[static_cast<size_t>(
+                          parent)].path &&
+                      !rng->Bernoulli(options.p_descendant);
+    plan[static_cast<size_t>(parent)].children += 1;
+    plan.push_back({target, parent, !child_step});
+    returns.push_back(static_cast<int>(plan.size()) - 1);
+    if (static_cast<int>(plan.size()) > options.num_nodes) return Pattern();
+  }
+
+  // Grow the skeleton: attach each new node under a random existing node
+  // with spare fanout, at a child path (/) or strict descendant path (//).
+  for (int i = static_cast<int>(plan.size()); i < options.num_nodes; ++i) {
+    std::vector<int> open;  // candidates with spare fanout
+    for (size_t k = 0; k < plan.size(); ++k) {
+      if (plan[k].children < options.max_fanout) {
+        open.push_back(static_cast<int>(k));
+      }
+    }
+    if (open.empty()) return Pattern();
+    int parent = open[static_cast<size_t>(rng->Uniform(
+        0, static_cast<int64_t>(open.size()) - 1))];
+    bool descendant = rng->Bernoulli(options.p_descendant);
+    PathId from = plan[static_cast<size_t>(parent)].path;
+    PathId target;
+    if (descendant) {
+      std::vector<PathId> desc = summary.Descendants(from);
+      if (desc.empty()) return Pattern();
+      target = desc[static_cast<size_t>(rng->Uniform(
+          0, static_cast<int64_t>(desc.size()) - 1))];
+    } else {
+      const std::vector<PathId>& kids = summary.children(from);
+      if (kids.empty()) return Pattern();
+      target = kids[static_cast<size_t>(rng->Uniform(
+          0, static_cast<int64_t>(kids.size()) - 1))];
+    }
+    plan[static_cast<size_t>(parent)].children += 1;
+    plan.push_back({target, parent, descendant});
+  }
+
+  // Without fixed labels, the last r nodes become the return nodes.
+  if (options.return_labels.empty()) {
+    for (int i = 0; i < options.num_return; ++i) {
+      int idx = static_cast<int>(plan.size()) - 1 - i;
+      if (idx < 0) return Pattern();
+      returns.push_back(idx);
+    }
+  }
+
+  // Materialize the pattern with the §5 decorations.
+  Pattern p;
+  std::vector<PatternNodeId> ids(plan.size(), -1);
+  for (size_t k = 0; k < plan.size(); ++k) {
+    bool is_return =
+        std::find(returns.begin(), returns.end(), static_cast<int>(k)) !=
+        returns.end();
+    std::string label = summary.label(plan[k].path);
+    // Return nodes keep their label ("we fixed the labels of the return
+    // nodes"); internal nodes may become wildcards.
+    if (!is_return && k != 0 && rng->Bernoulli(options.p_star)) label = "*";
+    Predicate pred = Predicate::True();
+    if (rng->Bernoulli(options.p_pred)) {
+      pred = Predicate::Eq(rng->Uniform(0, options.num_values - 1));
+    }
+    uint8_t attrs = is_return ? kAttrId : 0;
+    if (k == 0) {
+      ids[k] = p.SetRoot(label, attrs, pred);
+    } else {
+      bool optional = rng->Bernoulli(options.p_optional);
+      // Return nodes must not be erasable en masse: keep the edge into a
+      // return node non-optional so return labels survive (the paper keeps
+      // return nodes bound to fixed labels).
+      if (is_return) optional = false;
+      ids[k] = p.AddChild(
+          ids[static_cast<size_t>(plan[k].parent)], label,
+          plan[k].descendant ? Axis::kDescendant : Axis::kChild, attrs, pred,
+          optional, /*nested=*/false);
+    }
+  }
+  // Predicates make satisfiability value-dependent only; structure is
+  // satisfiable by construction (the plan is an embedding).
+  return p;
+}
+
+}  // namespace
+
+Result<Pattern> GeneratePattern(const Summary& summary,
+                                const PatternGenOptions& options, Rng* rng) {
+  SVX_CHECK(options.num_nodes >= 1);
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    Pattern p = TryGenerate(summary, options, rng);
+    if (p.size() == options.num_nodes &&
+        p.Arity() == options.num_return) {
+      return p;
+    }
+  }
+  return Status::NotFound("could not generate a matching pattern");
+}
+
+}  // namespace svx

@@ -1,0 +1,43 @@
+// Random satisfiable pattern generation with the §5 parameters: n nodes,
+// fanout up to 3, P(*) = 0.1, P(value predicate) = 0.2 over 10 constants,
+// P(//) = 0.5, P(optional) = 0.5, and r return nodes with fixed labels
+// ("to avoid patterns returning unrelated nodes"). Patterns are grown along
+// a randomly sampled summary embedding, which guarantees satisfiability by
+// construction.
+#ifndef SVX_WORKLOAD_PATTERN_GENERATOR_H_
+#define SVX_WORKLOAD_PATTERN_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pattern/pattern.h"
+#include "src/summary/summary.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+struct PatternGenOptions {
+  int num_nodes = 6;          // n (3..13 in Figure 13)
+  int num_return = 1;         // r (1..3 in Figure 13)
+  double p_star = 0.1;        // wildcard probability
+  double p_pred = 0.2;        // value-predicate probability
+  double p_descendant = 0.5;  // // probability
+  double p_optional = 0.5;    // optional-edge probability
+  int num_values = 10;        // distinct predicate constants
+  int max_fanout = 3;         // f
+  /// Return nodes carry these labels (cyclically); nodes on matching
+  /// summary paths are marked {id}. Empty: the last r nodes are returns.
+  std::vector<std::string> return_labels;
+  int max_attempts = 200;
+};
+
+/// Generates one satisfiable pattern over `summary`; NotFound when no
+/// pattern with the requested return labels could be built within
+/// max_attempts.
+Result<Pattern> GeneratePattern(const Summary& summary,
+                                const PatternGenOptions& options, Rng* rng);
+
+}  // namespace svx
+
+#endif  // SVX_WORKLOAD_PATTERN_GENERATOR_H_

@@ -1,0 +1,305 @@
+#include "src/workload/xmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/xml/builder.h"
+
+namespace svx {
+
+namespace {
+
+const char* const kWords[] = {
+    "gold",   "plated", "pen",      "fountain", "stainless", "steel",
+    "italic", "deep",   "columbus", "invincia", "monteverdi", "quantity",
+    "rare",   "fine",   "blue",     "ink",      "paper",      "silver"};
+
+const char* const kRegions[] = {"africa",   "asia",   "australia",
+                                "europe",   "namerica", "samerica"};
+
+class XmarkBuilder {
+ public:
+  explicit XmarkBuilder(const XmarkOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  std::unique_ptr<Document> Build() {
+    int items_per_region =
+        std::max<int>(2, static_cast<int>(4 * options_.scale));
+    int people = std::max<int>(2, static_cast<int>(6 * options_.scale));
+    int open = std::max<int>(1, static_cast<int>(3 * options_.scale));
+    int closed = std::max<int>(1, static_cast<int>(3 * options_.scale));
+    int categories = std::max<int>(1, static_cast<int>(2 * options_.scale));
+
+    b_.StartElement("site");
+    b_.StartElement("regions");
+    for (const char* region : kRegions) {
+      b_.StartElement(region);
+      for (int i = 0; i < items_per_region; ++i) Item();
+      b_.EndElement();
+    }
+    b_.EndElement();  // regions
+
+    b_.StartElement("categories");
+    for (int i = 0; i < categories; ++i) {
+      b_.StartElement("category");
+      Attr("id", NextId());
+      Leaf("name", Word());
+      Description(1);
+      b_.EndElement();
+    }
+    b_.EndElement();
+
+    b_.StartElement("catgraph");
+    for (int i = 0; i < categories; ++i) {
+      b_.StartElement("edge");
+      Attr("from", NextId());
+      Attr("to", NextId());
+      b_.EndElement();
+    }
+    b_.EndElement();
+
+    b_.StartElement("people");
+    for (int i = 0; i < people; ++i) Person();
+    b_.EndElement();
+
+    b_.StartElement("open_auctions");
+    for (int i = 0; i < open; ++i) OpenAuction();
+    b_.EndElement();
+
+    b_.StartElement("closed_auctions");
+    for (int i = 0; i < closed; ++i) ClosedAuction();
+    b_.EndElement();
+
+    b_.EndElement();  // site
+    return b_.Finish();
+  }
+
+ private:
+  std::string NextId() { return std::to_string(id_counter_++); }
+  std::string Word() { return kWords[rng_.Uniform(0, 17)]; }
+  std::string Number(int lo, int hi) {
+    return std::to_string(rng_.Uniform(lo, hi));
+  }
+
+  void Leaf(const char* label, const std::string& value) {
+    b_.StartElement(label);
+    b_.AppendValue(value);
+    b_.EndElement();
+  }
+
+  void Attr(const char* name, const std::string& value) {
+    b_.StartElement(std::string("@") + name);
+    b_.AppendValue(value);
+    b_.EndElement();
+  }
+
+  /// Mixed text with bold/keyword/emph markup (the formatting tags that make
+  /// the real XMark summary large — they nest into each other).
+  void Text(int depth) {
+    b_.StartElement("text");
+    b_.AppendValue(Word() + " " + Word());
+    if (depth > 0) {
+      if (rng_.Bernoulli(0.8)) Markup("bold", depth - 1);
+      if (rng_.Bernoulli(0.8)) Markup("keyword", depth - 1);
+      if (rng_.Bernoulli(0.8)) Markup("emph", depth - 1);
+    }
+    b_.EndElement();
+  }
+
+  void Markup(const char* label, int depth) {
+    b_.StartElement(label);
+    b_.AppendValue(Word());
+    if (depth > 0) {
+      // Formatting tags nest into one another in XMark's DTD.
+      if (rng_.Bernoulli(0.5)) Markup("bold", depth - 1);
+      if (rng_.Bernoulli(0.5)) Markup("keyword", depth - 1);
+      if (rng_.Bernoulli(0.5)) Markup("emph", depth - 1);
+    }
+    b_.EndElement();
+  }
+
+  void Parlist(int depth) {
+    b_.StartElement("parlist");
+    int n = static_cast<int>(rng_.Uniform(1, 3));
+    for (int i = 0; i < n; ++i) {
+      b_.StartElement("listitem");
+      if (depth > 0 && rng_.Bernoulli(0.6)) {
+        Parlist(depth - 1);  // the DTD recursion the paper discusses
+      } else {
+        Text(std::min(depth + 1, 2));
+      }
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Description(int depth) {
+    b_.StartElement("description");
+    if (rng_.Bernoulli(0.6)) {
+      Parlist(std::min(options_.max_recursion, depth + 1));
+    } else {
+      Text(2);
+    }
+    b_.EndElement();
+  }
+
+  void Mailbox() {
+    b_.StartElement("mailbox");
+    int mails = static_cast<int>(rng_.Uniform(0, 2));
+    for (int i = 0; i < mails; ++i) {
+      b_.StartElement("mail");
+      Leaf("from", Word() + "@example.com");
+      Leaf("to", Word() + "@example.com");
+      Leaf("date", Number(1, 28) + "/" + Number(1, 12) + "/2006");
+      Text(1);
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Item() {
+    b_.StartElement("item");
+    Attr("id", NextId());
+    Attr("featured", rng_.Bernoulli(0.3) ? "yes" : "no");
+    Leaf("location", Word());
+    Leaf("quantity", Number(1, 10));
+    Leaf("name", Word() + " " + Word());
+    b_.StartElement("payment");
+    b_.AppendValue("Cash");
+    b_.EndElement();
+    Description(1);
+    b_.StartElement("shipping");
+    b_.AppendValue("Will ship internationally");
+    b_.EndElement();
+    int cats = static_cast<int>(rng_.Uniform(1, 2));
+    for (int i = 0; i < cats; ++i) {
+      b_.StartElement("incategory");
+      Attr("category", NextId());
+      b_.EndElement();
+    }
+    Mailbox();
+    b_.EndElement();
+  }
+
+  void Person() {
+    b_.StartElement("person");
+    Attr("id", NextId());
+    Leaf("name", Word() + " " + Word());
+    Leaf("emailaddress", Word() + "@example.com");
+    if (rng_.Bernoulli(0.7)) Leaf("phone", Number(1000000, 9999999));
+    if (rng_.Bernoulli(0.6)) {
+      b_.StartElement("address");
+      Leaf("street", Number(1, 99) + " " + Word() + " St");
+      Leaf("city", Word());
+      Leaf("country", Word());
+      Leaf("zipcode", Number(10000, 99999));
+      b_.EndElement();
+    }
+    if (rng_.Bernoulli(0.4)) Leaf("homepage", "http://" + Word() + ".org");
+    if (rng_.Bernoulli(0.4)) Leaf("creditcard", Number(1000, 9999));
+    if (rng_.Bernoulli(0.8)) {
+      b_.StartElement("profile");
+      Attr("income", Number(10000, 99999));
+      int interests = static_cast<int>(rng_.Uniform(0, 2));
+      for (int i = 0; i < interests; ++i) {
+        b_.StartElement("interest");
+        Attr("category", NextId());
+        b_.EndElement();
+      }
+      if (rng_.Bernoulli(0.5)) Leaf("education", "Graduate School");
+      if (rng_.Bernoulli(0.7)) Leaf("gender", rng_.Bernoulli(0.5) ? "male" : "female");
+      Leaf("business", rng_.Bernoulli(0.5) ? "Yes" : "No");
+      if (rng_.Bernoulli(0.6)) Leaf("age", Number(18, 80));
+      b_.EndElement();
+    }
+    if (rng_.Bernoulli(0.5)) {
+      b_.StartElement("watches");
+      int watches = static_cast<int>(rng_.Uniform(1, 2));
+      for (int i = 0; i < watches; ++i) {
+        b_.StartElement("watch");
+        Attr("open_auction", NextId());
+        b_.EndElement();
+      }
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void OpenAuction() {
+    b_.StartElement("open_auction");
+    Attr("id", NextId());
+    Leaf("initial", Number(1, 100));
+    if (rng_.Bernoulli(0.6)) Leaf("reserve", Number(50, 200));
+    int bidders = static_cast<int>(rng_.Uniform(0, 3));
+    for (int i = 0; i < bidders; ++i) {
+      b_.StartElement("bidder");
+      Leaf("date", Number(1, 28) + "/" + Number(1, 12) + "/2006");
+      Leaf("time", Number(0, 23) + ":" + Number(0, 59));
+      b_.StartElement("personref");
+      Attr("person", NextId());
+      b_.EndElement();
+      Leaf("increase", Number(1, 50));
+      b_.EndElement();
+    }
+    Leaf("current", Number(1, 300));
+    if (rng_.Bernoulli(0.3)) Leaf("privacy", "Yes");
+    b_.StartElement("itemref");
+    Attr("item", NextId());
+    b_.EndElement();
+    b_.StartElement("seller");
+    Attr("person", NextId());
+    b_.EndElement();
+    Annotation();
+    Leaf("quantity", Number(1, 5));
+    Leaf("type", "Regular");
+    b_.StartElement("interval");
+    Leaf("start", Number(1, 28) + "/01/2006");
+    Leaf("end", Number(1, 28) + "/12/2006");
+    b_.EndElement();
+    b_.EndElement();
+  }
+
+  void Annotation() {
+    b_.StartElement("annotation");
+    b_.StartElement("author");
+    Attr("person", NextId());
+    b_.EndElement();
+    Description(0);
+    Leaf("happiness", Number(1, 10));
+    b_.EndElement();
+  }
+
+  void ClosedAuction() {
+    b_.StartElement("closed_auction");
+    b_.StartElement("seller");
+    Attr("person", NextId());
+    b_.EndElement();
+    b_.StartElement("buyer");
+    Attr("person", NextId());
+    b_.EndElement();
+    b_.StartElement("itemref");
+    Attr("item", NextId());
+    b_.EndElement();
+    Leaf("price", Number(1, 500));
+    Leaf("date", Number(1, 28) + "/" + Number(1, 12) + "/2006");
+    Leaf("quantity", Number(1, 5));
+    Leaf("type", "Regular");
+    Annotation();
+    b_.EndElement();
+  }
+
+  XmarkOptions options_;
+  Rng rng_;
+  DocumentBuilder b_;
+  int64_t id_counter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Document> GenerateXmark(const XmarkOptions& options) {
+  return XmarkBuilder(options).Build();
+}
+
+}  // namespace svx

@@ -1,0 +1,31 @@
+// Synthetic XMark-like document generator (substitute for the xmlgen tool
+// of the XMark benchmark [28], see DESIGN.md). Follows the XMark DTD shape:
+// six regions of items with recursive description/parlist/listitem content,
+// text markup (bold/keyword/emph), mailboxes, categories, people with
+// profiles, and open/closed auctions. The scale factor controls entity
+// counts the way XMark's -f factor does; summary size grows only marginally
+// with scale (deeper recursion unfolds), matching Table 1.
+#ifndef SVX_WORKLOAD_XMARK_H_
+#define SVX_WORKLOAD_XMARK_H_
+
+#include <memory>
+
+#include "src/xml/document.h"
+
+namespace svx {
+
+struct XmarkOptions {
+  /// Roughly proportional to document size; 1.0 yields a few thousand
+  /// nodes. XMark11/111/233 of Table 1 correspond to 1.0 / 10 / 21.
+  double scale = 1.0;
+  uint64_t seed = 42;
+  /// Maximum parlist/listitem recursion depth (grows slowly with scale).
+  int max_recursion = 3;
+};
+
+/// Generates a document conforming to the XMark-like vocabulary.
+std::unique_ptr<Document> GenerateXmark(const XmarkOptions& options);
+
+}  // namespace svx
+
+#endif  // SVX_WORKLOAD_XMARK_H_

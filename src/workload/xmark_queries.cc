@@ -1,0 +1,85 @@
+#include "src/workload/xmark_queries.h"
+
+#include "src/pattern/pattern_parser.h"
+#include "src/util/check.h"
+
+namespace svx {
+
+const std::vector<XmarkQuery>& XmarkQueryPatterns() {
+  static const std::vector<XmarkQuery>* kQueries = new std::vector<XmarkQuery>{
+      {1,
+       "site(//people(//person{id}(/@id{v}[v=0] /name{v})))",
+       "name of the person with a given id"},
+      {2,
+       "site(//open_auctions(/open_auction{id}(/bidder(/increase{v}))))",
+       "initial increases of all bids"},
+      {3,
+       "site(//open_auctions(/open_auction{id}(/bidder(/increase{v}) "
+       "?/reserve{v})))",
+       "increases with optional reserve"},
+      {4,
+       "site(//open_auctions(/open_auction{id}(?/bidder(/personref{c}) "
+       "/initial{v})))",
+       "auctions with optional bidders"},
+      {5,
+       "site(//closed_auctions(/closed_auction{id}(/price{v})))",
+       "closed auction prices"},
+      {6, "site(//regions(//item{id}))", "all items of all regions"},
+      {7,
+       "site(?//description{c} ?//annotation{c} ?//mail{c})",
+       "counting query over three unrelated branches"},
+      {8,
+       "site(//people(/person{id}(/name{v} ?n//watches(/watch{c}))))",
+       "people with their watched auctions, nested"},
+      {9,
+       "site(//people(/person{id}(/name{v} ?/address(/city{v}))))",
+       "people with optional address city"},
+      {10,
+       "site(//people(/person{id}(n/profile(/interest{c} ?/age{v}))))",
+       "person profiles grouped per person"},
+      {11,
+       "site(//people(/person{id}(/name{v} ?//profile(/@income{v}))))",
+       "names with optional income"},
+      {12,
+       "site(//open_auctions(/open_auction{id}(?/initial{v}[v>50] "
+       "/current{v})))",
+       "auctions with large initial offers"},
+      {13,
+       "site(//regions(/australia(/item{id}(/name{v} /description{c}))))",
+       "australian item descriptions"},
+      {14,
+       "site(//item{id}(/name{v} //description(//text{c})))",
+       "items whose description contains text"},
+      {15,
+       "site(//closed_auctions(/closed_auction{id}(/annotation(/description("
+       "/parlist(/listitem{c}))))))",
+       "deeply nested closed-auction annotations"},
+      {16,
+       "site(//closed_auctions(/closed_auction{id}(/annotation(/author{c}) "
+       "?/itemref{c})))",
+       "annotation authors with optional item reference"},
+      {17,
+       "site(//people(/person{id}(/name{v} ?/homepage{v})))",
+       "people without (and with) homepages"},
+      {18,
+       "site(//open_auctions(/open_auction(/initial{v})))",
+       "plain initial values, no ids"},
+      {19,
+       "site(//regions(//item{id}(/name{v} ?/location{v})))",
+       "items sorted by location"},
+      {20,
+       "site(//people(/person{id}(?/profile(?/@income{v}[v>5000]))))",
+       "income classification with optionality"},
+  };
+  return *kQueries;
+}
+
+Pattern GetXmarkQueryPattern(int number) {
+  for (const XmarkQuery& q : XmarkQueryPatterns()) {
+    if (q.number == number) return MustParsePattern(q.text);
+  }
+  SVX_CHECK_MSG(false, "unknown XMark query number");
+  return Pattern();
+}
+
+}  // namespace svx

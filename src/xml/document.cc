@@ -1,0 +1,51 @@
+#include "src/xml/document.h"
+
+#include <algorithm>
+
+namespace svx {
+
+NodeIndex Document::FindByOrdPath(const OrdPath& id) const {
+  if (size() == 0 || !id.IsValid()) return kInvalidNode;
+  // Walk down from the root following child ordinals.
+  const auto& comps = id.components();
+  if (comps.empty() || comps[0] != 1) return kInvalidNode;
+  NodeIndex cur = root();
+  for (size_t i = 1; i < comps.size(); ++i) {
+    int32_t ordinal = comps[i];
+    NodeIndex child = first_child(cur);
+    for (int32_t k = 1; k < ordinal && child != kInvalidNode; ++k) {
+      child = next_sibling(child);
+    }
+    if (child == kInvalidNode) return kInvalidNode;
+    cur = child;
+  }
+  return cur;
+}
+
+std::vector<NodeIndex> Document::children(NodeIndex n) const {
+  std::vector<NodeIndex> out;
+  for (NodeIndex c = first_child(n); c != kInvalidNode; c = next_sibling(c)) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+const std::vector<NodeIndex>& Document::nodes_on_path(int32_t path) const {
+  static const std::vector<NodeIndex> kEmpty;
+  if (path < 0 || static_cast<size_t>(path) >= nodes_by_path_.size()) {
+    return kEmpty;
+  }
+  return nodes_by_path_[static_cast<size_t>(path)];
+}
+
+std::vector<NodeIndex> Document::NodesOnPathWithin(int32_t path,
+                                                   NodeIndex context) const {
+  const std::vector<NodeIndex>& all = nodes_on_path(path);
+  NodeIndex lo = context;
+  NodeIndex hi = subtree_end(context);
+  auto begin = std::lower_bound(all.begin(), all.end(), lo);
+  auto end = std::lower_bound(all.begin(), all.end(), hi);
+  return std::vector<NodeIndex>(begin, end);
+}
+
+}  // namespace svx

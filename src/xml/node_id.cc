@@ -1,0 +1,90 @@
+#include "src/xml/node_id.h"
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace svx {
+
+OrdPath OrdPath::FromString(const std::string& s) {
+  std::vector<int32_t> comps;
+  for (const std::string& piece : Split(s, '.')) {
+    auto v = ParseInt64(piece);
+    if (!v.has_value() || *v <= 0) return OrdPath();
+    comps.push_back(static_cast<int32_t>(*v));
+  }
+  return OrdPath(std::move(comps));
+}
+
+OrdPath OrdPath::Child(int32_t ordinal) const {
+  SVX_CHECK(ordinal >= 1);
+  std::vector<int32_t> comps = components_;
+  comps.push_back(ordinal);
+  return OrdPath(std::move(comps));
+}
+
+OrdPath OrdPath::Parent() const {
+  if (components_.size() <= 1) return OrdPath();
+  std::vector<int32_t> comps(components_.begin(), components_.end() - 1);
+  return OrdPath(std::move(comps));
+}
+
+OrdPath OrdPath::Ancestor(int32_t steps) const {
+  SVX_CHECK(steps >= 0);
+  if (steps >= static_cast<int32_t>(components_.size())) return OrdPath();
+  std::vector<int32_t> comps(components_.begin(),
+                             components_.end() - steps);
+  return OrdPath(std::move(comps));
+}
+
+bool OrdPath::IsParentOf(const OrdPath& other) const {
+  if (!IsValid() || !other.IsValid()) return false;
+  if (other.components_.size() != components_.size() + 1) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+bool OrdPath::IsAncestorOf(const OrdPath& other) const {
+  if (!IsValid() || !other.IsValid()) return false;
+  if (other.components_.size() <= components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+bool OrdPath::IsAncestorOrSelf(const OrdPath& other) const {
+  return *this == other || IsAncestorOf(other);
+}
+
+int OrdPath::Compare(const OrdPath& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+std::string OrdPath::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+size_t OrdPath::Hash() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (int32_t c : components_) {
+    h ^= static_cast<size_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace svx

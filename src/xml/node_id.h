@@ -1,0 +1,85 @@
+// Structural node identifiers (ORDPATH / Dewey order, O'Neil et al. SIGMOD'04
+// and Tatarinov et al. SIGMOD'02). These ids make the paper's "Exploiting ID
+// properties" reasoning possible:
+//   * document order is id order,
+//   * parent / ancestor relationships are decidable by comparing two ids,
+//   * a node's parent id is derivable from the node's own id (navfID).
+#ifndef SVX_XML_NODE_ID_H_
+#define SVX_XML_NODE_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svx {
+
+/// A Dewey-style structural identifier: the sequence of 1-based ordinals on
+/// the path from the root ("1") to the node, e.g. "1.3.3.1" in the paper's
+/// Figure 2. Total order = document order.
+class OrdPath {
+ public:
+  OrdPath() = default;
+  explicit OrdPath(std::vector<int32_t> components)
+      : components_(std::move(components)) {}
+
+  /// Parses "1.3.3.1"; returns an empty (invalid) id on malformed input.
+  static OrdPath FromString(const std::string& s);
+
+  /// The root identifier "1".
+  static OrdPath Root() { return OrdPath({1}); }
+
+  /// Id of this node's `i`-th child (1-based).
+  OrdPath Child(int32_t ordinal) const;
+
+  /// Id of the parent; invalid (empty) for the root. This is the paper's
+  /// parent-ID derivation used by the navfID operator.
+  OrdPath Parent() const;
+
+  /// Id of the ancestor `steps` levels up (Parent applied `steps` times).
+  OrdPath Ancestor(int32_t steps) const;
+
+  /// True for default-constructed / root-parent results.
+  bool IsValid() const { return !components_.empty(); }
+
+  /// Depth of the node; the root has depth 1.
+  int32_t Depth() const { return static_cast<int32_t>(components_.size()); }
+
+  /// True iff this node is the parent of `other`.
+  bool IsParentOf(const OrdPath& other) const;
+
+  /// True iff this node is a strict ancestor of `other`.
+  bool IsAncestorOf(const OrdPath& other) const;
+
+  /// True iff this node is `other` or a strict ancestor of it.
+  bool IsAncestorOrSelf(const OrdPath& other) const;
+
+  /// Document order comparison: <0, 0, >0. An ancestor precedes its
+  /// descendants (pre-order).
+  int Compare(const OrdPath& other) const;
+
+  bool operator==(const OrdPath& other) const {
+    return components_ == other.components_;
+  }
+  bool operator!=(const OrdPath& other) const { return !(*this == other); }
+  bool operator<(const OrdPath& other) const { return Compare(other) < 0; }
+
+  /// "1.3.3.1".
+  std::string ToString() const;
+
+  const std::vector<int32_t>& components() const { return components_; }
+
+  /// Stable hash for hash-join on ids.
+  size_t Hash() const;
+
+ private:
+  std::vector<int32_t> components_;
+};
+
+/// std::hash adapter for OrdPath.
+struct OrdPathHash {
+  size_t operator()(const OrdPath& p) const { return p.Hash(); }
+};
+
+}  // namespace svx
+
+#endif  // SVX_XML_NODE_ID_H_

@@ -1,0 +1,30 @@
+// Serialization of Documents (and document fragments) back to XML text,
+// and to the compact parenthesized notation used in tests.
+#ifndef SVX_XML_SERIALIZER_H_
+#define SVX_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "src/xml/document.h"
+
+namespace svx {
+
+/// Serializes the subtree rooted at `n` as XML. "@" children become
+/// attributes again; node values become text content. `indent` < 0 disables
+/// pretty-printing.
+std::string SerializeXmlSubtree(const Document& doc, NodeIndex n,
+                                int indent = -1);
+
+/// Serializes the whole document.
+std::string SerializeXml(const Document& doc, int indent = -1);
+
+/// Serializes the subtree rooted at `n` in parenthesized notation
+/// ("a(b=1 c(d))"), matching what ParseTreeNotation accepts.
+std::string ToTreeNotation(const Document& doc, NodeIndex n);
+
+/// Serializes the whole document in parenthesized notation.
+std::string ToTreeNotation(const Document& doc);
+
+}  // namespace svx
+
+#endif  // SVX_XML_SERIALIZER_H_

@@ -1,0 +1,76 @@
+// AST for the nested-FLWR XQuery subset the tree pattern language captures
+// (paper §1). Grammar:
+//
+//   flwr     := 'for' Var 'in' source ('where' cond)? 'return' ret
+//   source   := ('doc' '(' String ')' | Var) step+
+//   step     := ('/' | '//') (Name | '*') ('[' rel ']')*
+//   rel      := relpath (cmp Integer)?          — existence or value test
+//   relpath  := step+ ('/' 'text()')?
+//   ret      := '<' Name '>' '{' expr (',' expr)* '}' '</' Name '>'
+//             | expr
+//   expr     := Var relpath? ('/' 'text()')?    — content or value
+//             | flwr                            — nested FLWR block
+//   cond     := Var relpath ('/text()')? cmp Integer | Var relpath
+//
+#ifndef SVX_XQUERY_XQUERY_AST_H_
+#define SVX_XQUERY_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pattern/pattern.h"
+
+namespace svx {
+
+/// One path step: axis + label (+ optional nested predicates).
+struct XqStep {
+  Axis axis = Axis::kChild;
+  std::string label;
+  /// Existence / value predicates: each is a relative path with an optional
+  /// comparison.
+  struct Pred {
+    std::vector<XqStep> path;
+    bool has_text = false;  // path ends in /text()
+    char cmp = 0;           // 0 = existence, otherwise '=', '<', '>'
+    int64_t value = 0;
+  };
+  std::vector<Pred> preds;
+};
+
+struct XqFlwr;
+
+/// A return-clause expression.
+struct XqExpr {
+  enum Kind { kPath, kNestedFlwr } kind = kPath;
+  // kPath: $var (steps)? (/text())?
+  std::string var;
+  std::vector<XqStep> steps;
+  bool text = false;  // trailing /text(): value rather than content
+  // kNestedFlwr:
+  std::unique_ptr<XqFlwr> flwr;
+};
+
+/// A where-clause condition on a variable.
+struct XqCond {
+  std::string var;
+  std::vector<XqStep> steps;
+  bool text = false;
+  char cmp = 0;  // 0 = existence
+  int64_t value = 0;
+};
+
+/// A FLWR block.
+struct XqFlwr {
+  std::string var;            // the for variable
+  std::string source_var;     // outer variable ("" when doc(...))
+  std::string document;       // doc() argument when source_var is empty
+  std::vector<XqStep> steps;  // binding path
+  std::vector<XqCond> where;
+  std::string element;        // constructor tag ("" = bare expression)
+  std::vector<XqExpr> returns;
+};
+
+}  // namespace svx
+
+#endif  // SVX_XQUERY_XQUERY_AST_H_

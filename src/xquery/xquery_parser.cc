@@ -1,0 +1,278 @@
+#include "src/xquery/xquery_parser.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace svx {
+
+namespace {
+
+class XQueryParser {
+ public:
+  explicit XQueryParser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<XqFlwr>> Parse() {
+    Result<std::unique_ptr<XqFlwr>> flwr = ParseFlwr();
+    if (!flwr.ok()) return flwr;
+    Skip();
+    if (pos_ != text_.size()) {
+      return Err("trailing input after query");
+    }
+    return flwr;
+  }
+
+ private:
+  Status ErrS(const std::string& what) {
+    return Status::ParseError(
+        StrFormat("%s at offset %zu", what.c_str(), pos_));
+  }
+  Result<std::unique_ptr<XqFlwr>> Err(const std::string& what) {
+    return ErrS(what);
+  }
+
+  void Skip() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(std::string_view token) {
+    Skip();
+    if (text_.size() - pos_ >= token.size() &&
+        text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool EatKeyword(std::string_view kw) {
+    Skip();
+    size_t end = pos_ + kw.size();
+    if (text_.size() < end || text_.substr(pos_, kw.size()) != kw) {
+      return false;
+    }
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  std::string ParseName() {
+    Skip();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '@')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string ParseVar() {
+    Skip();
+    if (pos_ >= text_.size() || text_[pos_] != '$') return "";
+    ++pos_;
+    return ParseName();
+  }
+
+  /// steps := (('/' | '//') (name | '*') pred*)+ ; stops before '/text()'.
+  Status ParseSteps(std::vector<XqStep>* steps, bool* text) {
+    if (text != nullptr) *text = false;
+    while (true) {
+      Skip();
+      if (pos_ >= text_.size() || text_[pos_] != '/') break;
+      size_t save = pos_;
+      Axis axis = Axis::kChild;
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '/') {
+        axis = Axis::kDescendant;
+        ++pos_;
+      }
+      Skip();
+      if (text != nullptr && Eat("text()")) {
+        if (axis == Axis::kDescendant) return ErrS("//text() not supported");
+        *text = true;
+        break;
+      }
+      std::string label;
+      if (pos_ < text_.size() && text_[pos_] == '*') {
+        ++pos_;
+        label = "*";
+      } else {
+        label = ParseName();
+      }
+      if (label.empty()) {
+        pos_ = save;
+        break;
+      }
+      XqStep step;
+      step.axis = axis;
+      step.label = label;
+      // Step predicates.
+      while (true) {
+        Skip();
+        if (pos_ >= text_.size() || text_[pos_] != '[') break;
+        ++pos_;
+        XqStep::Pred pred;
+        Skip();
+        // Allow a leading '.' for relative paths like [.//mail].
+        if (pos_ < text_.size() && text_[pos_] == '.') ++pos_;
+        Skip();
+        // XPath allows a bare first step ([@id=0], [name]): synthesize the
+        // child axis.
+        if (pos_ < text_.size() && text_[pos_] != '/' && text_[pos_] != ']') {
+          std::string bare = ParseName();
+          if (bare.empty()) return ErrS("expected predicate path");
+          XqStep first;
+          first.axis = Axis::kChild;
+          first.label = bare;
+          pred.path.push_back(std::move(first));
+        }
+        Status s = ParseSteps(&pred.path, &pred.has_text);
+        if (!s.ok()) return s;
+        if (pred.path.empty() && !pred.has_text) {
+          return ErrS("empty step predicate");
+        }
+        Skip();
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '=' || text_[pos_] == '<' || text_[pos_] == '>')) {
+          pred.cmp = text_[pos_];
+          ++pos_;
+          Skip();
+          size_t vstart = pos_;
+          if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+          while (pos_ < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+          }
+          auto v = ParseInt64(text_.substr(vstart, pos_ - vstart));
+          if (!v.has_value()) return ErrS("expected integer constant");
+          pred.value = *v;
+        }
+        Skip();
+        if (!Eat("]")) return ErrS("missing ']'");
+        step.preds.push_back(std::move(pred));
+      }
+      steps->push_back(std::move(step));
+    }
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<XqFlwr>> ParseFlwr() {
+    if (!EatKeyword("for")) return Err("expected 'for'");
+    auto flwr = std::make_unique<XqFlwr>();
+    flwr->var = ParseVar();
+    if (flwr->var.empty()) return Err("expected variable after 'for'");
+    if (!EatKeyword("in")) return Err("expected 'in'");
+    Skip();
+    if (EatKeyword("doc")) {
+      if (!Eat("(")) return Err("expected '(' after doc");
+      Skip();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return Err("expected document name string");
+      }
+      char quote = text_[pos_++];
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) return Err("unterminated string");
+      flwr->document = std::string(text_.substr(start, pos_ - start));
+      ++pos_;
+      if (!Eat(")")) return Err("expected ')'");
+    } else {
+      flwr->source_var = ParseVar();
+      if (flwr->source_var.empty()) {
+        return Err("expected doc(...) or a variable");
+      }
+    }
+    Status s = ParseSteps(&flwr->steps, nullptr);
+    if (!s.ok()) return s;
+    if (flwr->steps.empty()) return Err("binding path must have steps");
+
+    if (EatKeyword("where")) {
+      do {
+        XqCond cond;
+        cond.var = ParseVar();
+        if (cond.var.empty()) return Err("expected variable in where");
+        Status cs = ParseSteps(&cond.steps, &cond.text);
+        if (!cs.ok()) return cs;
+        Skip();
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '=' || text_[pos_] == '<' || text_[pos_] == '>')) {
+          cond.cmp = text_[pos_];
+          ++pos_;
+          Skip();
+          size_t vstart = pos_;
+          if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+          while (pos_ < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+          }
+          auto v = ParseInt64(text_.substr(vstart, pos_ - vstart));
+          if (!v.has_value()) return Err("expected integer constant");
+          cond.value = *v;
+        }
+        flwr->where.push_back(std::move(cond));
+      } while (EatKeyword("and"));
+    }
+
+    if (!EatKeyword("return")) return Err("expected 'return'");
+    Skip();
+    if (pos_ < text_.size() && text_[pos_] == '<') {
+      ++pos_;
+      flwr->element = ParseName();
+      if (flwr->element.empty()) return Err("expected constructor tag");
+      if (!Eat(">")) return Err("expected '>'");
+      if (!Eat("{")) return Err("expected '{' in constructor");
+      while (true) {
+        Result<XqExpr> e = ParseExpr();
+        if (!e.ok()) return e.status();
+        flwr->returns.push_back(std::move(*e));
+        if (!Eat(",")) break;
+      }
+      if (!Eat("}")) return Err("expected '}' in constructor");
+      if (!Eat("</")) return Err("expected closing tag");
+      std::string close = ParseName();
+      if (close != flwr->element) return Err("mismatched constructor tags");
+      if (!Eat(">")) return Err("expected '>'");
+    } else {
+      Result<XqExpr> e = ParseExpr();
+      if (!e.ok()) return e.status();
+      flwr->returns.push_back(std::move(*e));
+    }
+    return flwr;
+  }
+
+  Result<XqExpr> ParseExpr() {
+    Skip();
+    XqExpr expr;
+    if (text_.substr(pos_).substr(0, 3) == "for") {
+      Result<std::unique_ptr<XqFlwr>> nested = ParseFlwr();
+      if (!nested.ok()) return nested.status();
+      expr.kind = XqExpr::kNestedFlwr;
+      expr.flwr = std::move(*nested);
+      return expr;
+    }
+    expr.var = ParseVar();
+    if (expr.var.empty()) return ErrS("expected variable or nested for");
+    Status s = ParseSteps(&expr.steps, &expr.text);
+    if (!s.ok()) return s;
+    return expr;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<XqFlwr>> ParseXQuery(std::string_view text) {
+  return XQueryParser(text).Parse();
+}
+
+}  // namespace svx

@@ -1,0 +1,18 @@
+// Parser for the FLWR subset (see xquery_ast.h).
+#ifndef SVX_XQUERY_XQUERY_PARSER_H_
+#define SVX_XQUERY_XQUERY_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/util/status.h"
+#include "src/xquery/xquery_ast.h"
+
+namespace svx {
+
+/// Parses one (possibly nested) FLWR query.
+Result<std::unique_ptr<XqFlwr>> ParseXQuery(std::string_view text);
+
+}  // namespace svx
+
+#endif  // SVX_XQUERY_XQUERY_PARSER_H_

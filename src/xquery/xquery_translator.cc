@@ -1,0 +1,172 @@
+#include "src/xquery/xquery_translator.h"
+
+#include <map>
+
+#include "src/xquery/xquery_parser.h"
+
+namespace svx {
+
+namespace {
+
+class Translator {
+ public:
+  explicit Translator(const std::string& root_label)
+      : root_label_(root_label) {}
+
+  Result<Pattern> Run(const XqFlwr& flwr) {
+    if (!flwr.source_var.empty()) {
+      return Status::InvalidArgument(
+          "the outermost for must bind from doc(...)");
+    }
+    PatternNodeId root = pattern_.SetRoot(root_label_);
+    Status s = TranslateFlwr(flwr, root, /*nested=*/false);
+    if (!s.ok()) return s;
+    return std::move(pattern_);
+  }
+
+ private:
+  /// Adds the chain of `steps` under `from`; returns the last node.
+  PatternNodeId AddSteps(PatternNodeId from, const std::vector<XqStep>& steps,
+                         bool first_optional, bool first_nested,
+                         uint8_t last_attrs, Status* status) {
+    PatternNodeId cur = from;
+    for (size_t i = 0; i < steps.size(); ++i) {
+      const XqStep& st = steps[i];
+      bool last = i + 1 == steps.size();
+      cur = pattern_.AddChild(cur, st.label, st.axis,
+                              last ? last_attrs : 0, Predicate::True(),
+                              i == 0 && first_optional,
+                              i == 0 && first_nested);
+      for (const XqStep::Pred& pred : st.preds) {
+        Status s = AddPredicate(cur, pred);
+        if (!s.ok()) {
+          *status = s;
+          return cur;
+        }
+      }
+    }
+    return cur;
+  }
+
+  Status AddPredicate(PatternNodeId node, const XqStep::Pred& pred) {
+    if (pred.path.empty()) {
+      // [text() cmp c]: predicate on the node itself.
+      if (pred.cmp == 0) {
+        return Status::InvalidArgument("empty existence predicate");
+      }
+      Pattern::Node& n = pattern_.mutable_node(node);
+      n.pred = n.pred.And(MakePred(pred.cmp, pred.value));
+      return Status::OK();
+    }
+    Status status = Status::OK();
+    PatternNodeId leaf = AddSteps(node, pred.path, false, false, 0, &status);
+    if (!status.ok()) return status;
+    if (pred.cmp != 0) {
+      Pattern::Node& n = pattern_.mutable_node(leaf);
+      n.pred = n.pred.And(MakePred(pred.cmp, pred.value));
+    }
+    return Status::OK();
+  }
+
+  static Predicate MakePred(char cmp, int64_t v) {
+    switch (cmp) {
+      case '=':
+        return Predicate::Eq(v);
+      case '<':
+        return Predicate::Lt(v);
+      case '>':
+        return Predicate::Gt(v);
+    }
+    return Predicate::True();
+  }
+
+  Status TranslateFlwr(const XqFlwr& flwr, PatternNodeId anchor,
+                       bool nested) {
+    // Binding path of the for variable.
+    if (flwr.steps.empty()) {
+      return Status::InvalidArgument("for binding without steps");
+    }
+    Status status = Status::OK();
+    // A nested FLWR block is an optional nested edge: the outer element is
+    // constructed even when the inner sequence is empty (paper §1).
+    PatternNodeId var_node = AddSteps(anchor, flwr.steps,
+                                      /*first_optional=*/nested,
+                                      /*first_nested=*/nested, kAttrId,
+                                      &status);
+    if (!status.ok()) return status;
+    vars_[flwr.var] = var_node;
+
+    for (const XqCond& cond : flwr.where) {
+      auto it = vars_.find(cond.var);
+      if (it == vars_.end()) {
+        return Status::InvalidArgument("unknown variable $" + cond.var);
+      }
+      if (cond.steps.empty()) {
+        if (cond.cmp == 0) {
+          return Status::InvalidArgument("vacuous where condition");
+        }
+        Pattern::Node& n = pattern_.mutable_node(it->second);
+        n.pred = n.pred.And(MakePred(cond.cmp, cond.value));
+        continue;
+      }
+      PatternNodeId leaf =
+          AddSteps(it->second, cond.steps, false, false, 0, &status);
+      if (!status.ok()) return status;
+      if (cond.cmp != 0) {
+        Pattern::Node& n = pattern_.mutable_node(leaf);
+        n.pred = n.pred.And(MakePred(cond.cmp, cond.value));
+      }
+    }
+
+    for (const XqExpr& expr : flwr.returns) {
+      if (expr.kind == XqExpr::kNestedFlwr) {
+        const XqFlwr& inner = *expr.flwr;
+        auto it = vars_.find(inner.source_var);
+        if (it == vars_.end()) {
+          return Status::InvalidArgument(
+              "nested for must bind from an outer variable");
+        }
+        Status s = TranslateFlwr(inner, it->second, /*nested=*/true);
+        if (!s.ok()) return s;
+        continue;
+      }
+      auto it = vars_.find(expr.var);
+      if (it == vars_.end()) {
+        return Status::InvalidArgument("unknown variable $" + expr.var);
+      }
+      uint8_t attrs = expr.text ? kAttrValue : kAttrContent;
+      if (expr.steps.empty()) {
+        // Returning the variable itself.
+        Pattern::Node& n = pattern_.mutable_node(it->second);
+        n.attrs |= attrs;
+        continue;
+      }
+      // Output expressions yield empty sequences when the path has no
+      // match: optional first edge.
+      AddSteps(it->second, expr.steps, /*first_optional=*/true, false, attrs,
+               &status);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  std::string root_label_;
+  Pattern pattern_;
+  std::map<std::string, PatternNodeId> vars_;
+};
+
+}  // namespace
+
+Result<Pattern> TranslateXQuery(const XqFlwr& flwr,
+                                const std::string& root_label) {
+  return Translator(root_label).Run(flwr);
+}
+
+Result<Pattern> XQueryToPattern(std::string_view query,
+                                const std::string& root_label) {
+  Result<std::unique_ptr<XqFlwr>> ast = ParseXQuery(query);
+  if (!ast.ok()) return ast.status();
+  return TranslateXQuery(**ast, root_label);
+}
+
+}  // namespace svx

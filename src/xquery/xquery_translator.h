@@ -1,0 +1,39 @@
+// Translation of the nested-FLWR subset into extended tree patterns
+// (paper §1: the tree pattern language "captures structural identifiers and
+// optional nodes, which allow us to translate nested XQueries into tree
+// patterns"). Conventions:
+//   * the document root is unknown to the query, so the pattern root is '*'
+//     (or the given root label, if any);
+//   * each for-variable node stores ID (grouping identity);
+//   * $v/path/text() in a constructor stores V; a bare $v/path stores C;
+//   * a nested FLWR in a constructor becomes an optional nested edge
+//     (?n// ...), since the outer element is emitted even when the inner
+//     sequence is empty;
+//   * where-clause existence conditions become plain branches; value
+//     comparisons become predicates;
+//   * expressions other than the for variable itself hang off optional
+//     edges ({ $x/name/text() } yields an empty sequence, not a failure).
+#ifndef SVX_XQUERY_XQUERY_TRANSLATOR_H_
+#define SVX_XQUERY_XQUERY_TRANSLATOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/pattern/pattern.h"
+#include "src/util/status.h"
+#include "src/xquery/xquery_ast.h"
+
+namespace svx {
+
+/// Translates a parsed FLWR block. `root_label` overrides the pattern root
+/// ('*' by default — any document root).
+Result<Pattern> TranslateXQuery(const XqFlwr& flwr,
+                                const std::string& root_label = "*");
+
+/// Parses and translates in one step.
+Result<Pattern> XQueryToPattern(std::string_view query,
+                                const std::string& root_label = "*");
+
+}  // namespace svx
+
+#endif  // SVX_XQUERY_XQUERY_TRANSLATOR_H_

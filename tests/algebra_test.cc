@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "src/algebra/executor.h"
+#include "src/algebra/plan_printer.h"
+#include "src/algebra/relation.h"
+#include "src/algebra/value.h"
+
+namespace svx {
+namespace {
+
+Schema IdValueSchema(const std::string& prefix) {
+  Schema s;
+  s.Append({prefix + ".id", ColumnKind::kId, nullptr});
+  s.Append({prefix + ".v", ColumnKind::kValue, nullptr});
+  return s;
+}
+
+Tuple Row(const std::string& id, const std::string& v) {
+  Tuple t;
+  t.emplace_back(OrdPath::FromString(id));
+  if (v.empty()) {
+    t.emplace_back();
+  } else {
+    t.emplace_back(v);
+  }
+  return t;
+}
+
+TEST(Value, BasicsAndEquality) {
+  Value null;
+  EXPECT_TRUE(null.IsNull());
+  EXPECT_EQ(null.ToString(), "⊥");
+  Value s{std::string("x")};
+  EXPECT_TRUE(s.IsString());
+  EXPECT_EQ(s, Value{std::string("x")});
+  EXPECT_NE(s, Value{std::string("y")});
+  EXPECT_NE(s, null);
+  Value id{OrdPath::FromString("1.2")};
+  EXPECT_TRUE(id.IsId());
+  EXPECT_EQ(id.ToString(), "1.2");
+  EXPECT_EQ(id.Hash(), Value{OrdPath::FromString("1.2")}.Hash());
+}
+
+TEST(Value, NestedTableEquality) {
+  auto t1 = std::make_shared<Table>(IdValueSchema("a"));
+  t1->AddRow(Row("1.1", "x"));
+  t1->AddRow(Row("1.2", "y"));
+  auto t2 = std::make_shared<Table>(IdValueSchema("a"));
+  t2->AddRow(Row("1.2", "y"));
+  t2->AddRow(Row("1.1", "x"));
+  EXPECT_EQ(Value{TablePtr(t1)}, Value{TablePtr(t2)});  // order-insensitive
+  EXPECT_EQ(Value{TablePtr(t1)}.Hash(), Value{TablePtr(t2)}.Hash());
+  auto t3 = std::make_shared<Table>(IdValueSchema("a"));
+  t3->AddRow(Row("1.1", "x"));
+  EXPECT_NE(Value{TablePtr(t1)}, Value{TablePtr(t3)});
+}
+
+TEST(Table, DeduplicateAndSort) {
+  Table t(IdValueSchema("a"));
+  t.AddRow(Row("1.2", "x"));
+  t.AddRow(Row("1.1", "y"));
+  t.AddRow(Row("1.2", "x"));
+  t.Deduplicate();
+  EXPECT_EQ(t.NumRows(), 2);
+  t.SortByIdColumn(0);
+  EXPECT_EQ(t.row(0)[0].AsId().ToString(), "1.1");
+}
+
+TEST(Schema, FindAndToString) {
+  Schema s = IdValueSchema("v1.n2");
+  EXPECT_EQ(s.Find("v1.n2.id"), 0);
+  EXPECT_EQ(s.Find("v1.n2.v"), 1);
+  EXPECT_EQ(s.Find("missing"), -1);
+  EXPECT_EQ(s.ToString(), "v1.n2.id:id, v1.n2.v:v");
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : items_(IdValueSchema("i")), names_(IdValueSchema("n")) {
+    // items: element ids 1.1, 1.2, 1.3 with values.
+    items_.AddRow(Row("1.1", "10"));
+    items_.AddRow(Row("1.2", "20"));
+    items_.AddRow(Row("1.3", ""));
+    // names: children of the items.
+    names_.AddRow(Row("1.1.1", "pen"));
+    names_.AddRow(Row("1.2.4", "ink"));
+    names_.AddRow(Row("1.2.5.1", "deep"));
+    catalog_.Register("items", &items_);
+    catalog_.Register("names", &names_);
+  }
+
+  Table Run(const PlanNode& plan) {
+    Result<Table> r = Execute(plan, catalog_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(*r);
+  }
+
+  Table items_;
+  Table names_;
+  Catalog catalog_;
+};
+
+TEST_F(ExecutorTest, ViewScan) {
+  PlanPtr p = MakeViewScan("items", items_.schema());
+  Table t = Run(*p);
+  EXPECT_EQ(t.NumRows(), 3);
+  PlanPtr missing = MakeViewScan("nope", items_.schema());
+  EXPECT_FALSE(Execute(*missing, catalog_).ok());
+}
+
+TEST_F(ExecutorTest, IdEqJoin) {
+  Table other(IdValueSchema("o"));
+  other.AddRow(Row("1.2", "twenty"));
+  other.AddRow(Row("1.9", "none"));
+  catalog_.Register("other", &other);
+  PlanPtr p = MakeIdEqJoin(MakeViewScan("items", items_.schema()),
+                           MakeViewScan("other", other.schema()), 0, 0);
+  Table t = Run(*p);
+  ASSERT_EQ(t.NumRows(), 1);
+  EXPECT_EQ(t.row(0)[1].AsString(), "20");
+  EXPECT_EQ(t.row(0)[3].AsString(), "twenty");
+}
+
+TEST_F(ExecutorTest, IdEqJoinNullNeverMatches) {
+  Table withnull(IdValueSchema("w"));
+  Tuple r;
+  r.emplace_back();  // null id
+  r.emplace_back(std::string("x"));
+  withnull.AddRow(std::move(r));
+  catalog_.Register("withnull", &withnull);
+  PlanPtr p = MakeIdEqJoin(MakeViewScan("withnull", withnull.schema()),
+                           MakeViewScan("withnull", withnull.schema()), 0, 0);
+  EXPECT_EQ(Run(*p).NumRows(), 0);
+}
+
+TEST_F(ExecutorTest, StructJoinParent) {
+  PlanPtr p = MakeStructJoin(MakeViewScan("items", items_.schema()),
+                             MakeViewScan("names", names_.schema()), 0, 0,
+                             StructAxis::kParent);
+  Table t = Run(*p);
+  // 1.1 ≺ 1.1.1 and 1.2 ≺ 1.2.4 (1.2.5.1 is a grandchild).
+  ASSERT_EQ(t.NumRows(), 2);
+}
+
+TEST_F(ExecutorTest, StructJoinAncestor) {
+  PlanPtr p = MakeStructJoin(MakeViewScan("items", items_.schema()),
+                             MakeViewScan("names", names_.schema()), 0, 0,
+                             StructAxis::kAncestor);
+  Table t = Run(*p);
+  EXPECT_EQ(t.NumRows(), 3);  // 1.2 ≺≺ 1.2.5.1 joins too
+}
+
+TEST_F(ExecutorTest, NestedStructJoinGroupsAndKeepsEmpty) {
+  PlanPtr p = MakeNestedStructJoin(MakeViewScan("items", items_.schema()),
+                                   MakeViewScan("names", names_.schema()), 0,
+                                   0, StructAxis::kAncestor, "grp");
+  Table t = Run(*p);
+  ASSERT_EQ(t.NumRows(), 3);  // one row per item, even 1.3 with no names
+  int64_t total = 0;
+  for (int64_t i = 0; i < t.NumRows(); ++i) {
+    total += t.row(i)[2].AsTable().NumRows();
+  }
+  EXPECT_EQ(total, 3);
+  // Find the 1.3 row: group must be empty.
+  for (int64_t i = 0; i < t.NumRows(); ++i) {
+    if (t.row(i)[0].AsId().ToString() == "1.3") {
+      EXPECT_EQ(t.row(i)[2].AsTable().NumRows(), 0);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, Selections) {
+  PlanPtr nn = MakeSelectNonNull(MakeViewScan("items", items_.schema()), 1);
+  EXPECT_EQ(Run(*nn).NumRows(), 2);
+  PlanPtr isn = MakeSelectIsNull(MakeViewScan("items", items_.schema()), 1);
+  EXPECT_EQ(Run(*isn).NumRows(), 1);
+  PlanPtr pred = MakeSelectValue(MakeViewScan("items", items_.schema()), 1,
+                                 Predicate::Gt(15));
+  EXPECT_EQ(Run(*pred).NumRows(), 1);
+}
+
+TEST_F(ExecutorTest, SelectLabel) {
+  Schema ls;
+  ls.Append({"x.l", ColumnKind::kLabel, nullptr});
+  Table labels(ls);
+  labels.AddRow({Value{std::string("item")}});
+  labels.AddRow({Value{std::string("name")}});
+  catalog_.Register("labels", &labels);
+  PlanPtr p = MakeSelectLabel(MakeViewScan("labels", ls), 0, "item");
+  EXPECT_EQ(Run(*p).NumRows(), 1);
+}
+
+TEST_F(ExecutorTest, ProjectDeduplicates) {
+  Table dup(IdValueSchema("d"));
+  dup.AddRow(Row("1.1", "x"));
+  dup.AddRow(Row("1.2", "x"));
+  catalog_.Register("dup", &dup);
+  PlanPtr p = MakeProject(MakeViewScan("dup", dup.schema()), {1});
+  Table t = Run(*p);
+  EXPECT_EQ(t.NumRows(), 1);
+  EXPECT_EQ(t.schema().size(), 1);
+}
+
+TEST_F(ExecutorTest, UnionDeduplicates) {
+  std::vector<PlanPtr> ins;
+  ins.push_back(MakeViewScan("items", items_.schema()));
+  ins.push_back(MakeViewScan("items", items_.schema()));
+  PlanPtr p = MakeUnion(std::move(ins));
+  EXPECT_EQ(Run(*p).NumRows(), 3);
+}
+
+TEST_F(ExecutorTest, GroupByAndUnnestRoundTrip) {
+  PlanPtr g = MakeGroupBy(MakeViewScan("names", names_.schema()), {1}, "grp");
+  Table grouped = Run(*g);
+  EXPECT_EQ(grouped.NumRows(), 3);  // distinct values pen/ink/deep
+  PlanPtr g2 = MakeGroupBy(MakeViewScan("names", names_.schema()), {}, "all");
+  Table one = Run(*g2);
+  ASSERT_EQ(one.NumRows(), 1);
+  EXPECT_EQ(one.row(0)[0].AsTable().NumRows(), 3);
+
+  // Unnest inverts grouping.
+  PlanPtr u = MakeUnnest(
+      MakeGroupBy(MakeViewScan("names", names_.schema()), {}, "all"), 0);
+  Table back = Run(*u);
+  EXPECT_TRUE(back.EqualsIgnoringOrder(names_));
+}
+
+TEST_F(ExecutorTest, DeriveParent) {
+  PlanPtr p = MakeDeriveParent(MakeViewScan("names", names_.schema()), 0, 1,
+                               "parent");
+  Table t = Run(*p);
+  ASSERT_EQ(t.NumRows(), 3);
+  EXPECT_EQ(t.row(0)[2].AsId().ToString(), "1.1");
+  // Two steps up.
+  PlanPtr p2 = MakeDeriveParent(MakeViewScan("names", names_.schema()), 0, 2,
+                                "gp");
+  Table t2 = Run(*p2);
+  EXPECT_EQ(t2.row(0)[2].AsId().ToString(), "1");
+}
+
+TEST(PlanPrinter, RendersOperators) {
+  Schema s;
+  s.Append({"v.id", ColumnKind::kId, nullptr});
+  PlanPtr scan1 = MakeViewScan("V1", s);
+  PlanPtr scan2 = MakeViewScan("V2", s);
+  PlanPtr join = MakeStructJoin(std::move(scan1), std::move(scan2), 0, 0,
+                                StructAxis::kAncestor);
+  std::string compact = PlanToCompactString(*join);
+  EXPECT_EQ(compact, "(V1 ⋈≺≺ V2)");
+  std::string full = PlanToString(*join);
+  EXPECT_NE(full.find("scan(V1)"), std::string::npos);
+  EXPECT_EQ(join->NumLeaves(), 2);
+}
+
+TEST(PlanClone, DeepCopyExecutesIdentically) {
+  Schema s;
+  s.Append({"v.id", ColumnKind::kId, nullptr});
+  s.Append({"v.v", ColumnKind::kValue, nullptr});
+  Table t(s);
+  t.AddRow({Value{OrdPath::FromString("1.1")}, Value{std::string("5")}});
+  Catalog c;
+  c.Register("V", &t);
+  PlanPtr plan = MakeSelectValue(MakeViewScan("V", s), 1, Predicate::Eq(5));
+  PlanPtr clone = plan->Clone();
+  Result<Table> a = Execute(*plan, c);
+  Result<Table> b = Execute(*clone, c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->EqualsIgnoringOrder(*b));
+}
+
+}  // namespace
+}  // namespace svx

@@ -1,0 +1,258 @@
+#include "src/pattern/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/summary/summary_io.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Summary> Sum(std::string_view s) {
+  Result<std::unique_ptr<Summary>> r = ParseSummary(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::vector<CanonicalTree> Model(const Pattern& p, const Summary& s,
+                                 CanonicalModelOptions opts = {}) {
+  Result<std::vector<CanonicalTree>> m = BuildCanonicalModel(p, s, opts);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return std::move(m).value();
+}
+
+std::vector<std::string> NodePaths(const CanonicalTree& t, const Summary& s) {
+  std::vector<std::string> out;
+  for (PathId p : t.SortedPaths()) out.push_back(s.PathString(p));
+  return out;
+}
+
+// Formula attached to the first node on `path` (True if absent).
+const Predicate& FormulaAt(const CanonicalTree& t, const Summary& s,
+                           const std::string& path) {
+  static const Predicate kTrue = Predicate::True();
+  PathId target = s.Resolve(path);
+  for (int32_t n = 0; n < t.size(); ++n) {
+    if (t.paths[static_cast<size_t>(n)] == target) return t.FormulaFor(n);
+  }
+  return kTrue;
+}
+
+TEST(CanonicalModel, OneEmbeddingOneTree) {
+  std::unique_ptr<Summary> s = Sum("a(b(c))");
+  Pattern p = MustParsePattern("a(//c{id})");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 1u);
+  // The chain a-b-c is materialized even though b is not in the pattern.
+  EXPECT_EQ(NodePaths(m[0], *s),
+            (std::vector<std::string>{"/a", "/a/b", "/a/b/c"}));
+  EXPECT_EQ(m[0].ReturnPaths(), (std::vector<PathId>{s->Resolve("/a/b/c")}));
+}
+
+TEST(CanonicalModel, TwoEmbeddingsTwoTrees) {
+  std::unique_ptr<Summary> s = Sum("a(b(c) d(b(c)))");
+  Pattern p = MustParsePattern("a(//b{id}(/c))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 2u);
+}
+
+TEST(CanonicalModel, PaperDedupExample) {
+  // §2.4: two distinct embeddings may yield the same canonical tree
+  // (p' = /a//*//e where * binds to either chain node).
+  std::unique_ptr<Summary> s = Sum("a(b(c(e)))");
+  Pattern p = MustParsePattern("a(//*(//e{id}))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  EXPECT_EQ(m.size(), 1u);  // both embeddings produce chain a-b-c-e
+}
+
+TEST(CanonicalModel, UnsatisfiablePatternEmptyModel) {
+  std::unique_ptr<Summary> s = Sum("a(b)");
+  Pattern p = MustParsePattern("a(/z{id})");
+  EXPECT_TRUE(Model(p, *s).empty());
+  Result<bool> sat = IsSatisfiable(p, *s);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+}
+
+TEST(CanonicalModel, SatisfiableViaModel) {
+  std::unique_ptr<Summary> s = Sum("a(b)");
+  Pattern p = MustParsePattern("a(/b{id})");
+  Result<bool> sat = IsSatisfiable(p, *s);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+}
+
+// ---- Enhanced summaries (§4.1, Figure 8) ----
+
+TEST(CanonicalModel, StrongEdgeClosure) {
+  // Strong edges pull nodes into the canonical tree: the c child of b and
+  // the f child of a appear although the pattern never mentions them.
+  std::unique_ptr<Summary> s = Sum("a(b(c!(x!) e) f!)");
+  Pattern p = MustParsePattern("a(/b{id})");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(NodePaths(m[0], *s),
+            (std::vector<std::string>{"/a", "/a/b", "/a/b/c", "/a/b/c/x",
+                                      "/a/f"}));
+}
+
+TEST(CanonicalModel, StrongClosureDisabled) {
+  std::unique_ptr<Summary> s = Sum("a(b(c!(x!) e) f!)");
+  Pattern p = MustParsePattern("a(/b{id})");
+  CanonicalModelOptions opts;
+  opts.use_strong_edges = false;
+  std::vector<CanonicalTree> m = Model(p, *s, opts);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(NodePaths(m[0], *s), (std::vector<std::string>{"/a", "/a/b"}));
+}
+
+// ---- Decorated patterns (§4.2, Figure 9) ----
+
+TEST(CanonicalModel, FormulasAttachedToNodes) {
+  std::unique_ptr<Summary> s = Sum("r(c(b))");
+  Pattern p = MustParsePattern("r(/c{id}[v=3](/b[v>0]))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 1u);
+  const CanonicalTree& t = m[0];
+  EXPECT_EQ(FormulaAt(t, *s, "/r/c"), Predicate::Eq(3));
+  EXPECT_EQ(FormulaAt(t, *s, "/r/c/b"), Predicate::Gt(0));
+  EXPECT_TRUE(FormulaAt(t, *s, "/r").IsTrue());
+}
+
+TEST(CanonicalModel, SiblingsOnSamePathStayDistinct) {
+  // §4.2: two pattern nodes mapping to the same summary node yield distinct
+  // canonical nodes, each with its own formula — the pattern is satisfiable
+  // by two different b elements.
+  std::unique_ptr<Summary> s = Sum("a(b(c))");
+  Pattern p = MustParsePattern("a(/b[v=1](/c{id}) /b[v=2])");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 1u);
+  // Nodes: a, b[v=1], c, b[v=2] — four nodes, two on path /a/b.
+  EXPECT_EQ(m[0].size(), 4);
+  Result<bool> sat = IsSatisfiable(p, *s);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+}
+
+TEST(CanonicalModel, DuplicateSiblingChainsKeptSeparate) {
+  // §2.4: the node for e(n) has exactly one child chain per pattern child.
+  // Two required children on the same path produce two canonical nodes; the
+  // tree is NOT collapsed to a summary subtree.
+  std::unique_ptr<Summary> s = Sum("site(item(name desc))");
+  Pattern p = MustParsePattern("site(//item(/name{id}) //item(/desc{id}))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].size(), 5);  // site, item, name, item', desc
+}
+
+// ---- Optional edges (§4.3, Figure 10) ----
+
+TEST(CanonicalModel, OptionalEdgeGeneratesErasedVariants) {
+  std::unique_ptr<Summary> s = Sum("a(c(b d(b e)))");
+  Pattern p = MustParsePattern("a(//c{id}(?/d(/b{id} /e)))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 2u);
+  // One full tree and one ⊥-erased tree.
+  bool saw_full = false;
+  bool saw_bottom = false;
+  for (const CanonicalTree& t : m) {
+    if (t.return_tuple[1] == CanonicalTree::kBottom) {
+      saw_bottom = true;
+      EXPECT_EQ(NodePaths(t, *s), (std::vector<std::string>{"/a", "/a/c"}));
+    } else {
+      saw_full = true;
+      EXPECT_EQ(t.size(), 5);
+    }
+  }
+  EXPECT_TRUE(saw_full);
+  EXPECT_TRUE(saw_bottom);
+}
+
+TEST(CanonicalModel, PaperFigure10ThreeTrees) {
+  // Two independent optional edges yield full/partial/empty variants; here
+  // the middle variant appears twice (one per erased edge choice) and the
+  // combination dedups.
+  std::unique_ptr<Summary> s = Sum("a(c(b d(b e)))");
+  Pattern p = MustParsePattern("a(//c{id}(?/b{id} ?/d(/b /e)))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  EXPECT_EQ(m.size(), 4u);  // {both present, b only, d only, neither}
+}
+
+TEST(CanonicalModel, StrongEdgeRejectsSpuriousBottom) {
+  // a/c/b is a strong edge: every c has a b child, so the ⊥ variant of the
+  // optional edge cannot occur in any conforming document; the §4.3
+  // verification rejects it.
+  std::unique_ptr<Summary> s = Sum("a(c(b!))");
+  Pattern p = MustParsePattern("a(/c{id}(?/b{id}))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_NE(m[0].return_tuple[1], CanonicalTree::kBottom);
+}
+
+TEST(CanonicalModel, OptionalSubtreeUnmatchableInSummary) {
+  // The optional subtree has no embedding at all: only the ⊥ variant exists.
+  std::unique_ptr<Summary> s = Sum("a(c)");
+  Pattern p = MustParsePattern("a(/c{id}(?/z{id}))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].return_tuple[1], CanonicalTree::kBottom);
+}
+
+// ---- Nested edges (§4.5) ----
+
+TEST(CanonicalModel, NestingSequencesRecorded) {
+  std::unique_ptr<Summary> s = Sum("a(b(c))");
+  Pattern p = MustParsePattern("a(n/b(n/c{id}))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  ASSERT_EQ(m.size(), 1u);
+  ASSERT_EQ(m[0].nesting_seqs.size(), 1u);
+  // ns(c) = (e(a), e(b)) — the upper nodes of the two nested edges.
+  ASSERT_EQ(m[0].nesting_seqs[0].size(), 2u);
+  EXPECT_EQ(m[0].paths[static_cast<size_t>(m[0].nesting_seqs[0][0])],
+            s->Resolve("/a"));
+  EXPECT_EQ(m[0].paths[static_cast<size_t>(m[0].nesting_seqs[0][1])],
+            s->Resolve("/a/b"));
+}
+
+TEST(CanonicalModel, NestingSequencesDistinguishTrees) {
+  // Same node set, same return tuple, different nesting anchors: the trees
+  // must stay distinct.
+  std::unique_ptr<Summary> s = Sum("a(b(c(d)))");
+  Pattern p = MustParsePattern("a(//*(n//d{id}))");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  // * binds to b or c; node sets identical (chain a-b-c-d) but ns differs.
+  EXPECT_EQ(m.size(), 2u);
+}
+
+// ---- Size accounting (Figure 4 / §3.1) ----
+
+TEST(CanonicalModel, WildcardDescendantBlowupIsBounded) {
+  std::unique_ptr<Summary> s = Sum("a(b(c) d)");
+  Pattern p = MustParsePattern("a(//*{id})");
+  std::vector<CanonicalTree> m = Model(p, *s);
+  EXPECT_EQ(m.size(), 3u);  // one per non-root summary node
+}
+
+TEST(CanonicalModel, ResourceLimitReported) {
+  std::unique_ptr<Summary> s = Sum("a(b(c) d(e) f(g))");
+  Pattern p = MustParsePattern("a(//*{id} //*{v} //*{l})");
+  CanonicalModelOptions opts;
+  opts.max_embeddings = 5;
+  Result<std::vector<CanonicalTree>> m = BuildCanonicalModel(p, *s, opts);
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CanonicalTree, HashEqualsForEqualTrees) {
+  std::unique_ptr<Summary> s = Sum("a(b)");
+  Pattern p = MustParsePattern("a(/b{id})");
+  std::vector<CanonicalTree> m1 = Model(p, *s);
+  std::vector<CanonicalTree> m2 = Model(p, *s);
+  ASSERT_EQ(m1.size(), 1u);
+  ASSERT_EQ(m2.size(), 1u);
+  EXPECT_EQ(m1[0], m2[0]);
+  EXPECT_EQ(m1[0].Hash(), m2[0].Hash());
+}
+
+}  // namespace
+}  // namespace svx

@@ -1,0 +1,125 @@
+#include "src/xml/document.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/builder.h"
+#include "src/xml/serializer.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Document> MustParse(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(DocumentBuilder, SingleNode) {
+  DocumentBuilder b;
+  b.StartElement("a");
+  b.EndElement();
+  std::unique_ptr<Document> d = b.Finish();
+  EXPECT_EQ(d->size(), 1);
+  EXPECT_EQ(d->label(d->root()), "a");
+  EXPECT_FALSE(d->has_value(d->root()));
+  EXPECT_EQ(d->parent(d->root()), kInvalidNode);
+  EXPECT_EQ(d->depth(d->root()), 1);
+}
+
+TEST(DocumentBuilder, StructureAndValues) {
+  std::unique_ptr<Document> d = MustParse("a(b=1 c(d=2 e) b)");
+  ASSERT_EQ(d->size(), 6);
+  NodeIndex a = d->root();
+  std::vector<NodeIndex> kids = d->children(a);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(d->label(kids[0]), "b");
+  EXPECT_EQ(d->value(kids[0]), "1");
+  EXPECT_EQ(d->label(kids[1]), "c");
+  EXPECT_EQ(d->label(kids[2]), "b");
+  EXPECT_FALSE(d->has_value(kids[2]));
+  std::vector<NodeIndex> ckids = d->children(kids[1]);
+  ASSERT_EQ(ckids.size(), 2u);
+  EXPECT_EQ(d->value(ckids[0]), "2");
+}
+
+TEST(Document, PreorderIntervalsGiveAncestry) {
+  std::unique_ptr<Document> d = MustParse("a(b(c(d)) e)");
+  NodeIndex a = 0;
+  NodeIndex b = 1;
+  NodeIndex c = 2;
+  NodeIndex dd = 3;
+  NodeIndex e = 4;
+  EXPECT_TRUE(d->IsAncestor(a, dd));
+  EXPECT_TRUE(d->IsAncestor(b, dd));
+  EXPECT_TRUE(d->IsAncestor(c, dd));
+  EXPECT_FALSE(d->IsAncestor(dd, c));
+  EXPECT_FALSE(d->IsAncestor(b, e));
+  EXPECT_FALSE(d->IsAncestor(a, a));
+  EXPECT_TRUE(d->IsParent(c, dd));
+  EXPECT_FALSE(d->IsParent(b, dd));
+}
+
+TEST(Document, OrdPathsMatchPaperNumbering) {
+  std::unique_ptr<Document> d = MustParse("a(b c(b d) d)");
+  EXPECT_EQ(d->ord_path(0).ToString(), "1");
+  EXPECT_EQ(d->ord_path(1).ToString(), "1.1");
+  EXPECT_EQ(d->ord_path(2).ToString(), "1.2");
+  EXPECT_EQ(d->ord_path(3).ToString(), "1.2.1");
+  EXPECT_EQ(d->ord_path(4).ToString(), "1.2.2");
+  EXPECT_EQ(d->ord_path(5).ToString(), "1.3");
+}
+
+TEST(Document, FindByOrdPath) {
+  std::unique_ptr<Document> d = MustParse("a(b c(b d) d)");
+  for (NodeIndex n = 0; n < d->size(); ++n) {
+    EXPECT_EQ(d->FindByOrdPath(d->ord_path(n)), n);
+  }
+  EXPECT_EQ(d->FindByOrdPath(OrdPath::FromString("1.9")), kInvalidNode);
+  EXPECT_EQ(d->FindByOrdPath(OrdPath::FromString("2")), kInvalidNode);
+  EXPECT_EQ(d->FindByOrdPath(OrdPath()), kInvalidNode);
+}
+
+TEST(Document, DepthTracksLevels) {
+  std::unique_ptr<Document> d = MustParse("a(b(c(d)))");
+  EXPECT_EQ(d->depth(0), 1);
+  EXPECT_EQ(d->depth(1), 2);
+  EXPECT_EQ(d->depth(2), 3);
+  EXPECT_EQ(d->depth(3), 4);
+}
+
+TEST(TreeNotation, QuotedValues) {
+  std::unique_ptr<Document> d = MustParse("a(b='hello world')");
+  EXPECT_EQ(d->value(1), "hello world");
+}
+
+TEST(TreeNotation, RoundTrip) {
+  const char* cases[] = {
+      "a",
+      "a(b c)",
+      "a(b=1 c(d=2 e) b)",
+      "site(regions(asia(item(name='x y' description))))",
+  };
+  for (const char* c : cases) {
+    std::unique_ptr<Document> d = MustParse(c);
+    EXPECT_EQ(ToTreeNotation(*d), c);
+  }
+}
+
+TEST(TreeNotation, Errors) {
+  EXPECT_FALSE(ParseTreeNotation("").ok());
+  EXPECT_FALSE(ParseTreeNotation("a(").ok());
+  EXPECT_FALSE(ParseTreeNotation("a()").ok());
+  EXPECT_FALSE(ParseTreeNotation("a b").ok());
+  EXPECT_FALSE(ParseTreeNotation("a(b='x)").ok());
+  EXPECT_FALSE(ParseTreeNotation("1a").ok());
+}
+
+TEST(Document, NodesOnPathBeforeAnnotationIsEmpty) {
+  std::unique_ptr<Document> d = MustParse("a(b)");
+  EXPECT_FALSE(d->has_path_annotation());
+  EXPECT_TRUE(d->nodes_on_path(0).empty());
+  EXPECT_EQ(d->path_id(0), -1);
+}
+
+}  // namespace
+}  // namespace svx

@@ -1,0 +1,147 @@
+#include "src/pattern/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/summary/summary_io.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Summary> Sum(std::string_view s) {
+  Result<std::unique_ptr<Summary>> r = ParseSummary(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::vector<std::string> PathsOf(const AssociatedPaths& ap, const Summary& s,
+                                 PatternNodeId n) {
+  std::vector<std::string> out;
+  for (PathId p : ap.feasible[static_cast<size_t>(n)]) {
+    out.push_back(s.PathString(p));
+  }
+  return out;
+}
+
+TEST(AssociatedPaths, SimpleChain) {
+  std::unique_ptr<Summary> s = Sum("a(b(c) d(b(c)))");
+  Pattern p = MustParsePattern("a(//b{id}(/c))");
+  AssociatedPaths ap = ComputeAssociatedPaths(p, *s);
+  EXPECT_EQ(PathsOf(ap, *s, 0), (std::vector<std::string>{"/a"}));
+  EXPECT_EQ(PathsOf(ap, *s, 1),
+            (std::vector<std::string>{"/a/b", "/a/d/b"}));
+  EXPECT_EQ(PathsOf(ap, *s, 2),
+            (std::vector<std::string>{"/a/b/c", "/a/d/b/c"}));
+}
+
+TEST(AssociatedPaths, ChildAxisRestricts) {
+  std::unique_ptr<Summary> s = Sum("a(b(c) d(b(c)))");
+  Pattern p = MustParsePattern("a(/b{id})");
+  AssociatedPaths ap = ComputeAssociatedPaths(p, *s);
+  EXPECT_EQ(PathsOf(ap, *s, 1), (std::vector<std::string>{"/a/b"}));
+}
+
+TEST(AssociatedPaths, BottomUpFiltering) {
+  // b nodes exist on two paths but only one has a c child: the child
+  // condition filters the other.
+  std::unique_ptr<Summary> s = Sum("a(b(c) d(b))");
+  Pattern p = MustParsePattern("a(//b{id}(/c))");
+  AssociatedPaths ap = ComputeAssociatedPaths(p, *s);
+  EXPECT_EQ(PathsOf(ap, *s, 1), (std::vector<std::string>{"/a/b"}));
+}
+
+TEST(AssociatedPaths, TopDownFiltering) {
+  // c exists under both b's, but the pattern anchors b under d.
+  std::unique_ptr<Summary> s = Sum("a(b(c) d(b(c)))");
+  Pattern p = MustParsePattern("a(/d(/b(/c{id})))");
+  AssociatedPaths ap = ComputeAssociatedPaths(p, *s);
+  EXPECT_EQ(PathsOf(ap, *s, 3), (std::vector<std::string>{"/a/d/b/c"}));
+}
+
+TEST(AssociatedPaths, UnsatisfiablePattern) {
+  std::unique_ptr<Summary> s = Sum("a(b)");
+  Pattern p = MustParsePattern("a(/z{id})");
+  AssociatedPaths ap = ComputeAssociatedPaths(p, *s);
+  EXPECT_FALSE(ap.AllNonEmpty());
+}
+
+TEST(AssociatedPaths, RootMustMatchSummaryRoot) {
+  std::unique_ptr<Summary> s = Sum("a(b)");
+  Pattern p = MustParsePattern("b(/a{id})");
+  AssociatedPaths ap = ComputeAssociatedPaths(p, *s);
+  EXPECT_TRUE(ap.feasible[0].empty());
+}
+
+TEST(AssociatedPaths, WildcardMatchesEverything) {
+  std::unique_ptr<Summary> s = Sum("a(b(c) d)");
+  Pattern p = MustParsePattern("a(//*{id})");
+  AssociatedPaths ap = ComputeAssociatedPaths(p, *s);
+  EXPECT_EQ(ap.feasible[1].size(), 3u);  // /a/b, /a/b/c, /a/d
+}
+
+TEST(EnumerateEmbeddings, AllEmbeddingsFound) {
+  // Paper §2.4 example shape: p' = /a//*//e on a summary where * can bind
+  // to two nodes.
+  std::unique_ptr<Summary> s = Sum("a(b(c(e)))");
+  Pattern p = MustParsePattern("a(//*(//e{id}))");
+  std::vector<SummaryEmbedding> all;
+  Status st = EnumerateEmbeddings(p, *s, 1000,
+                                  [&](const SummaryEmbedding& e) {
+                                    all.push_back(e);
+                                    return true;
+                                  });
+  ASSERT_TRUE(st.ok());
+  // * binds to b or c; e fixed.
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(EnumerateEmbeddings, CountMatchesEnumeration) {
+  std::unique_ptr<Summary> s = Sum("a(b(c(e) e) d(e))");
+  Pattern p = MustParsePattern("a(//e{id})");
+  Result<size_t> n = CountEmbeddings(p, *s, 1000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+}
+
+TEST(EnumerateEmbeddings, LimitEnforced) {
+  std::unique_ptr<Summary> s = Sum("a(b(c(e) e) d(e))");
+  Pattern p = MustParsePattern("a(//*{id} //*{v})");
+  Result<size_t> n = CountEmbeddings(p, *s, 3);
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EnumerateEmbeddings, EarlyStopViaCallback) {
+  std::unique_ptr<Summary> s = Sum("a(b(c(e) e) d(e))");
+  Pattern p = MustParsePattern("a(//e{id})");
+  int seen = 0;
+  Status st = EnumerateEmbeddings(p, *s, 1000,
+                                  [&](const SummaryEmbedding&) {
+                                    ++seen;
+                                    return seen < 2;
+                                  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(EnumerateEmbeddings, DescendantAxisIsStrict) {
+  // // means strict descendant: a//a has no embedding in a one-node summary.
+  std::unique_ptr<Summary> s = Sum("a");
+  Pattern p = MustParsePattern("a(//a{id})");
+  Result<size_t> n = CountEmbeddings(p, *s, 10);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(EnumerateEmbeddings, RecursiveSummary) {
+  // parlist/listitem-style recursion unfolded twice in the summary.
+  std::unique_ptr<Summary> s =
+      Sum("item(parlist(listitem(parlist(listitem(text)) text)))");
+  Pattern p = MustParsePattern("item(//listitem{id})");
+  Result<size_t> n = CountEmbeddings(p, *s, 100);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+}
+
+}  // namespace
+}  // namespace svx

@@ -1,0 +1,166 @@
+#include "src/pattern/evaluator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/xml/builder.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Document> Doc(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::vector<std::vector<int32_t>> Tuples(const std::vector<EvalRow>& rows) {
+  std::vector<std::vector<int32_t>> out;
+  for (const EvalRow& r : rows) out.push_back(r.nodes);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Evaluator, SimpleChildMatch) {
+  std::unique_ptr<Document> d = Doc("a(b b c)");
+  Pattern p = MustParsePattern("a(/b{id})");
+  auto rows = EvaluateOnDocument(p, *d);
+  EXPECT_EQ(Tuples(rows), (std::vector<std::vector<int32_t>>{{1}, {2}}));
+}
+
+TEST(Evaluator, DescendantMatch) {
+  std::unique_ptr<Document> d = Doc("a(b(c(b)) b)");
+  Pattern p = MustParsePattern("a(//b{id})");
+  auto rows = EvaluateOnDocument(p, *d);
+  EXPECT_EQ(Tuples(rows), (std::vector<std::vector<int32_t>>{{1}, {3}, {4}}));
+}
+
+TEST(Evaluator, MultipleReturnNodesCrossProduct) {
+  std::unique_ptr<Document> d = Doc("a(b b c c)");
+  Pattern p = MustParsePattern("a(/b{id} /c{id})");
+  auto rows = EvaluateOnDocument(p, *d);
+  EXPECT_EQ(rows.size(), 4u);  // 2 b's x 2 c's
+}
+
+TEST(Evaluator, RootLabelMustMatch) {
+  std::unique_ptr<Document> d = Doc("a(b)");
+  Pattern p = MustParsePattern("z(/b{id})");
+  EXPECT_TRUE(EvaluateOnDocument(p, *d).empty());
+}
+
+TEST(Evaluator, ValuePredicateFiltersNodes) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b=5 b=9 b)");
+  Pattern p = MustParsePattern("a(/b{id}[v>2&v<7])");
+  auto rows = EvaluateOnDocument(p, *d);
+  EXPECT_EQ(Tuples(rows), (std::vector<std::vector<int32_t>>{{2}}));
+}
+
+TEST(Evaluator, WildcardAndSharedStructure) {
+  std::unique_ptr<Document> d = Doc("a(x(d) y(d) z)");
+  Pattern p = MustParsePattern("a(/*{id}(/d))");
+  auto rows = EvaluateOnDocument(p, *d);
+  EXPECT_EQ(Tuples(rows), (std::vector<std::vector<int32_t>>{{1}, {3}}));
+}
+
+// ---- Optional edges (paper Figure 10 shape) ----
+
+TEST(Evaluator, OptionalEdgeProducesBottom) {
+  // d: a(c1(b d(b e)) c2) — c2 has no d subtree: (c2, ⊥) must be produced.
+  std::unique_ptr<Document> d = Doc("a(c(b d(b e)) c)");
+  Pattern p = MustParsePattern("a(//c{id}(?/d(/b{id} /e)))");
+  auto rows = EvaluateOnDocument(p, *d);
+  // c1 -> (c1, b-under-d); c2 -> (c2, ⊥).
+  std::vector<std::vector<int32_t>> expected{{1, 4}, {6, EvalRow::kBottom}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(Tuples(rows), expected);
+}
+
+TEST(Evaluator, OptionalBottomOnlyWhenNoMatchExists) {
+  // Def 4.1 3(b): ⊥ is allowed only if no embedding exists under e(n1).
+  std::unique_ptr<Document> d = Doc("a(c(d))");
+  Pattern p = MustParsePattern("a(/c{id}(?/d{id}))");
+  auto rows = EvaluateOnDocument(p, *d);
+  // d exists, so (c, ⊥) must NOT be produced.
+  EXPECT_EQ(Tuples(rows), (std::vector<std::vector<int32_t>>{{1, 2}}));
+}
+
+TEST(Evaluator, PaperFigure10Semantics) {
+  // Figure 10: p1(t) = {(c1,b2),(c1,b3),(c2,⊥)}; b2 lacks a sibling e yet
+  // appears; c2 appears with ⊥.
+  // Build t with: c1 having b-d1(b2) d2(b3 e), c2 with d3 only (no b under
+  // its d, so no match for the optional subtree -> ⊥... we mirror the spirit
+  // with a simpler tree).
+  std::unique_ptr<Document> d = Doc("a(c(d(b) d(b e)) c(d))");
+  // p: a(//c{id}(?/d(/b{id})))
+  Pattern p = MustParsePattern("a(//c{id}(?/d(/b{id})))");
+  auto rows = EvaluateOnDocument(p, *d);
+  std::vector<std::vector<int32_t>> expected{
+      {1, 3}, {1, 5}, {7, EvalRow::kBottom}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(Tuples(rows), expected);
+}
+
+TEST(Evaluator, NestedOptionalEdges) {
+  std::unique_ptr<Document> d = Doc("a(c c(d) c(d(b)))");
+  Pattern p = MustParsePattern("a(//c{id}(?/d{id}(?/b{id})))");
+  auto rows = EvaluateOnDocument(p, *d);
+  std::vector<std::vector<int32_t>> expected{
+      {1, EvalRow::kBottom, EvalRow::kBottom},
+      {2, 3, EvalRow::kBottom},
+      {4, 5, 6}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(Tuples(rows), expected);
+}
+
+// ---- Nesting sequences (§4.5) ----
+
+TEST(Evaluator, NestingSequenceRecordsUpperNodes) {
+  std::unique_ptr<Document> d = Doc("a(b(c) b(c))");
+  Pattern p = MustParsePattern("a(n//c{id})");
+  auto rows = EvaluateReturnRows(p, DocumentTreeView(*d),
+                                 FormulaMode::kImplication);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const EvalRow& r : rows) {
+    ASSERT_EQ(r.nesting[0].size(), 1u);
+    // The upper node of the nested edge is the pattern root binding (a = 0).
+    EXPECT_EQ(r.nesting[0][0], 0);
+  }
+}
+
+TEST(Evaluator, DeepNestingSequence) {
+  std::unique_ptr<Document> d = Doc("a(b(c(e)))");
+  Pattern p = MustParsePattern("a(n/b(n//e{id}))");
+  auto rows = EvaluateReturnRows(p, DocumentTreeView(*d),
+                                 FormulaMode::kImplication);
+  ASSERT_EQ(rows.size(), 1u);
+  // ns(e) = (a-binding, b-binding) = (0, 1).
+  EXPECT_EQ(rows[0].nesting[0], (std::vector<int32_t>{0, 1}));
+}
+
+TEST(Evaluator, DuplicateRowsDeduplicated) {
+  // Two embeddings with the same return bindings yield one row.
+  std::unique_ptr<Document> d = Doc("a(b(x) b(x) c)");
+  Pattern p = MustParsePattern("a(//b //c{id})");
+  auto rows = EvaluateOnDocument(p, *d);
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST(Evaluator, ContainsNodeTupleHelper) {
+  std::unique_ptr<Document> d = Doc("a(b)");
+  Pattern p = MustParsePattern("a(/b{id})");
+  auto rows = EvaluateOnDocument(p, *d);
+  EXPECT_TRUE(ContainsNodeTuple(rows, {1}));
+  EXPECT_FALSE(ContainsNodeTuple(rows, {0}));
+}
+
+TEST(Evaluator, NonReturnNodesConstrainButDontProject) {
+  std::unique_ptr<Document> d = Doc("a(b(q) b)");
+  Pattern p = MustParsePattern("a(/b{id}(/q))");
+  auto rows = EvaluateOnDocument(p, *d);
+  EXPECT_EQ(Tuples(rows), (std::vector<std::vector<int32_t>>{{1}}));
+}
+
+}  // namespace
+}  // namespace svx

@@ -1,0 +1,41 @@
+#include "src/util/interner.h"
+
+#include <gtest/gtest.h>
+
+namespace svx {
+namespace {
+
+TEST(Interner, InternIsIdempotent) {
+  StringInterner in;
+  int32_t a = in.Intern("item");
+  EXPECT_EQ(in.Intern("item"), a);
+  EXPECT_EQ(in.size(), 1);
+}
+
+TEST(Interner, DistinctStringsDistinctIds) {
+  StringInterner in;
+  int32_t a = in.Intern("a");
+  int32_t b = in.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Get(a), "a");
+  EXPECT_EQ(in.Get(b), "b");
+}
+
+TEST(Interner, FindWithoutInterning) {
+  StringInterner in;
+  EXPECT_EQ(in.Find("missing"), StringInterner::kNone);
+  in.Intern("present");
+  EXPECT_EQ(in.Find("present"), 0);
+  EXPECT_EQ(in.Find("missing"), StringInterner::kNone);
+}
+
+TEST(Interner, IdsAreDense) {
+  StringInterner in;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(in.Intern("s" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(in.size(), 100);
+}
+
+}  // namespace
+}  // namespace svx

@@ -1,0 +1,94 @@
+#include "src/xml/node_id.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace svx {
+namespace {
+
+TEST(OrdPath, RootAndChildren) {
+  OrdPath root = OrdPath::Root();
+  EXPECT_EQ(root.ToString(), "1");
+  EXPECT_EQ(root.Depth(), 1);
+  OrdPath c = root.Child(3);
+  EXPECT_EQ(c.ToString(), "1.3");
+  EXPECT_EQ(c.Child(1).ToString(), "1.3.1");
+}
+
+TEST(OrdPath, FromStringRoundTrip) {
+  OrdPath p = OrdPath::FromString("1.3.3.1");
+  ASSERT_TRUE(p.IsValid());
+  EXPECT_EQ(p.ToString(), "1.3.3.1");
+  EXPECT_EQ(p.Depth(), 4);
+}
+
+TEST(OrdPath, FromStringRejectsMalformed) {
+  EXPECT_FALSE(OrdPath::FromString("").IsValid());
+  EXPECT_FALSE(OrdPath::FromString("1.x").IsValid());
+  EXPECT_FALSE(OrdPath::FromString("1.0").IsValid());
+  EXPECT_FALSE(OrdPath::FromString("1.-2").IsValid());
+}
+
+TEST(OrdPath, ParentDerivation) {
+  // The paper's §4.6 navfID: an element's ID derives from its child's ID.
+  OrdPath p = OrdPath::FromString("1.3.3.1");
+  EXPECT_EQ(p.Parent().ToString(), "1.3.3");
+  EXPECT_EQ(p.Parent().Parent().ToString(), "1.3");
+  EXPECT_FALSE(OrdPath::Root().Parent().IsValid());
+}
+
+TEST(OrdPath, AncestorSteps) {
+  OrdPath p = OrdPath::FromString("1.2.3.4.5");
+  EXPECT_EQ(p.Ancestor(0), p);
+  EXPECT_EQ(p.Ancestor(2).ToString(), "1.2.3");
+  EXPECT_EQ(p.Ancestor(4).ToString(), "1");
+  EXPECT_FALSE(p.Ancestor(5).IsValid());
+}
+
+TEST(OrdPath, StructuralRelationships) {
+  // §1: "structural IDs allow deciding whether an element is a parent
+  // (ancestor) of another by comparing their IDs".
+  OrdPath a = OrdPath::FromString("1.3");
+  OrdPath b = OrdPath::FromString("1.3.3");
+  OrdPath c = OrdPath::FromString("1.3.3.1");
+  OrdPath d = OrdPath::FromString("1.5");
+  EXPECT_TRUE(a.IsParentOf(b));
+  EXPECT_FALSE(a.IsParentOf(c));
+  EXPECT_TRUE(a.IsAncestorOf(b));
+  EXPECT_TRUE(a.IsAncestorOf(c));
+  EXPECT_FALSE(a.IsAncestorOf(d));
+  EXPECT_FALSE(b.IsAncestorOf(a));
+  EXPECT_FALSE(a.IsAncestorOf(a));
+  EXPECT_TRUE(a.IsAncestorOrSelf(a));
+}
+
+TEST(OrdPath, DocumentOrderIsPreorder) {
+  std::vector<OrdPath> ids = {
+      OrdPath::FromString("1"),     OrdPath::FromString("1.1"),
+      OrdPath::FromString("1.1.1"), OrdPath::FromString("1.2"),
+      OrdPath::FromString("1.10"),
+  };
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = 0; j < ids.size(); ++j) {
+      EXPECT_EQ(ids[i] < ids[j], i < j)
+          << ids[i].ToString() << " vs " << ids[j].ToString();
+    }
+  }
+}
+
+TEST(OrdPath, SortOrdersSiblingsNumerically) {
+  // "1.10" must sort after "1.9" (component-wise, not lexicographic).
+  EXPECT_TRUE(OrdPath::FromString("1.9") < OrdPath::FromString("1.10"));
+}
+
+TEST(OrdPath, HashAndEquality) {
+  OrdPath a = OrdPath::FromString("1.2.3");
+  OrdPath b = OrdPath::Root().Child(2).Child(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, a.Parent());
+}
+
+}  // namespace
+}  // namespace svx

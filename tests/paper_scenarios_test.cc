@@ -1,0 +1,202 @@
+// The paper's Figure 1 world, reconstructed literally: the XMark fragment
+// of §1 (document, its summary, views V1 and V2), and the claims the
+// introduction makes about it.
+#include <gtest/gtest.h>
+
+#include "src/algebra/executor.h"
+#include "src/containment/containment.h"
+#include "src/pattern/pattern_parser.h"
+#include "src/rewriting/rewriter.h"
+#include "src/rewriting/view.h"
+#include "src/summary/summary_builder.h"
+#include "src/xml/parser.h"
+
+namespace svx {
+namespace {
+
+// The Figure 1(a) document fragment (values abridged, structure exact):
+// two items under /site/regions/asia; the first has a mailbox with two
+// mails and a parlist with keyword/text content; the second has a
+// single-listitem parlist and a mailbox with one mail.
+constexpr const char* kFigure1Xml = R"(
+<site><regions><asia>
+  <item>
+    <name>Columbus pen</name>
+    <mailbox>
+      <mail><from>bill@aol.com</from><to>jane@u2.com</to>
+            <date>3/4/2006</date><text>Hello,...</text></mail>
+      <mail><from>jim@gmail.com</from><to>bob@u2.com</to>
+            <date>4/6/2006</date><text>Can you...</text></mail>
+    </mailbox>
+    <description><parlist>
+      <listitem><keyword>Columbus</keyword>
+        <text>Italic <keyword>fountain pen</keyword></text></listitem>
+      <listitem><text>Stainless steel, <bold>gold plated</bold></text>
+        </listitem>
+    </parlist></description>
+  </item>
+  <item>
+    <name>Monteverdi pen</name>
+    <description><parlist>
+      <listitem><text>Monteverdi Invincia pen</text></listitem>
+    </parlist></description>
+    <mailbox>
+      <mail><from>a@b.c</from><to>d@e.f</to>
+            <date>1/1/2006</date><text>hi</text></mail>
+    </mailbox>
+  </item>
+</asia></regions></site>
+)";
+
+class Figure1World : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<std::unique_ptr<Document>> d = ParseXml(kFigure1Xml);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    doc_ = std::move(*d);
+    summary_ = SummaryBuilder::Build(doc_.get());
+  }
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<Summary> summary_;
+};
+
+TEST_F(Figure1World, SummaryMatchesFigure1b) {
+  // Figure 1(b): the summary contains exactly the paths of the fragment.
+  for (const char* path :
+       {"/site/regions/asia/item/name", "/site/regions/asia/item/mailbox",
+        "/site/regions/asia/item/mailbox/mail/from",
+        "/site/regions/asia/item/description/parlist/listitem/keyword",
+        "/site/regions/asia/item/description/parlist/listitem/text/bold",
+        "/site/regions/asia/item/description/parlist/listitem/text/"
+        "keyword"}) {
+    EXPECT_NE(summary_->Resolve(path), kInvalidPath) << path;
+  }
+  EXPECT_EQ(summary_->Resolve("/site/regions/asia/item/bold"), kInvalidPath);
+}
+
+TEST_F(Figure1World, V1ProducesNullPaddedNestedTable) {
+  // Figure 1(c): V1 stores, per /regions//* node with a description/parlist,
+  // its ID, the grouped content of its listitems, and an optional bold
+  // value. The Monteverdi item's bold column is ⊥ (the n21 row of the
+  // paper: "V is bound to null").
+  Pattern v1 = MustParsePattern(
+      "site(/regions(//*{id}(/description(/parlist("
+      "n/listitem{c} ?//bold{v})))))");
+  Table t = MaterializeView(v1, "V1", *doc_);
+  ASSERT_EQ(t.NumRows(), 2);
+  // Row 1 (Columbus item): two listitems grouped, bold = "gold plated".
+  EXPECT_EQ(t.row(0)[1].AsTable().NumRows(), 2);
+  EXPECT_EQ(t.row(0)[2].AsString(), "gold plated");
+  // Row 2 (Monteverdi item): one listitem, ⊥ bold.
+  EXPECT_EQ(t.row(1)[1].AsTable().NumRows(), 1);
+  EXPECT_TRUE(t.row(1)[2].IsNull());
+}
+
+TEST_F(Figure1World, SummaryProvesStarIsItem) {
+  // §1 "Summary-based rewriting", first bullet: although V1's pattern does
+  // not say "item", the summary guarantees all /regions children with
+  // description children are items.
+  Result<bool> c = IsContained(
+      MustParsePattern("site(/regions(//*{id}(/description)))"),
+      MustParsePattern("site(//item{id})"), *summary_);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(*c);
+}
+
+TEST_F(Figure1World, SummaryLocatesKeywordsUnderListitems) {
+  // Second bullet: the summary implies all /regions//item//keyword nodes
+  // are inside listitems, so keyword data is reachable from listitem
+  // content.
+  Result<bool> c = IsContained(
+      MustParsePattern("site(//item(//keyword{id}))"),
+      MustParsePattern("site(//listitem(//keyword{id}))"), *summary_);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(*c);
+}
+
+TEST_F(Figure1World, ListitemPathsCoincide) {
+  // Third bullet: /regions//item//listitem and
+  // /regions//*/description/parlist/listitem deliver the same data here.
+  Result<bool> eq = AreEquivalent(
+      MustParsePattern("site(/regions(//item(//listitem{id})))"),
+      MustParsePattern(
+          "site(/regions(//*(/description(/parlist(/listitem{id})))))"),
+      *summary_);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_F(Figure1World, MailDescendantCheckNeeded) {
+  // §1 "Summary-based optimization": in this fragment every item has a
+  // mail descendant, so the enhanced summary proves items ≡ items-with-
+  // mail and V1 "only stores useful data, and can be used directly".
+  Result<bool> eq = AreEquivalent(
+      MustParsePattern("site(//item{id})"),
+      MustParsePattern("site(//item{id}(//mail))"), *summary_);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+  // Without the integrity constraints, the check is required.
+  ContainmentOptions plain;
+  plain.model.use_strong_edges = false;
+  Result<bool> weak = IsContained(
+      MustParsePattern("site(//item{id})"),
+      MustParsePattern("site(//item{id}(//mail))"), *summary_, plain);
+  ASSERT_TRUE(weak.ok());
+  EXPECT_FALSE(*weak);
+}
+
+TEST_F(Figure1World, V1V2CombineViaStructuralIds) {
+  // §1 "Exploiting ID properties": V1 and V2 have no common stored node,
+  // yet the query combining names and listitem data is answered by joining
+  // them on the structural IDs.
+  std::vector<ViewDef> defs = {
+      {"V1", MustParsePattern("site(//item{id}(/description{c}))")},
+      {"V2", MustParsePattern("site(//item{id}(/name{v}))")},
+  };
+  std::vector<MaterializedView> views = MaterializeAll(defs, *doc_);
+  Catalog catalog;
+  for (const MaterializedView& v : views) {
+    catalog.Register(v.def.name, &v.extent);
+  }
+  Rewriter rewriter(*summary_);
+  for (const ViewDef& d : defs) rewriter.AddView(d);
+  Pattern q = MustParsePattern("site(//item(/name{v} /description{c}))");
+  Result<std::vector<Rewriting>> rws = rewriter.Rewrite(q);
+  ASSERT_TRUE(rws.ok());
+  ASSERT_FALSE(rws->empty());
+  Table reference = MaterializeView(q, "Q", *doc_);
+  ASSERT_EQ(reference.NumRows(), 2);
+  for (const Rewriting& r : *rws) {
+    Result<Table> t = Execute(*r.plan, catalog);
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE(t->EqualsIgnoringOrder(reference)) << r.compact;
+  }
+}
+
+TEST_F(Figure1World, ParentIdDerivationFigure2Style) {
+  // §1: "some ID schemes also allow inferring an element's ID from the ID
+  // of one of its children" — a view storing parlist IDs can answer a
+  // query on description nodes.
+  std::vector<ViewDef> defs = {
+      {"VP", MustParsePattern("site(//parlist{id})")},
+  };
+  std::vector<MaterializedView> views = MaterializeAll(defs, *doc_);
+  Catalog catalog;
+  catalog.Register("VP", &views[0].extent);
+  Rewriter rewriter(*summary_);
+  rewriter.AddView(defs[0]);
+  Pattern q = MustParsePattern("site(//item(/description{id}))");
+  Result<std::vector<Rewriting>> rws = rewriter.Rewrite(q);
+  ASSERT_TRUE(rws.ok());
+  ASSERT_FALSE(rws->empty());
+  Table reference = MaterializeView(q, "Q", *doc_);
+  for (const Rewriting& r : *rws) {
+    Result<Table> t = Execute(*r.plan, catalog);
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE(t->EqualsIgnoringOrder(reference)) << r.compact;
+  }
+}
+
+}  // namespace
+}  // namespace svx

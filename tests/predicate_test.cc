@@ -1,0 +1,180 @@
+#include "src/pattern/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace svx {
+namespace {
+
+TEST(Predicate, TrueFalseBasics) {
+  EXPECT_TRUE(Predicate::True().IsTrue());
+  EXPECT_FALSE(Predicate::True().IsFalse());
+  EXPECT_TRUE(Predicate::False().IsFalse());
+  EXPECT_FALSE(Predicate::False().IsTrue());
+}
+
+TEST(Predicate, AtomMembership) {
+  EXPECT_TRUE(Predicate::Eq(3).Contains(3));
+  EXPECT_FALSE(Predicate::Eq(3).Contains(4));
+  EXPECT_TRUE(Predicate::Lt(5).Contains(4));
+  EXPECT_FALSE(Predicate::Lt(5).Contains(5));
+  EXPECT_TRUE(Predicate::Gt(5).Contains(6));
+  EXPECT_FALSE(Predicate::Gt(5).Contains(5));
+  EXPECT_TRUE(Predicate::Le(5).Contains(5));
+  EXPECT_TRUE(Predicate::Ge(5).Contains(5));
+}
+
+TEST(Predicate, AndIntersects) {
+  Predicate p = Predicate::Gt(2).And(Predicate::Lt(5));
+  EXPECT_TRUE(p.Contains(3));
+  EXPECT_TRUE(p.Contains(4));
+  EXPECT_FALSE(p.Contains(2));
+  EXPECT_FALSE(p.Contains(5));
+}
+
+TEST(Predicate, AndDisjointIsFalse) {
+  EXPECT_TRUE(Predicate::Lt(2).And(Predicate::Gt(5)).IsFalse());
+  EXPECT_TRUE(Predicate::Eq(1).And(Predicate::Eq(2)).IsFalse());
+}
+
+TEST(Predicate, OrMergesAdjacentIntegerIntervals) {
+  // [1,2] ∪ [3,4] = [1,4] over the integers.
+  Predicate p = Predicate::Range(1, 2).Or(Predicate::Range(3, 4));
+  EXPECT_EQ(p.intervals().size(), 1u);
+  EXPECT_EQ(p.intervals()[0].lo, 1);
+  EXPECT_EQ(p.intervals()[0].hi, 4);
+}
+
+TEST(Predicate, OrKeepsGaps) {
+  Predicate p = Predicate::Eq(1).Or(Predicate::Eq(5));
+  EXPECT_EQ(p.intervals().size(), 2u);
+  EXPECT_TRUE(p.Contains(1));
+  EXPECT_FALSE(p.Contains(3));
+  EXPECT_TRUE(p.Contains(5));
+}
+
+TEST(Predicate, NotComplementsAtom) {
+  Predicate p = Predicate::Eq(3).Not();
+  EXPECT_FALSE(p.Contains(3));
+  EXPECT_TRUE(p.Contains(2));
+  EXPECT_TRUE(p.Contains(4));
+  EXPECT_TRUE(Predicate::True().Not().IsFalse());
+  EXPECT_TRUE(Predicate::False().Not().IsTrue());
+}
+
+TEST(Predicate, DoubleNegationIsIdentity) {
+  Predicate p = Predicate::Gt(2).And(Predicate::Lt(9)).Or(Predicate::Eq(-4));
+  EXPECT_EQ(p.Not().Not(), p);
+}
+
+TEST(Predicate, ImplicationBasics) {
+  EXPECT_TRUE(Predicate::Eq(3).Implies(Predicate::Gt(0)));
+  EXPECT_FALSE(Predicate::Gt(0).Implies(Predicate::Eq(3)));
+  EXPECT_TRUE(Predicate::False().Implies(Predicate::Eq(1)));
+  EXPECT_TRUE(Predicate::Eq(1).Implies(Predicate::True()));
+  // The paper's §4.2 example: (v=3)∧(v>0) => (v>1).
+  Predicate lhs = Predicate::Eq(3).And(Predicate::Gt(0));
+  EXPECT_TRUE(lhs.Implies(Predicate::Gt(1)));
+}
+
+TEST(Predicate, ImplicationIntoDisjunction) {
+  // v>0 => (0<v<5) ∨ (v>3).
+  Predicate lhs = Predicate::Gt(0);
+  Predicate rhs = Predicate::Gt(0).And(Predicate::Lt(5)).Or(Predicate::Gt(3));
+  EXPECT_TRUE(lhs.Implies(rhs));
+  // but not v>=0.
+  EXPECT_FALSE(Predicate::Ge(0).Implies(rhs));
+}
+
+TEST(Predicate, ContainsValueParsesIntegers) {
+  EXPECT_TRUE(Predicate::Eq(42).ContainsValue("42"));
+  EXPECT_TRUE(Predicate::Eq(42).ContainsValue(" 42 "));
+  EXPECT_FALSE(Predicate::Eq(42).ContainsValue("41"));
+  EXPECT_FALSE(Predicate::Eq(42).ContainsValue("fortytwo"));
+  // Non-numeric values satisfy only the True formula.
+  EXPECT_TRUE(Predicate::True().ContainsValue("fortytwo"));
+}
+
+TEST(Predicate, RoundTripToString) {
+  const char* cases[] = {"v=3",          "v<5",        "v>2",
+                         "v>2&v<7",      "v<0|v=5",    "v=1|v=3|v=9",
+                         "false"};
+  for (const char* c : cases) {
+    Result<Predicate> p = Predicate::Parse(c);
+    ASSERT_TRUE(p.ok()) << c;
+    EXPECT_EQ(p->ToString(), c);
+  }
+  EXPECT_EQ(Predicate::True().ToString(), "");
+}
+
+TEST(Predicate, ParseOperatorsAndParens) {
+  Result<Predicate> p = Predicate::Parse("(v>1&v<4)|v=9");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Contains(2));
+  EXPECT_TRUE(p->Contains(9));
+  EXPECT_FALSE(p->Contains(5));
+  Result<Predicate> le = Predicate::Parse("v<=3");
+  ASSERT_TRUE(le.ok());
+  EXPECT_TRUE(le->Contains(3));
+  EXPECT_FALSE(le->Contains(4));
+  Result<Predicate> ge = Predicate::Parse("v>=-2");
+  ASSERT_TRUE(ge.ok());
+  EXPECT_TRUE(ge->Contains(-2));
+  EXPECT_FALSE(ge->Contains(-3));
+}
+
+TEST(Predicate, ParseErrors) {
+  EXPECT_FALSE(Predicate::Parse("v").ok());
+  EXPECT_FALSE(Predicate::Parse("v=").ok());
+  EXPECT_FALSE(Predicate::Parse("v=x").ok());
+  EXPECT_FALSE(Predicate::Parse("(v=1").ok());
+  EXPECT_FALSE(Predicate::Parse("v=1)").ok());
+  EXPECT_FALSE(Predicate::Parse("w=1").ok());
+}
+
+TEST(Predicate, EndpointsCollectConstants) {
+  Predicate p = Predicate::Gt(2).And(Predicate::Lt(7)).Or(Predicate::Eq(10));
+  std::vector<int64_t> e = p.Endpoints();
+  EXPECT_EQ(e, (std::vector<int64_t>{3, 6, 10}));
+}
+
+TEST(Predicate, HashConsistency) {
+  Predicate a = Predicate::Gt(0).And(Predicate::Lt(5));
+  Predicate b = Predicate::Range(1, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+// Property-style sweep: random formulas obey boolean algebra laws.
+class PredicateAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredicateAlgebra, DeMorganAndImplicationConsistency) {
+  int seed = GetParam();
+  auto mk = [&](int salt) {
+    // Deterministic small formula from the seed.
+    int64_t c1 = (seed * 7 + salt * 3) % 10;
+    int64_t c2 = (seed * 5 + salt * 11) % 10;
+    Predicate p = Predicate::Gt(c1).And(Predicate::Lt(c2 + 6));
+    if ((seed + salt) % 3 == 0) p = p.Or(Predicate::Eq(c2 - 3));
+    if ((seed + salt) % 4 == 1) p = p.Not();
+    return p;
+  };
+  Predicate a = mk(1);
+  Predicate b = mk(2);
+  // De Morgan.
+  EXPECT_EQ(a.And(b).Not(), a.Not().Or(b.Not()));
+  EXPECT_EQ(a.Or(b).Not(), a.Not().And(b.Not()));
+  // Implication is containment.
+  EXPECT_TRUE(a.And(b).Implies(a));
+  EXPECT_TRUE(a.Implies(a.Or(b)));
+  // Membership coincides point-wise on a sample.
+  for (int64_t v = -15; v <= 15; ++v) {
+    EXPECT_EQ(a.And(b).Contains(v), a.Contains(v) && b.Contains(v));
+    EXPECT_EQ(a.Or(b).Contains(v), a.Contains(v) || b.Contains(v));
+    EXPECT_EQ(a.Not().Contains(v), !a.Contains(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PredicateAlgebra, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace svx

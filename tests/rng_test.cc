@@ -1,0 +1,69 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace svx {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(r.Uniform(9, 9), 9);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(11);
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 200; ++i) {
+    seen[static_cast<size_t>(r.Uniform(0, 3))] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, PickReturnsMember) {
+  Rng r(13);
+  std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    int x = r.Pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+}  // namespace
+}  // namespace svx

@@ -1,0 +1,61 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace svx {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  EXPECT_EQ(Split("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(".a", '.'), (std::vector<std::string>{"", "a"}));
+}
+
+TEST(Strings, JoinBasic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(Strings, SplitJoinRoundTrip) {
+  std::string s = "site/regions/asia/item";
+  EXPECT_EQ(Join(Split(s, '/'), "/"), s);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\n\tx\r\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Strings, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("4.2").has_value());
+  EXPECT_FALSE(ParseInt64("x42").has_value());
+  EXPECT_FALSE(ParseInt64("42x").has_value());
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(Strings, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&apos;c");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+}  // namespace
+}  // namespace svx

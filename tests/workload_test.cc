@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "src/pattern/canonical.h"
+#include "src/pattern/pattern_printer.h"
+#include "src/summary/summary_builder.h"
+#include "src/workload/corpora.h"
+#include "src/workload/dblp.h"
+#include "src/workload/pattern_generator.h"
+#include "src/workload/xmark.h"
+#include "src/workload/xmark_queries.h"
+
+namespace svx {
+namespace {
+
+TEST(Xmark, GeneratesAndSummarizes) {
+  XmarkOptions opts;
+  opts.scale = 1.0;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  ASSERT_GT(doc->size(), 500);
+  EXPECT_EQ(doc->label(doc->root()), "site");
+  std::unique_ptr<Summary> s = SummaryBuilder::Build(doc.get());
+  // Table 1 band: hundreds of paths.
+  EXPECT_GT(s->size(), 150);
+  EXPECT_LT(s->size(), 1200);
+  EXPECT_GT(s->num_strong_edges(), 0);
+  EXPECT_GT(s->num_one_to_one_edges(), 0);
+  EXPECT_TRUE(Conforms(*doc, *s));
+}
+
+TEST(Xmark, SummaryGrowsSlowlyWithScale) {
+  // Table 1: XMark11 -> XMark233 grows the summary by only ~10%.
+  XmarkOptions small;
+  small.scale = 0.5;
+  XmarkOptions large;
+  large.scale = 4.0;
+  std::unique_ptr<Document> d1 = GenerateXmark(small);
+  std::unique_ptr<Document> d2 = GenerateXmark(large);
+  std::unique_ptr<Summary> s1 = SummaryBuilder::Build(d1.get());
+  std::unique_ptr<Summary> s2 = SummaryBuilder::Build(d2.get());
+  EXPECT_GT(d2->size(), 3 * d1->size());
+  EXPECT_LT(static_cast<double>(s2->size()),
+            1.9 * static_cast<double>(s1->size()));
+}
+
+TEST(Xmark, Deterministic) {
+  XmarkOptions opts;
+  std::unique_ptr<Document> a = GenerateXmark(opts);
+  std::unique_ptr<Document> b = GenerateXmark(opts);
+  ASSERT_EQ(a->size(), b->size());
+  for (NodeIndex n = 0; n < a->size(); n += 97) {
+    EXPECT_EQ(a->label(n), b->label(n));
+  }
+}
+
+TEST(Dblp, TwoSnapshots) {
+  DblpOptions d02;
+  DblpOptions d05;
+  d05.snapshot_2005 = true;
+  std::unique_ptr<Document> doc02 = GenerateDblp(d02);
+  std::unique_ptr<Document> doc05 = GenerateDblp(d05);
+  std::unique_ptr<Summary> s02 = SummaryBuilder::Build(doc02.get());
+  std::unique_ptr<Summary> s05 = SummaryBuilder::Build(doc05.get());
+  // Table 1: DBLP'05 has a slightly larger summary than DBLP'02.
+  EXPECT_GT(s05->size(), s02->size());
+  EXPECT_GT(s02->size(), 40);
+  EXPECT_LT(s05->size(), 300);
+}
+
+TEST(Corpora, SummarySizesInTableOneBands) {
+  std::unique_ptr<Document> shakespeare = GenerateShakespeareLike();
+  std::unique_ptr<Document> nasa = GenerateNasaLike();
+  std::unique_ptr<Document> swissprot = GenerateSwissProtLike();
+  std::unique_ptr<Summary> s1 = SummaryBuilder::Build(shakespeare.get());
+  std::unique_ptr<Summary> s2 = SummaryBuilder::Build(nasa.get());
+  std::unique_ptr<Summary> s3 = SummaryBuilder::Build(swissprot.get());
+  EXPECT_GT(s1->size(), 15);
+  EXPECT_LT(s1->size(), 90);
+  EXPECT_GT(s2->size(), 10);
+  EXPECT_LT(s2->size(), 60);
+  EXPECT_GT(s3->size(), 25);
+  EXPECT_LT(s3->size(), 180);
+}
+
+TEST(XmarkQueries, AllTwentyParseAndAreSatisfiable) {
+  XmarkOptions opts;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  std::unique_ptr<Summary> s = SummaryBuilder::Build(doc.get());
+  int optional_count = 0;
+  for (const XmarkQuery& q : XmarkQueryPatterns()) {
+    Pattern p = GetXmarkQueryPattern(q.number);
+    EXPECT_GE(p.size(), 3) << q.number;
+    if (p.HasOptionalEdges()) ++optional_count;
+    Result<bool> sat = IsSatisfiable(p, *s);
+    ASSERT_TRUE(sat.ok()) << q.number;
+    EXPECT_TRUE(*sat) << "query " << q.number << " unsatisfiable: " << q.text;
+  }
+  // The paper reports 16 of the 20 patterns carry optional edges.
+  EXPECT_GE(optional_count, 10);
+}
+
+TEST(PatternGenerator, RespectsSizeAndArity) {
+  XmarkOptions opts;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  std::unique_ptr<Summary> s = SummaryBuilder::Build(doc.get());
+  Rng rng(123);
+  PatternGenOptions gen;
+  gen.num_nodes = 7;
+  gen.num_return = 2;
+  gen.return_labels = {"item", "name"};
+  for (int i = 0; i < 20; ++i) {
+    Result<Pattern> p = GeneratePattern(*s, gen, &rng);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_EQ(p->size(), 7);
+    EXPECT_EQ(p->Arity(), 2);
+    std::vector<PatternNodeId> rets = p->ReturnNodes();
+    EXPECT_EQ(p->node(rets[0]).label, "item");
+    EXPECT_EQ(p->node(rets[1]).label, "name");
+  }
+}
+
+TEST(PatternGenerator, GeneratedPatternsAreStructurallySatisfiable) {
+  XmarkOptions opts;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  std::unique_ptr<Summary> s = SummaryBuilder::Build(doc.get());
+  Rng rng(77);
+  PatternGenOptions gen;
+  gen.num_nodes = 5;
+  gen.num_return = 1;
+  gen.return_labels = {"item"};
+  gen.p_pred = 0;  // structure only
+  for (int i = 0; i < 20; ++i) {
+    Result<Pattern> p = GeneratePattern(*s, gen, &rng);
+    ASSERT_TRUE(p.ok());
+    Result<bool> sat = IsSatisfiable(*p, *s);
+    ASSERT_TRUE(sat.ok());
+    EXPECT_TRUE(*sat) << PatternToString(*p);
+  }
+}
+
+TEST(PatternGenerator, DeterministicGivenSeed) {
+  XmarkOptions opts;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  std::unique_ptr<Summary> s = SummaryBuilder::Build(doc.get());
+  PatternGenOptions gen;
+  gen.num_nodes = 6;
+  gen.return_labels = {"item"};
+  Rng r1(5);
+  Rng r2(5);
+  Result<Pattern> a = GeneratePattern(*s, gen, &r1);
+  Result<Pattern> b = GeneratePattern(*s, gen, &r2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(PatternToString(*a), PatternToString(*b));
+}
+
+}  // namespace
+}  // namespace svx

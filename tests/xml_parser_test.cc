@@ -1,0 +1,125 @@
+#include "src/xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/serializer.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Document> MustParseXml(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseXml(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(XmlParser, MinimalDocument) {
+  std::unique_ptr<Document> d = MustParseXml("<a/>");
+  EXPECT_EQ(d->size(), 1);
+  EXPECT_EQ(d->label(0), "a");
+}
+
+TEST(XmlParser, NestedElementsAndText) {
+  std::unique_ptr<Document> d =
+      MustParseXml("<a><b>1</b><c><d>2</d><e/></c></a>");
+  ASSERT_EQ(d->size(), 5);
+  EXPECT_EQ(d->label(1), "b");
+  EXPECT_EQ(d->value(1), "1");
+  EXPECT_EQ(d->label(3), "d");
+  EXPECT_EQ(d->value(3), "2");
+}
+
+TEST(XmlParser, AttributesBecomeAtChildren) {
+  std::unique_ptr<Document> d =
+      MustParseXml("<item id=\"i7\" featured=\"yes\"><name>pen</name></item>");
+  std::vector<NodeIndex> kids = d->children(0);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(d->label(kids[0]), "@id");
+  EXPECT_EQ(d->value(kids[0]), "i7");
+  EXPECT_EQ(d->label(kids[1]), "@featured");
+  EXPECT_EQ(d->value(kids[1]), "yes");
+  EXPECT_EQ(d->label(kids[2]), "name");
+}
+
+TEST(XmlParser, EntitiesDecoded) {
+  std::unique_ptr<Document> d =
+      MustParseXml("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos; &#65;</a>");
+  EXPECT_EQ(d->value(0), "<x> & \"y\" 'z' A");
+}
+
+TEST(XmlParser, CommentsAndPIsSkipped) {
+  std::unique_ptr<Document> d = MustParseXml(
+      "<?xml version=\"1.0\"?><!-- top --><a><!-- in -->"
+      "<b>1</b><?pi data?></a>");
+  EXPECT_EQ(d->size(), 2);
+  EXPECT_EQ(d->value(1), "1");
+}
+
+TEST(XmlParser, CData) {
+  std::unique_ptr<Document> d = MustParseXml("<a><![CDATA[<raw>&]]></a>");
+  EXPECT_EQ(d->value(0), "<raw>&");
+}
+
+TEST(XmlParser, DoctypeSkipped) {
+  std::unique_ptr<Document> d =
+      MustParseXml("<!DOCTYPE site SYSTEM \"xmark.dtd\"><site/>");
+  EXPECT_EQ(d->label(0), "site");
+}
+
+TEST(XmlParser, MixedContentKeepsElementChildren) {
+  // Direct character data becomes the element's value; markup children stay
+  // separate (paper data model §2.1).
+  std::unique_ptr<Document> d =
+      MustParseXml("<text>Stainless steel, <bold>gold plated</bold></text>");
+  ASSERT_EQ(d->size(), 2);
+  EXPECT_EQ(d->value(0), "Stainless steel,");
+  EXPECT_EQ(d->label(1), "bold");
+  EXPECT_EQ(d->value(1), "gold plated");
+}
+
+TEST(XmlParser, Whitespace) {
+  std::unique_ptr<Document> d = MustParseXml("<a>\n  <b> 1 </b>\n</a>");
+  EXPECT_EQ(d->size(), 2);
+  EXPECT_EQ(d->value(1), "1");
+  EXPECT_FALSE(d->has_value(0));
+}
+
+TEST(XmlParser, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a attr></a>").ok());
+  EXPECT_FALSE(ParseXml("<a x=unquoted/>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("junk<a/>").ok());
+}
+
+TEST(XmlSerializer, RoundTripThroughParser) {
+  const char* xml =
+      "<site><regions><asia><item id=\"i1\"><name>pen</name>"
+      "<description>nice <bold>gold</bold></description></item>"
+      "</asia></regions></site>";
+  std::unique_ptr<Document> d = MustParseXml(xml);
+  std::string out = SerializeXml(*d);
+  std::unique_ptr<Document> d2 = MustParseXml(out);
+  ASSERT_EQ(d->size(), d2->size());
+  for (NodeIndex n = 0; n < d->size(); ++n) {
+    EXPECT_EQ(d->label(n), d2->label(n));
+    EXPECT_EQ(d->has_value(n), d2->has_value(n));
+    if (d->has_value(n)) {
+      EXPECT_EQ(d->value(n), d2->value(n));
+    }
+    EXPECT_EQ(d->parent(n), d2->parent(n));
+  }
+}
+
+TEST(XmlSerializer, PrettyPrintIndents) {
+  std::unique_ptr<Document> d = MustParseXml("<a><b>1</b></a>");
+  std::string out = SerializeXml(*d, 2);
+  EXPECT_NE(out.find("\n"), std::string::npos);
+  EXPECT_NE(out.find("  <b>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svx

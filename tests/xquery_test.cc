@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/pattern/pattern_printer.h"
+#include "src/xquery/xquery_parser.h"
+#include "src/xquery/xquery_translator.h"
+
+namespace svx {
+namespace {
+
+std::string Translate(std::string_view q, const std::string& root = "*") {
+  Result<Pattern> p = XQueryToPattern(q, root);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  if (!p.ok()) return "";
+  return PatternToString(*p);
+}
+
+TEST(XQueryParser, SimpleFor) {
+  Result<std::unique_ptr<XqFlwr>> f =
+      ParseXQuery("for $x in doc(\"a.xml\")//item return $x");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->var, "x");
+  EXPECT_EQ((*f)->document, "a.xml");
+  ASSERT_EQ((*f)->steps.size(), 1u);
+  EXPECT_EQ((*f)->steps[0].label, "item");
+  EXPECT_EQ((*f)->steps[0].axis, Axis::kDescendant);
+}
+
+TEST(XQueryParser, StepsAndPredicates) {
+  Result<std::unique_ptr<XqFlwr>> f = ParseXQuery(
+      "for $x in doc(\"a\")//item[//mail]/name return $x/text()");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_EQ((*f)->steps.size(), 2u);
+  ASSERT_EQ((*f)->steps[0].preds.size(), 1u);
+  EXPECT_EQ((*f)->steps[0].preds[0].path[0].label, "mail");
+  EXPECT_TRUE((*f)->returns[0].text);
+}
+
+TEST(XQueryParser, WhereClause) {
+  Result<std::unique_ptr<XqFlwr>> f = ParseXQuery(
+      "for $x in doc(\"a\")//item where $x/quantity/text() > 5 "
+      "return $x/name");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_EQ((*f)->where.size(), 1u);
+  EXPECT_EQ((*f)->where[0].cmp, '>');
+  EXPECT_EQ((*f)->where[0].value, 5);
+  EXPECT_TRUE((*f)->where[0].text);
+}
+
+TEST(XQueryParser, Errors) {
+  EXPECT_FALSE(ParseXQuery("").ok());
+  EXPECT_FALSE(ParseXQuery("for x in doc(\"a\")//b return $x").ok());
+  EXPECT_FALSE(ParseXQuery("for $x in doc(\"a\") return $x").ok());
+  EXPECT_FALSE(ParseXQuery("for $x in doc(\"a\")//b").ok());
+  EXPECT_FALSE(
+      ParseXQuery("for $x in doc(\"a\")//b return <r>{$x}</s>").ok());
+}
+
+TEST(XQueryTranslator, SimpleForReturnsContent) {
+  EXPECT_EQ(Translate("for $x in doc(\"a\")//item return $x"),
+            "*(//item{id,c})");
+}
+
+TEST(XQueryTranslator, TextReturnsValue) {
+  EXPECT_EQ(
+      Translate("for $x in doc(\"a\")//item return "
+                "<r>{ $x/name/text() }</r>"),
+      "*(//item{id}(?/name{v}))");
+}
+
+TEST(XQueryTranslator, ExistencePredicateBecomesBranch) {
+  EXPECT_EQ(Translate("for $x in doc(\"a\")//item[//mail] return "
+                      "<r>{ $x/name/text() }</r>"),
+            "*(//item{id}(//mail ?/name{v}))");
+}
+
+TEST(XQueryTranslator, WhereValueComparison) {
+  EXPECT_EQ(Translate("for $x in doc(\"a\")//item "
+                      "where $x/quantity/text() > 5 "
+                      "return <r>{ $x/name/text() }</r>"),
+            "*(//item{id}(/quantity[v>5] ?/name{v}))");
+}
+
+TEST(XQueryTranslator, PaperIntroExample) {
+  // §1: for $x in doc("XMark.xml")//item[//mail] return
+  //       <res>{$x/name/text(), for $y in $x//listitem return
+  //             <key>{$y//keyword}</key>}</res>
+  std::string p = Translate(
+      "for $x in doc(\"XMark.xml\")//item[.//mail] return "
+      "<res>{ $x/name/text(), "
+      "for $y in $x//listitem return <key>{ $y//keyword }</key> }</res>",
+      "site");
+  // The nested FLWR becomes an optional nested edge; the inner bare path
+  // stores content; the for variables store IDs.
+  EXPECT_EQ(p,
+            "site(//item{id}(//mail ?/name{v} "
+            "?n//listitem{id}(?//keyword{c})))");
+}
+
+TEST(XQueryTranslator, RootLabelOverride) {
+  EXPECT_EQ(Translate("for $x in doc(\"a\")/regions return $x", "site"),
+            "site(/regions{id,c})");
+}
+
+TEST(XQueryTranslator, StepValuePredicate) {
+  EXPECT_EQ(Translate("for $x in doc(\"a\")//person[@id=0] return "
+                      "<r>{ $x/name/text() }</r>"),
+            "*(//person{id}(/@id[v=0] ?/name{v}))");
+}
+
+TEST(XQueryTranslator, UnknownVariableFails) {
+  Result<Pattern> p =
+      XQueryToPattern("for $x in doc(\"a\")//b return $y/name");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(XQueryTranslator, NestedForMustUseOuterVariable) {
+  Result<Pattern> p = XQueryToPattern(
+      "for $x in doc(\"a\")//b return "
+      "<r>{ for $y in doc(\"a\")//c return $y }</r>");
+  EXPECT_FALSE(p.ok());
+}
+
+}  // namespace
+}  // namespace svx
