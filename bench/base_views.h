@@ -1,0 +1,39 @@
+// Shared by the rewriting benches: the paper's §5 base views — one 2-node
+// pattern per distinct summary tag, storing ID and V ("to ensure some
+// rewritings exist").
+#ifndef SVX_BENCH_BASE_VIEWS_H_
+#define SVX_BENCH_BASE_VIEWS_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/rewriting/view.h"
+#include "src/summary/summary.h"
+#include "src/util/strings.h"
+
+namespace svx {
+
+inline std::vector<ViewDef> BuildBaseTagViews(const Summary& summary) {
+  std::vector<ViewDef> views;
+  std::vector<std::string> tags;
+  for (PathId s = 1; s < summary.size(); ++s) {
+    tags.push_back(summary.label(s));
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  int i = 0;
+  for (const std::string& tag : tags) {
+    views.push_back(
+        {StrFormat("B%d_%s", i++, tag.c_str()),
+         MustParsePattern(StrFormat("%s(//%s{id,v})",
+                                    summary.label(summary.root()).c_str(),
+                                    tag.c_str()))});
+  }
+  return views;
+}
+
+}  // namespace svx
+
+#endif  // SVX_BENCH_BASE_VIEWS_H_

@@ -1,0 +1,174 @@
+// View-store end-to-end benchmark: materialize a view set over an XMark
+// document into a persistent ViewCatalog, save and reload the store, then
+// rewrite the 20 XMark query patterns with statistics-driven cost ranking
+// and execute the cheapest plan against the store-backed extents.
+//
+// Reports a human-readable table and writes machine-readable
+// BENCH_viewstore.json into the working directory.
+//
+//   $ ./build/bench_viewstore [scale]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bench/base_views.h"
+#include "src/algebra/executor.h"
+#include "src/rewriting/rewriter.h"
+#include "src/summary/summary_builder.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/workload/xmark.h"
+#include "src/workload/xmark_queries.h"
+
+namespace svx {
+namespace {
+
+struct QueryRow {
+  int number = 0;
+  size_t rewritings = 0;
+  double cheapest_cost = -1;
+  double costliest_cost = -1;
+  double rewrite_ms = 0;
+  double exec_ms = -1;
+  long long exec_rows = -1;
+};
+
+void Run(double scale) {
+  namespace fs = std::filesystem;
+  const std::string store_dir =
+      (fs::temp_directory_path() / "svx_bench_viewstore").string();
+
+  std::printf("=== View store: materialize / persist / cost-based rewrite "
+              "===\n");
+  XmarkOptions opts;
+  opts.scale = scale;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  std::unique_ptr<Summary> summary = SummaryBuilder::Build(doc.get());
+  std::vector<ViewDef> defs = BuildBaseTagViews(*summary);
+  std::printf("scale %.1f: %d document nodes, %d summary paths, %zu views\n",
+              scale, doc->size(), summary->size(), defs.size());
+
+  // ---- Materialize into the catalog (statistics computed here). ----
+  Timer t;
+  ViewCatalog catalog(store_dir);
+  for (const ViewDef& d : defs) {
+    Status s = catalog.Materialize(d, *doc);
+    if (!s.ok()) {
+      std::printf("materialize %s: %s\n", d.name.c_str(),
+                  s.ToString().c_str());
+      return;
+    }
+  }
+  double materialize_ms = t.ElapsedMillis();
+  long long total_rows = 0;
+  for (const auto& v : catalog.views()) total_rows += v->stats.num_rows;
+
+  // ---- Persist and reload. ----
+  t.Reset();
+  Status s = catalog.Save();
+  double save_ms = t.ElapsedMillis();
+  if (!s.ok()) {
+    std::printf("save: %s\n", s.ToString().c_str());
+    return;
+  }
+  t.Reset();
+  ViewCatalog reloaded(store_dir);
+  s = reloaded.Load(doc.get());
+  double load_ms = t.ElapsedMillis();
+  if (!s.ok()) {
+    std::printf("load: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::printf("materialize %.1f ms (%lld rows); save %.1f ms (%lld bytes); "
+              "load %.1f ms\n\n",
+              materialize_ms, total_rows, save_ms,
+              static_cast<long long>(reloaded.TotalBytes()), load_ms);
+
+  // ---- Cost-ranked rewriting + store-backed execution. ----
+  CostModel model = reloaded.BuildCostModel();
+  Catalog exec_catalog = reloaded.ExecutorCatalog();
+  std::vector<QueryRow> rows;
+  std::printf("%6s %9s %12s %12s %11s %9s %9s\n", "query", "#rewrit.",
+              "cheapest", "costliest", "rewrite(ms)", "exec(ms)", "rows");
+  for (const XmarkQuery& q : XmarkQueryPatterns()) {
+    RewriterOptions ropts;
+    ropts.max_results = 4;
+    ropts.cost_model = &model;
+    ropts.time_budget_ms = 10000;
+    Rewriter rewriter(*summary, ropts);
+    for (const auto& v : reloaded.views()) rewriter.AddView(v->def);
+
+    // Conjunctive value form, as in bench_fig15 (base views store ID, V).
+    Pattern qp = GetXmarkQueryPattern(q.number);
+    for (PatternNodeId n = 0; n < qp.size(); ++n) {
+      Pattern::Node& node = qp.mutable_node(n);
+      if (node.attrs & kAttrContent) {
+        node.attrs = (node.attrs & ~kAttrContent) | kAttrValue;
+      }
+      node.optional = false;
+      node.nested = false;
+    }
+
+    QueryRow row;
+    row.number = q.number;
+    RewriteStats stats;
+    t.Reset();
+    Result<std::vector<Rewriting>> rws = rewriter.Rewrite(qp, &stats);
+    row.rewrite_ms = t.ElapsedMillis();
+    if (rws.ok() && !rws->empty()) {
+      row.rewritings = rws->size();
+      row.cheapest_cost = stats.cheapest_cost;
+      row.costliest_cost = stats.costliest_cost;
+      t.Reset();
+      Result<Table> out = Execute(*rws->front().plan, exec_catalog);
+      row.exec_ms = t.ElapsedMillis();
+      if (out.ok()) row.exec_rows = out->NumRows();
+    }
+    std::printf("q%-5d %9zu %12.0f %12.0f %11.1f %9.1f %9lld\n", row.number,
+                row.rewritings, row.cheapest_cost, row.costliest_cost,
+                row.rewrite_ms, row.exec_ms, row.exec_rows);
+    rows.push_back(row);
+  }
+
+  // ---- BENCH_viewstore.json ----
+  std::string json = "{\n";
+  json += StrFormat("  \"scale\": %.2f,\n", scale);
+  json += StrFormat("  \"document_nodes\": %d,\n", doc->size());
+  json += StrFormat("  \"num_views\": %d,\n", reloaded.size());
+  json += StrFormat("  \"total_rows\": %lld,\n", total_rows);
+  json += StrFormat("  \"total_bytes\": %lld,\n",
+                    static_cast<long long>(reloaded.TotalBytes()));
+  json += StrFormat("  \"materialize_ms\": %.3f,\n", materialize_ms);
+  json += StrFormat("  \"save_ms\": %.3f,\n", save_ms);
+  json += StrFormat("  \"load_ms\": %.3f,\n", load_ms);
+  json += "  \"queries\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const QueryRow& r = rows[i];
+    json += StrFormat(
+        "    {\"query\": %d, \"rewritings\": %zu, \"cheapest_cost\": %.3f, "
+        "\"costliest_cost\": %.3f, \"rewrite_ms\": %.3f, \"exec_ms\": %.3f, "
+        "\"exec_rows\": %lld}%s\n",
+        r.number, r.rewritings, r.cheapest_cost, r.costliest_cost,
+        r.rewrite_ms, r.exec_ms, r.exec_rows,
+        i + 1 < rows.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  std::ofstream out("BENCH_viewstore.json", std::ios::trunc);
+  out << json;
+  out.close();
+  std::printf("\nwrote BENCH_viewstore.json\n");
+}
+
+}  // namespace
+}  // namespace svx
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  if (argc > 1) scale = std::atof(argv[1]);
+  svx::Run(scale);
+  return 0;
+}

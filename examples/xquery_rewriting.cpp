@@ -1,8 +1,11 @@
 // Nested XQuery -> tree pattern -> view-based rewriting -> execution: the
-// full pipeline of the paper on its §1 example query.
+// full pipeline of the paper on its §1 example query, with the view extent
+// served from a persistent ViewCatalog (materialize -> save -> reload) and
+// the plan picked by the statistics-driven cost model.
 //
 //   $ ./build/examples/xquery_rewriting
 #include <cstdio>
+#include <filesystem>
 
 #include "src/algebra/executor.h"
 #include "src/algebra/plan_printer.h"
@@ -11,6 +14,7 @@
 #include "src/rewriting/rewriter.h"
 #include "src/rewriting/view.h"
 #include "src/summary/summary_builder.h"
+#include "src/viewstore/view_catalog.h"
 #include "src/workload/xmark.h"
 #include "src/xquery/xquery_translator.h"
 
@@ -37,30 +41,70 @@ int main() {
   std::unique_ptr<Document> doc = GenerateXmark(opts);
   std::unique_ptr<Summary> summary = SummaryBuilder::Build(doc.get());
 
-  // A view storing exactly the query's needs (the intro's V1 shape): item
-  // ids, names, and the optional listitem/keyword data.
+  // Two views that can both answer the query: V1 stores exactly the query's
+  // needs (the intro's V1 shape); VWide additionally stores every item
+  // subtree element, making it a strictly costlier cover.
   std::vector<ViewDef> defs = {
       {"V1",
        MustParsePattern("site(//item{id}(//mail ?/name{v} "
                         "?//listitem{id}(?//keyword{c})))")},
+      {"VWide",
+       MustParsePattern("site(//item{id}(//mail ?/name{v} "
+                        "?//listitem{id}(?//keyword{c}) ?//*{id,l}))")},
   };
-  std::vector<MaterializedView> views = MaterializeAll(defs, *doc);
-  Catalog catalog;
-  for (const MaterializedView& v : views) {
-    catalog.Register(v.def.name, &v.extent);
-    std::printf("%s extent: %lld rows\n", v.def.name.c_str(),
-                static_cast<long long>(v.extent.NumRows()));
+
+  // Materialize into a store directory, then reload — the extents below are
+  // served from disk, not from the materialization pass.
+  const std::string store_dir =
+      (std::filesystem::temp_directory_path() / "svx_example_store").string();
+  {
+    ViewCatalog catalog(store_dir);
+    for (const ViewDef& d : defs) {
+      Status s = catalog.Materialize(d, *doc);
+      if (!s.ok()) {
+        std::printf("materialize error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    Status s = catalog.Save();
+    if (!s.ok()) {
+      std::printf("save error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  ViewCatalog store(store_dir);
+  Status loaded = store.Load(doc.get());
+  if (!loaded.ok()) {
+    std::printf("load error: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  std::printf("view store %s: %lld bytes\n", store_dir.c_str(),
+              static_cast<long long>(store.TotalBytes()));
+  for (const auto& v : store.views()) {
+    std::printf("  %s extent: %lld rows (%lld bytes)\n", v->def.name.c_str(),
+                static_cast<long long>(v->stats.num_rows),
+                static_cast<long long>(v->extent_bytes));
   }
 
-  Rewriter rewriter(*summary);
-  for (const ViewDef& d : defs) rewriter.AddView(d);
+  CostModel model = store.BuildCostModel();
+  RewriterOptions ropts;
+  ropts.cost_model = &model;
+  ropts.max_results = 4;
+  Rewriter rewriter(*summary, ropts);
+  for (const auto& v : store.views()) rewriter.AddView(v->def);
   Result<std::vector<Rewriting>> rws = rewriter.Rewrite(*q);
   if (!rws.ok() || rws->empty()) {
     std::printf("no rewriting found\n");
     return 1;
   }
-  std::printf("\nplan:\n%s\n", PlanToString(*(*rws)[0].plan).c_str());
+  std::printf("\n%zu rewritings, cost-ranked:\n", rws->size());
+  for (const Rewriting& r : *rws) {
+    std::printf("  cost %8.0f  %s\n", r.est_cost, r.compact.c_str());
+  }
+  std::printf("\ncheapest plan:\n%s\n",
+              PlanToString(*(*rws)[0].plan).c_str());
 
+  Catalog catalog = store.ExecutorCatalog();
   Result<Table> result = Execute(*(*rws)[0].plan, catalog);
   if (!result.ok()) {
     std::printf("execution error: %s\n", result.status().ToString().c_str());

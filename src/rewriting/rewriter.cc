@@ -9,6 +9,7 @@
 #include "src/pattern/pattern_printer.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
+#include "src/viewstore/cost_model.h"
 
 namespace svx {
 
@@ -1011,6 +1012,24 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   if (!(options_.stop_at_first && !results.empty())) {
     session.UnionPhase(&results);
     note_first();
+  }
+
+  // ---- Cost-based selection: rank the covers, cheapest plan first. ----
+  if (options_.cost_model != nullptr && !results.empty()) {
+    for (Rewriting& r : results) {
+      r.est_cost = options_.cost_model->EstimateCost(*r.plan);
+    }
+    std::stable_sort(results.begin(), results.end(),
+                     [](const Rewriting& a, const Rewriting& b) {
+                       if (a.est_cost != b.est_cost) {
+                         return a.est_cost < b.est_cost;
+                       }
+                       return a.compact < b.compact;
+                     });
+    if (stats != nullptr) {
+      stats->cheapest_cost = results.front().est_cost;
+      stats->costliest_cost = results.back().est_cost;
+    }
   }
 
   if (stats != nullptr) {

@@ -27,6 +27,8 @@
 
 namespace svx {
 
+class CostModel;  // src/viewstore/cost_model.h
+
 /// Rewriter tuning. The Prop 3.6 bound (n(Q)-1)*|S| is astronomically loose
 /// in practice; `max_plan_views` is the practical cap.
 struct RewriterOptions {
@@ -43,6 +45,10 @@ struct RewriterOptions {
   bool prune_same_pattern = true;  // Prop 3.5
   bool stop_at_first = false;
   double time_budget_ms = 60000;
+  /// When set, found rewritings are ranked by estimated cost (cheapest
+  /// first, ties broken by compact form) instead of discovery order.
+  /// Borrowed; must outlive the rewriter.
+  const CostModel* cost_model = nullptr;
 };
 
 /// One equivalent rewriting: a plan whose output columns are exactly the
@@ -50,6 +56,9 @@ struct RewriterOptions {
 struct Rewriting {
   PlanPtr plan;
   std::string compact;  // e.g. "(V1 ⋈= V2) ∪ V3"
+  /// Estimated execution cost (scan-cost units); -1 when no cost model was
+  /// configured.
+  double est_cost = -1;
 };
 
 /// Measurements for the §5 experiments (Figure 15).
@@ -60,6 +69,10 @@ struct RewriteStats {
   size_t join_candidates = 0;
   size_t equivalence_tests = 0;
   size_t results = 0;
+  /// Cost spread over the found rewritings (-1 without a cost model): a
+  /// large ratio means cost-based selection matters for this query.
+  double cheapest_cost = -1;
+  double costliest_cost = -1;
   double setup_ms = 0;   // expansion + pruning
   double first_ms = -1;  // time to first rewriting (includes setup)
   double total_ms = 0;

@@ -1,0 +1,153 @@
+#include "src/viewstore/advisor.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/pattern/pattern_printer.h"
+#include "src/util/strings.h"
+#include "src/viewstore/view_catalog.h"
+
+namespace svx {
+
+namespace {
+
+constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+/// The predicate-stripped generalization of a query: same shape, no value
+/// formulas. Nodes that carried a predicate gain a V attribute so the
+/// rewriter's §4.6 value adaptation can re-apply the formula as σ.
+Pattern Generalize(const Pattern& q) {
+  Pattern g = q;
+  for (PatternNodeId n = 0; n < g.size(); ++n) {
+    Pattern::Node& node = g.mutable_node(n);
+    if (!node.pred.IsTrue()) {
+      node.pred = Predicate::True();
+      node.attrs |= kAttrValue;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+AdvisorProposal AdviseViews(const std::vector<Pattern>& workload,
+                            const Summary& summary, const Document& doc,
+                            const AdvisorOptions& options) {
+  AdvisorProposal proposal;
+  if (workload.empty() || summary.size() == 0) return proposal;
+  const std::string& root_label = summary.label(summary.root());
+
+  // ---- Candidate generation (deduplicated by pattern text). ----
+  std::vector<ViewDef> candidates;
+  std::unordered_set<std::string> seen_patterns;
+  auto add_candidate = [&](std::string name, Pattern pattern) {
+    std::string text = PatternToString(pattern);
+    if (!seen_patterns.insert(text).second) return;
+    candidates.push_back({std::move(name), std::move(pattern)});
+  };
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (workload[i].size() == 0 || workload[i].Arity() == 0) continue;
+    add_candidate(StrFormat("W%zu", i), workload[i]);
+    if (options.generalized_candidates) {
+      add_candidate(StrFormat("G%zu", i), Generalize(workload[i]));
+    }
+  }
+  if (options.base_view_candidates) {
+    std::vector<std::string> labels;
+    for (const Pattern& q : workload) {
+      for (PatternNodeId n = 1; n < q.size(); ++n) {
+        if (!q.node(n).IsWildcard()) labels.push_back(q.node(n).label);
+      }
+    }
+    std::sort(labels.begin(), labels.end());
+    labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+    for (const std::string& label : labels) {
+      if (label == root_label) continue;
+      Result<Pattern> p = ParsePattern(StrFormat(
+          "%s(//%s{id,v})", root_label.c_str(), label.c_str()));
+      if (p.ok()) add_candidate("Base_" + label, std::move(*p));
+    }
+  }
+  proposal.candidates_considered = candidates.size();
+  if (candidates.empty()) return proposal;
+
+  // ---- Materialize candidates once: size + statistics. Candidates that
+  // fail to materialize (e.g. unstorable names) are dropped, not fatal. ----
+  ViewCatalog scratch;
+  std::vector<ViewDef> usable;
+  for (ViewDef& c : candidates) {
+    if (scratch.Materialize(c, doc).ok()) usable.push_back(std::move(c));
+  }
+  candidates = std::move(usable);
+  if (candidates.empty()) return proposal;
+  std::vector<const StoredView*> stored;
+  for (const ViewDef& c : candidates) stored.push_back(scratch.Find(c.name));
+
+  // ---- Benefit matrix: cost of answering query q from candidate v. ----
+  const double baseline = static_cast<double>(doc.size());
+  std::vector<std::vector<double>> cost(candidates.size());
+  for (size_t v = 0; v < candidates.size(); ++v) {
+    CostModel model;
+    model.AddViewStats(candidates[v].name, stored[v]->stats);
+    RewriterOptions ropts = options.rewriter;
+    ropts.stop_at_first = false;
+    ropts.max_results = std::max<size_t>(ropts.max_results, 2);
+    ropts.cost_model = &model;
+    Rewriter rewriter(summary, ropts);
+    rewriter.AddView(candidates[v]);
+    cost[v].assign(workload.size(), kInfiniteCost);
+    for (size_t q = 0; q < workload.size(); ++q) {
+      if (workload[q].size() == 0 || workload[q].Arity() == 0) continue;
+      Result<std::vector<Rewriting>> rws = rewriter.Rewrite(workload[q]);
+      if (rws.ok() && !rws->empty()) {
+        cost[v][q] = rws->front().est_cost;  // cheapest: cost-ranked
+      }
+    }
+  }
+
+  // ---- Greedy selection by marginal benefit under the budget. ----
+  std::vector<double> best_cost(workload.size(), baseline);
+  std::vector<bool> taken(candidates.size(), false);
+  while (proposal.chosen.size() < options.max_views) {
+    double best_gain = 0;
+    size_t best_v = candidates.size();
+    for (size_t v = 0; v < candidates.size(); ++v) {
+      if (taken[v]) continue;
+      if (proposal.total_bytes + stored[v]->extent_bytes >
+          options.size_budget_bytes) {
+        continue;
+      }
+      double gain = 0;
+      for (size_t q = 0; q < workload.size(); ++q) {
+        if (cost[v][q] < best_cost[q]) gain += best_cost[q] - cost[v][q];
+      }
+      // Ties: prefer the smaller extent, then the earlier candidate.
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best_v < candidates.size() &&
+           stored[v]->extent_bytes < stored[best_v]->extent_bytes)) {
+        best_gain = gain;
+        best_v = v;
+      }
+    }
+    if (best_v == candidates.size() || best_gain <= 0) break;
+    taken[best_v] = true;
+    AdvisedView picked;
+    picked.def = candidates[best_v];
+    picked.bytes = stored[best_v]->extent_bytes;
+    picked.benefit = best_gain;
+    for (size_t q = 0; q < workload.size(); ++q) {
+      if (cost[best_v][q] < best_cost[q]) {
+        picked.queries.push_back(q);
+        best_cost[q] = cost[best_v][q];
+      }
+    }
+    proposal.total_bytes += picked.bytes;
+    proposal.total_benefit += picked.benefit;
+    proposal.chosen.push_back(std::move(picked));
+  }
+  return proposal;
+}
+
+}  // namespace svx

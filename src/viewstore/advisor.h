@@ -1,0 +1,61 @@
+// Greedy workload-driven view selection under a size budget (cf.
+// "Materialized View Selection by Query Clustering in XML Data Warehouses"):
+// candidate views are drawn from the workload (each query itself, its
+// predicate-stripped generalization, and 2-node base views over the labels
+// the workload touches), each candidate is materialized once to measure its
+// size and statistics, and candidates are picked greedily by marginal
+// benefit — the statistics-estimated cost saving, over all workload queries,
+// of answering a query from the view (decided by the containment-based
+// rewriter) instead of scanning the document.
+#ifndef SVX_VIEWSTORE_ADVISOR_H_
+#define SVX_VIEWSTORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/rewriting/rewriter.h"
+#include "src/summary/summary.h"
+#include "src/util/status.h"
+#include "src/xml/document.h"
+
+namespace svx {
+
+struct AdvisorOptions {
+  /// Total serialized-extent budget for the proposed view set.
+  int64_t size_budget_bytes = 1 << 20;
+  /// Hard cap on the number of proposed views.
+  size_t max_views = 8;
+  /// Include predicate-stripped generalizations of workload queries.
+  bool generalized_candidates = true;
+  /// Include 2-node base views for each label the workload mentions.
+  bool base_view_candidates = true;
+  /// Rewriter configuration for the can-this-view-answer-this-query tests
+  /// (stop_at_first is overridden; keep the budgets small).
+  RewriterOptions rewriter;
+};
+
+/// One selected view with its selection-time accounting.
+struct AdvisedView {
+  ViewDef def;
+  int64_t bytes = 0;
+  double benefit = 0;           // marginal cost saving when selected
+  std::vector<size_t> queries;  // workload indexes this view improved
+};
+
+struct AdvisorProposal {
+  std::vector<AdvisedView> chosen;
+  int64_t total_bytes = 0;
+  double total_benefit = 0;
+  size_t candidates_considered = 0;
+};
+
+/// Proposes a view set for `workload` under the options' budget. Benefit is
+/// estimated per (candidate, query) via single-view rewriting; queries no
+/// candidate can answer keep their document-scan baseline.
+AdvisorProposal AdviseViews(const std::vector<Pattern>& workload,
+                            const Summary& summary, const Document& doc,
+                            const AdvisorOptions& options);
+
+}  // namespace svx
+
+#endif  // SVX_VIEWSTORE_ADVISOR_H_

@@ -1,0 +1,170 @@
+#include "src/viewstore/cost_model.h"
+
+#include <algorithm>
+
+namespace svx {
+
+namespace {
+
+// Default selectivities when no statistics apply.
+constexpr double kLabelSelectivity = 0.2;
+constexpr double kValueSelectivity = 0.33;
+constexpr double kNonNullSelectivity = 0.9;
+
+double ClampRows(double rows) { return std::max(rows, 1.0); }
+
+}  // namespace
+
+void CostModel::AddViewStats(const std::string& view_name,
+                             const ViewStats& stats) {
+  views_[view_name] = stats.num_rows;
+  // Includes the inner columns of nested columns (ComputeViewStats emits
+  // them with their own unique names), so estimates survive an unnest.
+  for (const ColumnStats& c : stats.columns) {
+    columns_[c.name] = c;
+  }
+}
+
+const ColumnStats* CostModel::FindColumn(const std::string& name) const {
+  auto it = columns_.find(name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+CostEstimate CostModel::Estimate(const PlanNode& plan) const {
+  switch (plan.kind) {
+    case PlanKind::kViewScan: {
+      auto it = views_.find(plan.view_name);
+      double rows =
+          it == views_.end() ? default_rows : static_cast<double>(it->second);
+      return {rows, rows};
+    }
+    case PlanKind::kIdEqJoin:
+    case PlanKind::kStructJoin: {
+      CostEstimate l = Estimate(*plan.children[0]);
+      CostEstimate r = Estimate(*plan.children[1]);
+      const Schema& ls = plan.children[0]->schema;
+      const Schema& rs = plan.children[1]->schema;
+      const ColumnStats* lc =
+          plan.left_col >= 0 && plan.left_col < ls.size()
+              ? FindColumn(ls.column(plan.left_col).name)
+              : nullptr;
+      const ColumnStats* rc =
+          plan.right_col >= 0 && plan.right_col < rs.size()
+              ? FindColumn(rs.column(plan.right_col).name)
+              : nullptr;
+      double dl = lc != nullptr ? static_cast<double>(lc->distinct) : l.rows;
+      double dr = rc != nullptr ? static_cast<double>(rc->distinct) : r.rows;
+      double rows;
+      double probe;
+      if (plan.kind == PlanKind::kIdEqJoin) {
+        // Containment assumption: |L ⋈= R| = |L||R| / max(dl, dr).
+        rows = l.rows * r.rows / ClampRows(std::max(dl, dr));
+        probe = l.rows + r.rows;
+      } else if (plan.struct_axis == StructAxis::kParent) {
+        // Each right row has exactly one parent id; it matches the left rows
+        // sharing that id (|L| / dl on average) if the parent is stored.
+        rows = r.rows * l.rows / ClampRows(dl);
+        probe = l.rows + r.rows;
+      } else {
+        // Ancestor: each right row probes up to depth(right) prefixes.
+        double depth =
+            rc != nullptr && rc->non_null > 0
+                ? static_cast<double>(rc->min_len + rc->max_len) / 2.0
+                : 4.0;
+        rows = r.rows * std::max(depth - 1.0, 1.0) * l.rows /
+               ClampRows(dl * 2.0);
+        probe = l.rows + r.rows * depth;
+      }
+      rows = std::min(rows, l.rows * r.rows);
+      if (plan.nested_join) rows = std::min(rows, l.rows);
+      return {rows, l.cost + r.cost + probe + rows};
+    }
+    case PlanKind::kSelect: {
+      CostEstimate in = Estimate(*plan.children[0]);
+      const Schema& s = plan.children[0]->schema;
+      const ColumnStats* c =
+          plan.select_col >= 0 && plan.select_col < s.size()
+              ? FindColumn(s.column(plan.select_col).name)
+              : nullptr;
+      double sel;
+      switch (plan.select_kind) {
+        case SelectKind::kLabelEq:
+          // With stats: assume labels uniform over the distinct count.
+          sel = c != nullptr && c->distinct > 0
+                    ? 1.0 / static_cast<double>(c->distinct)
+                    : kLabelSelectivity;
+          break;
+        case SelectKind::kValuePred:
+          sel = kValueSelectivity;
+          break;
+        case SelectKind::kNonNull:
+        case SelectKind::kIsNull: {
+          double nn = kNonNullSelectivity;
+          if (c != nullptr) {
+            // The non-null fraction of the source extent carries over.
+            double base = static_cast<double>(std::max<int64_t>(
+                c->non_null, 0));
+            // Denominator: the view's row count is not recorded per column;
+            // approximate with the larger of non_null and the input rows.
+            double denom = std::max(base, in.rows);
+            nn = denom > 0 ? base / denom : kNonNullSelectivity;
+            nn = std::min(std::max(nn, 0.0), 1.0);
+          }
+          sel = plan.select_kind == SelectKind::kNonNull ? nn : 1.0 - nn;
+          break;
+        }
+        default:
+          sel = 1.0;
+      }
+      return {in.rows * sel, in.cost + in.rows};
+    }
+    case PlanKind::kProject: {
+      CostEstimate in = Estimate(*plan.children[0]);
+      return {in.rows, in.cost + 0.1 * in.rows};
+    }
+    case PlanKind::kUnion: {
+      CostEstimate out{0, 0};
+      for (const auto& child : plan.children) {
+        CostEstimate c = Estimate(*child);
+        out.rows += c.rows;
+        out.cost += c.cost;
+      }
+      out.cost += out.rows;  // set-semantics dedup pass
+      return out;
+    }
+    case PlanKind::kUnnest: {
+      CostEstimate in = Estimate(*plan.children[0]);
+      const Schema& s = plan.children[0]->schema;
+      const ColumnStats* c =
+          plan.unnest_col >= 0 && plan.unnest_col < s.size()
+              ? FindColumn(s.column(plan.unnest_col).name)
+              : nullptr;
+      double avg_group =
+          c != nullptr && c->non_null > 0
+              ? static_cast<double>(c->nested_rows) /
+                    static_cast<double>(c->non_null)
+              : 2.0;
+      double rows = in.rows * std::max(avg_group, 1.0);
+      return {rows, in.cost + rows};
+    }
+    case PlanKind::kGroupBy: {
+      CostEstimate in = Estimate(*plan.children[0]);
+      double rows = ClampRows(in.rows * 0.5);
+      return {rows, in.cost + in.rows};
+    }
+    case PlanKind::kNavigate: {
+      CostEstimate in = Estimate(*plan.children[0]);
+      double steps =
+          static_cast<double>(std::max<size_t>(plan.navigate_steps.size(), 1));
+      return {in.rows, in.cost + in.rows * steps};
+    }
+    case PlanKind::kDeriveParent: {
+      CostEstimate in = Estimate(*plan.children[0]);
+      return {in.rows, in.cost + in.rows};
+    }
+  }
+  SVX_CHECK(false);
+  return {};
+}
+
+}  // namespace svx

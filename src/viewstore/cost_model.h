@@ -1,0 +1,61 @@
+// Statistics-driven cost estimation for candidate rewritings (cf. rdf3x's
+// Costs/PlanGen pairing). The model walks a logical plan bottom-up,
+// estimating output cardinality and cumulative cost per operator:
+//   * view scans cost their extent row count;
+//   * ⋈= uses distinct-count containment selectivity (|L||R| / max(dl, dr));
+//   * ⋈≺ / ⋈≺≺ model the executor's ORDPATH hash-probe (each right row
+//     probes its parent id, or its ≤ depth ancestor prefixes);
+//   * selections apply per-kind selectivities (σ≠⊥ uses the measured
+//     non-null fraction when the column's statistics are known).
+// Column statistics are looked up by column *name* ("V1.n2.id"), which view
+// scans introduce and joins/selections preserve.
+#ifndef SVX_VIEWSTORE_COST_MODEL_H_
+#define SVX_VIEWSTORE_COST_MODEL_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/algebra/plan.h"
+#include "src/viewstore/statistics.h"
+
+namespace svx {
+
+/// Cardinality and cost estimate for (a subtree of) a plan.
+struct CostEstimate {
+  double rows = 0;  // estimated output cardinality
+  double cost = 0;  // cumulative work (rows touched), scan-cost units
+};
+
+/// Estimates plan costs from per-view extent statistics.
+class CostModel {
+ public:
+  /// Registers the statistics of one materialized view. Column names are
+  /// assumed globally unique across views (the ViewSchema "<view>.n<k>.<a>"
+  /// convention guarantees this for distinct view names).
+  void AddViewStats(const std::string& view_name, const ViewStats& stats);
+
+  bool HasView(const std::string& view_name) const {
+    return views_.count(view_name) != 0;
+  }
+
+  /// Bottom-up estimate for `plan`. Unknown views scan `default_rows`.
+  CostEstimate Estimate(const PlanNode& plan) const;
+
+  /// Shorthand for Estimate(plan).cost.
+  double EstimateCost(const PlanNode& plan) const {
+    return Estimate(plan).cost;
+  }
+
+  /// Assumed extent size for views without registered statistics.
+  double default_rows = 1000;
+
+ private:
+  const ColumnStats* FindColumn(const std::string& name) const;
+
+  std::unordered_map<std::string, int64_t> views_;  // name -> extent rows
+  std::unordered_map<std::string, ColumnStats> columns_;  // by column name
+};
+
+}  // namespace svx
+
+#endif  // SVX_VIEWSTORE_COST_MODEL_H_

@@ -1,0 +1,49 @@
+// Binary serialization of materialized view extents (Schema + rows),
+// including nested tables, ⊥ values, ORDPATH ids and content references.
+// Content references are persisted as the referenced node's ORDPATH and
+// rebound against a Document on load (the store keeps references into the
+// repository, not copies — §4.4 "stored ... as a reference").
+//
+// Format (little-endian, version 1):
+//   "SVXT" u32(version)
+//   schema:   u32 ncols { str name, u8 kind, u8 has_nested, [schema] }
+//   rows:     u64 nrows, per row per column one cell:
+//     u8 tag: 0 ⊥ | 1 string | 2 id | 3 content | 4 nested
+//     payload: string -> str; id/content -> u32 ncomp, i32 components;
+//              nested -> u64 nrows + cells (schema taken from the column)
+//   str = u32 length + bytes.
+#ifndef SVX_VIEWSTORE_EXTENT_IO_H_
+#define SVX_VIEWSTORE_EXTENT_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/algebra/relation.h"
+#include "src/util/status.h"
+#include "src/xml/document.h"
+
+namespace svx {
+
+/// Serializes `table` (schema + rows) into a compact binary string.
+/// Deterministic: equal tables produce identical bytes.
+std::string SerializeExtent(const Table& table);
+
+/// Size of SerializeExtent(table) without building the bytes.
+int64_t ExtentByteSize(const Table& table);
+
+/// Parses a serialized extent. Content cells are rebound against `doc` via
+/// their ORDPATH ids; a content cell with `doc == nullptr` or an id absent
+/// from `doc` is an error.
+Result<Table> DeserializeExtent(std::string_view bytes, const Document* doc);
+
+/// File convenience wrappers around the two functions above.
+Status WriteExtentFile(const std::string& path, const Table& table);
+Result<Table> ReadExtentFile(const std::string& path, const Document* doc);
+
+/// Serializes one cell value (the row encoding above, without the schema) —
+/// a stable deep encoding also used for exact distinct counting.
+void EncodeValue(const Value& v, std::string* out);
+
+}  // namespace svx
+
+#endif  // SVX_VIEWSTORE_EXTENT_IO_H_

@@ -1,0 +1,142 @@
+#include "src/viewstore/statistics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/viewstore/extent_io.h"
+#include "src/util/strings.h"
+
+namespace svx {
+
+namespace {
+
+/// Length measure entering min_len/max_len (see header).
+int64_t ValueLength(const Value& v) {
+  if (v.IsString()) return static_cast<int64_t>(v.AsString().size());
+  if (v.IsId()) return v.AsId().Depth();
+  if (v.IsContent()) {
+    const NodeRef& ref = v.AsContent();
+    return ref.doc->ord_path(ref.node).Depth();
+  }
+  return v.AsTable().NumRows();
+}
+
+}  // namespace
+
+const ColumnStats* ViewStats::Find(const std::string& name) const {
+  for (const ColumnStats& c : columns) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Computes per-column stats over the concatenation of `tables` (all share
+/// `schema`) without copying any rows.
+void ComputeColumns(const Schema& schema,
+                    const std::vector<const Table*>& tables,
+                    ViewStats* stats) {
+  for (int32_t c = 0; c < schema.size(); ++c) {
+    ColumnStats col;
+    col.name = schema.column(c).name;
+    // Exact distinct via the stable deep cell encoding (hash sets over raw
+    // Value hashes could undercount on collisions).
+    std::unordered_set<std::string> seen;
+    bool any = false;
+    for (const Table* table : tables) {
+      for (const Tuple& row : table->rows()) {
+        const Value& v = row[static_cast<size_t>(c)];
+        if (v.IsNull()) continue;
+        ++col.non_null;
+        int64_t len = ValueLength(v);
+        if (!any) {
+          col.min_len = col.max_len = len;
+          any = true;
+        } else {
+          col.min_len = std::min(col.min_len, len);
+          col.max_len = std::max(col.max_len, len);
+        }
+        if (v.IsTable()) col.nested_rows += v.AsTable().NumRows();
+        std::string key;
+        EncodeValue(v, &key);
+        seen.insert(std::move(key));
+      }
+    }
+    col.distinct = static_cast<int64_t>(seen.size());
+    stats->columns.push_back(std::move(col));
+
+    // Inner columns of a nested column: aggregate across all groups, so the
+    // estimates survive an unnest (names stay unique per the ViewSchema
+    // convention).
+    if (schema.column(c).nested != nullptr) {
+      std::vector<const Table*> groups;
+      for (const Table* table : tables) {
+        for (const Tuple& row : table->rows()) {
+          const Value& v = row[static_cast<size_t>(c)];
+          if (v.IsTable()) groups.push_back(&v.AsTable());
+        }
+      }
+      ComputeColumns(*schema.column(c).nested, groups, stats);
+    }
+  }
+}
+
+}  // namespace
+
+ViewStats ComputeViewStats(const Table& extent) {
+  ViewStats stats;
+  stats.num_rows = extent.NumRows();
+  ComputeColumns(extent.schema(), {&extent}, &stats);
+  return stats;
+}
+
+std::string ViewStatsToString(const ViewStats& stats) {
+  std::string out = StrFormat("rows %lld\n",
+                              static_cast<long long>(stats.num_rows));
+  for (const ColumnStats& c : stats.columns) {
+    out += StrFormat("col %s %lld %lld %lld %lld %lld\n", c.name.c_str(),
+                     static_cast<long long>(c.non_null),
+                     static_cast<long long>(c.distinct),
+                     static_cast<long long>(c.min_len),
+                     static_cast<long long>(c.max_len),
+                     static_cast<long long>(c.nested_rows));
+  }
+  return out;
+}
+
+Result<ViewStats> ParseViewStats(std::string_view text) {
+  ViewStats stats;
+  bool saw_rows = false;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string_view line = Trim(raw);
+    if (line.empty()) continue;
+    std::vector<std::string> parts = Split(line, ' ');
+    if (parts[0] == "rows" && parts.size() == 2) {
+      std::optional<int64_t> n = ParseInt64(parts[1]);
+      if (!n) return Status::ParseError("bad rows line: " + raw);
+      stats.num_rows = *n;
+      saw_rows = true;
+    } else if (parts[0] == "col" && parts.size() == 7) {
+      ColumnStats c;
+      c.name = parts[1];
+      std::optional<int64_t> vals[5];
+      for (int i = 0; i < 5; ++i) {
+        vals[i] = ParseInt64(parts[static_cast<size_t>(i) + 2]);
+        if (!vals[i]) return Status::ParseError("bad col line: " + raw);
+      }
+      c.non_null = *vals[0];
+      c.distinct = *vals[1];
+      c.min_len = *vals[2];
+      c.max_len = *vals[3];
+      c.nested_rows = *vals[4];
+      stats.columns.push_back(std::move(c));
+    } else {
+      return Status::ParseError("bad stats line: " + raw);
+    }
+  }
+  if (!saw_rows) return Status::ParseError("stats text missing 'rows' line");
+  return stats;
+}
+
+}  // namespace svx

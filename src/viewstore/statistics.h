@@ -1,0 +1,56 @@
+// Per-view extent statistics, computed at materialization time and persisted
+// alongside the extent (cf. rdf3x's StatisticsSegment): row counts, per-column
+// non-null and exact distinct counts, value-length / id-depth bounds, and
+// nested-table row totals. The CostModel turns these into cardinality and
+// cost estimates for candidate rewritings.
+#ifndef SVX_VIEWSTORE_STATISTICS_H_
+#define SVX_VIEWSTORE_STATISTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/algebra/relation.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+/// Statistics for one extent column.
+struct ColumnStats {
+  std::string name;
+  int64_t non_null = 0;
+  int64_t distinct = 0;  // exact, over non-null values (deep for nested)
+  /// For strings: byte length; for ids and content references: node depth;
+  /// for nested tables: rows per group. 0/0 when the column is all-⊥.
+  int64_t min_len = 0;
+  int64_t max_len = 0;
+  /// Total rows across all nested-table values (0 for scalar columns).
+  int64_t nested_rows = 0;
+
+  bool operator==(const ColumnStats&) const = default;
+};
+
+/// Statistics for one view extent.
+struct ViewStats {
+  int64_t num_rows = 0;
+  /// Schema columns in order; each nested column is followed by aggregate
+  /// stats for its inner columns (across all groups).
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats* Find(const std::string& name) const;
+
+  bool operator==(const ViewStats&) const = default;
+};
+
+/// Scans `extent` once and computes exact statistics.
+ViewStats ComputeViewStats(const Table& extent);
+
+/// Line-based text serialization, round-trippable:
+///   rows <n>
+///   col <name> <non_null> <distinct> <min_len> <max_len> <nested_rows>
+std::string ViewStatsToString(const ViewStats& stats);
+Result<ViewStats> ParseViewStats(std::string_view text);
+
+}  // namespace svx
+
+#endif  // SVX_VIEWSTORE_STATISTICS_H_

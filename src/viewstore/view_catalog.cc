@@ -1,0 +1,171 @@
+#include "src/viewstore/view_catalog.h"
+
+#include <filesystem>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/pattern/pattern_printer.h"
+#include "src/util/fileio.h"
+#include "src/util/strings.h"
+#include "src/viewstore/extent_io.h"
+
+namespace svx {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kManifestHeader = "svx-viewstore 1";
+
+bool SafeName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    // '@' and '#' appear in attribute/text labels ("B3_@category") and are
+    // plain filename characters on POSIX.
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+              c == '@' || c == '#';
+    if (!ok) return false;
+  }
+  return name[0] != '.';
+}
+
+}  // namespace
+
+Status ViewCatalog::Materialize(const ViewDef& def, const Document& doc) {
+  return Add(def, MaterializeView(def.pattern, def.name, doc));
+}
+
+Status ViewCatalog::Add(ViewDef def, Table extent) {
+  if (!SafeName(def.name)) {
+    return Status::InvalidArgument("view name not storable: " + def.name);
+  }
+  // The extent format cannot represent rows without columns; reject them
+  // here so Save()/Load() round-trips everything this catalog accepts.
+  if (extent.schema().size() == 0 && extent.NumRows() > 0) {
+    return Status::InvalidArgument(
+        "zero-column extent with rows is not storable: " + def.name);
+  }
+  auto stored = std::make_unique<StoredView>();
+  stored->stats = ComputeViewStats(extent);
+  stored->extent_bytes = ExtentByteSize(extent);
+  stored->def = std::move(def);
+  stored->extent = std::move(extent);
+  for (auto& v : views_) {
+    if (v->def.name == stored->def.name) {
+      v = std::move(stored);
+      return Status::OK();
+    }
+  }
+  views_.push_back(std::move(stored));
+  return Status::OK();
+}
+
+const StoredView* ViewCatalog::Find(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (v->def.name == name) return v.get();
+  }
+  return nullptr;
+}
+
+int64_t ViewCatalog::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& v : views_) total += v->extent_bytes;
+  return total;
+}
+
+Status ViewCatalog::Save() const {
+  if (dir_.empty()) return Status::InvalidArgument("catalog has no store dir");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create store dir " + dir_ + ": " +
+                            ec.message());
+  }
+  std::string manifest(kManifestHeader);
+  manifest.push_back('\n');
+  for (const auto& v : views_) {
+    manifest += StrFormat("view %s %s\n", v->def.name.c_str(),
+                          PatternToString(v->def.pattern).c_str());
+    Status s = WriteExtentFile(
+        (fs::path(dir_) / (v->def.name + ".extent")).string(), v->extent);
+    if (!s.ok()) return s;
+    s = WriteFileBytes((fs::path(dir_) / (v->def.name + ".stats")).string(),
+                      ViewStatsToString(v->stats));
+    if (!s.ok()) return s;
+  }
+  return WriteFileBytes((fs::path(dir_) / "manifest.txt").string(), manifest);
+}
+
+Status ViewCatalog::Load(const Document* doc) {
+  if (dir_.empty()) return Status::InvalidArgument("catalog has no store dir");
+  Result<std::string> manifest =
+      ReadFileBytes((fs::path(dir_) / "manifest.txt").string());
+  if (!manifest.ok()) return manifest.status();
+
+  std::vector<std::unique_ptr<StoredView>> loaded;
+  bool saw_header = false;
+  for (const std::string& raw : Split(*manifest, '\n')) {
+    std::string_view line = Trim(raw);
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kManifestHeader) {
+        return Status::ParseError("bad manifest header: " + raw);
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!StartsWith(line, "view ")) {
+      return Status::ParseError("bad manifest line: " + raw);
+    }
+    std::string_view rest = line.substr(5);
+    size_t space = rest.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::ParseError("bad manifest line: " + raw);
+    }
+    auto stored = std::make_unique<StoredView>();
+    stored->def.name = std::string(rest.substr(0, space));
+    if (!SafeName(stored->def.name)) {
+      return Status::ParseError("unsafe view name in manifest: " + raw);
+    }
+    Result<Pattern> pattern = ParsePattern(rest.substr(space + 1));
+    if (!pattern.ok()) return pattern.status();
+    stored->def.pattern = std::move(*pattern);
+
+    fs::path extent_path = fs::path(dir_) / (stored->def.name + ".extent");
+    Result<Table> extent = ReadExtentFile(extent_path.string(), doc);
+    if (!extent.ok()) return extent.status();
+    stored->extent = std::move(*extent);
+    // The file we just parsed is the serialized form; its size is the
+    // extent's byte size (fall back to recomputing on a stat error).
+    std::error_code size_ec;
+    uintmax_t file_size = fs::file_size(extent_path, size_ec);
+    stored->extent_bytes = size_ec ? ExtentByteSize(stored->extent)
+                                   : static_cast<int64_t>(file_size);
+
+    Result<std::string> stats_text =
+        ReadFileBytes((fs::path(dir_) / (stored->def.name + ".stats")).string());
+    if (!stats_text.ok()) return stats_text.status();
+    Result<ViewStats> stats = ParseViewStats(*stats_text);
+    if (!stats.ok()) return stats.status();
+    stored->stats = std::move(*stats);
+
+    loaded.push_back(std::move(stored));
+  }
+  if (!saw_header) return Status::ParseError("empty manifest");
+  views_ = std::move(loaded);
+  return Status::OK();
+}
+
+Catalog ViewCatalog::ExecutorCatalog() const {
+  Catalog catalog;
+  for (const auto& v : views_) catalog.Register(v->def.name, &v->extent);
+  return catalog;
+}
+
+CostModel ViewCatalog::BuildCostModel() const {
+  CostModel model;
+  for (const auto& v : views_) model.AddViewStats(v->def.name, v->stats);
+  return model;
+}
+
+}  // namespace svx

@@ -1,0 +1,79 @@
+// Persistent materialized-view store (cf. the pequod cache server): a
+// catalog of view definitions with their materialized extents and
+// statistics, serialized to a store directory and reloaded on startup.
+//
+// On-disk layout under the store directory:
+//   manifest.txt          "svx-viewstore 1", then one "view <name> <pattern>"
+//                         line per view (ParsePattern syntax)
+//   <name>.extent         binary extent (see extent_io.h)
+//   <name>.stats          text statistics (see statistics.h)
+#ifndef SVX_VIEWSTORE_VIEW_CATALOG_H_
+#define SVX_VIEWSTORE_VIEW_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/executor.h"
+#include "src/rewriting/view.h"
+#include "src/util/status.h"
+#include "src/viewstore/cost_model.h"
+#include "src/viewstore/statistics.h"
+
+namespace svx {
+
+/// One catalog entry: definition, extent, statistics, serialized size.
+struct StoredView {
+  ViewDef def;
+  Table extent;
+  ViewStats stats;
+  int64_t extent_bytes = 0;  // serialized extent size
+};
+
+/// A set of materialized views backed by a store directory.
+class ViewCatalog {
+ public:
+  ViewCatalog() = default;
+  /// `dir` is created on Save() if missing.
+  explicit ViewCatalog(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+  int32_t size() const { return static_cast<int32_t>(views_.size()); }
+  const std::vector<std::unique_ptr<StoredView>>& views() const {
+    return views_;
+  }
+
+  /// Evaluates `def` over `doc` and registers the result (replacing any
+  /// same-named view). Statistics are computed at materialization time.
+  Status Materialize(const ViewDef& def, const Document& doc);
+
+  /// Registers an externally produced extent.
+  Status Add(ViewDef def, Table extent);
+
+  const StoredView* Find(const std::string& name) const;
+
+  /// Total serialized size of all extents — the advisor's budget currency.
+  int64_t TotalBytes() const;
+
+  /// Writes manifest, extents and statistics under dir().
+  Status Save() const;
+
+  /// Replaces the catalog contents with the store at dir(). `doc` rebinds
+  /// content references (may be nullptr when no view stores content).
+  Status Load(const Document* doc);
+
+  /// Executor bindings for the stored extents (borrowed pointers; valid
+  /// while the catalog outlives the returned object and is not mutated).
+  Catalog ExecutorCatalog() const;
+
+  /// Cost model over all registered views' statistics.
+  CostModel BuildCostModel() const;
+
+ private:
+  std::string dir_;
+  std::vector<std::unique_ptr<StoredView>> views_;  // stable addresses
+};
+
+}  // namespace svx
+
+#endif  // SVX_VIEWSTORE_VIEW_CATALOG_H_

@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/rewriting/rewriter.h"
+#include "src/summary/summary_builder.h"
+#include "src/viewstore/advisor.h"
+#include "src/viewstore/cost_model.h"
+#include "src/viewstore/extent_io.h"
+#include "src/viewstore/statistics.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/xml/builder.h"
+
+namespace svx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<Document> Doc(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+/// A scratch store directory, removed on destruction.
+struct TempDir {
+  TempDir() {
+    path = (fs::temp_directory_path() /
+            ("svx_viewstore_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++)))
+               .string();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int counter;
+  std::string path;
+};
+int TempDir::counter = 0;
+
+// ---------------------------------------------------------------------------
+// Extent serialization
+// ---------------------------------------------------------------------------
+
+TEST(ExtentIo, RoundTripScalarsAndNulls) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b(c=x) b)");
+  Pattern p = MustParsePattern("a(/b{id,l,v})");
+  Table t = MaterializeView(p, "V", *d);
+  ASSERT_EQ(t.NumRows(), 3);
+
+  std::string bytes = SerializeExtent(t);
+  Result<Table> back = DeserializeExtent(bytes, nullptr);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->schema() == t.schema());
+  EXPECT_TRUE(back->EqualsIgnoringOrder(t));
+  // Byte-identical re-serialization.
+  EXPECT_EQ(SerializeExtent(*back), bytes);
+}
+
+TEST(ExtentIo, RoundTripNestedTables) {
+  std::unique_ptr<Document> d = Doc("a(b(c=1 c=2) b)");
+  Pattern p = MustParsePattern("a(/b{id}(n/c{v}))");
+  Table t = MaterializeView(p, "V", *d);
+  ASSERT_EQ(t.NumRows(), 2);
+
+  std::string bytes = SerializeExtent(t);
+  Result<Table> back = DeserializeExtent(bytes, nullptr);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->EqualsIgnoringOrder(t));
+  EXPECT_EQ(SerializeExtent(*back), bytes);
+}
+
+TEST(ExtentIo, ContentReferencesRebindThroughDocument) {
+  std::unique_ptr<Document> d = Doc("a(b(c=1) b(c=2))");
+  Pattern p = MustParsePattern("a(/b{id,c})");
+  Table t = MaterializeView(p, "V", *d);
+
+  std::string bytes = SerializeExtent(t);
+  // Without a document, content cells cannot be rebound.
+  Result<Table> no_doc = DeserializeExtent(bytes, nullptr);
+  EXPECT_FALSE(no_doc.ok());
+
+  Result<Table> back = DeserializeExtent(bytes, d.get());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->EqualsIgnoringOrder(t));
+}
+
+TEST(ExtentIo, RejectsCorruptInput) {
+  EXPECT_FALSE(DeserializeExtent("not an extent", nullptr).ok());
+  std::unique_ptr<Document> d = Doc("a(b=1)");
+  Table t = MaterializeView(MustParsePattern("a(/b{v})"), "V", *d);
+  std::string bytes = SerializeExtent(t);
+  EXPECT_FALSE(DeserializeExtent(bytes.substr(0, bytes.size() - 3),
+                                 nullptr)
+                   .ok());
+  EXPECT_FALSE(DeserializeExtent(bytes + "x", nullptr).ok());
+
+  // A corrupt header claiming 2^64-1 rows over an empty schema must fail
+  // with ParseError, not allocate unboundedly.
+  std::string corrupt("SVXT", 4);
+  const char version[4] = {1, 0, 0, 0};
+  corrupt.append(version, 4);
+  corrupt.append(4, '\0');   // ncols = 0
+  corrupt.append(8, '\xFF');  // nrows = 2^64 - 1
+  Result<Table> huge = DeserializeExtent(corrupt, nullptr);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kParseError);
+}
+
+TEST(ExtentIo, ByteSizeMatchesSerialization) {
+  std::unique_ptr<Document> d = Doc("a(b=1(c=x c=y) b(c=z) b)");
+  for (const char* pattern :
+       {"a(/b{id,v})", "a(/b{id,c})", "a(/b{id}(n/c{v}))",
+        "a(/b{id}(?/c{id,v,l}))"}) {
+    Table t = MaterializeView(MustParsePattern(pattern), "V", *d);
+    EXPECT_EQ(ExtentByteSize(t),
+              static_cast<int64_t>(SerializeExtent(t).size()))
+        << pattern;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+TEST(Statistics, CountsOnHandBuiltDocument) {
+  // Three b nodes: values "1", "22", and none (⊥ in the V column); the ids
+  // are all distinct, depths 2.
+  std::unique_ptr<Document> d = Doc("a(b=1 b=22 b)");
+  Table t = MaterializeView(MustParsePattern("a(/b{id,v})"), "V", *d);
+  ViewStats s = ComputeViewStats(t);
+
+  EXPECT_EQ(s.num_rows, 3);
+  ASSERT_EQ(s.columns.size(), 2u);
+  const ColumnStats* id = s.Find("V.n1.id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->non_null, 3);
+  EXPECT_EQ(id->distinct, 3);
+  EXPECT_EQ(id->min_len, 2);  // id depth
+  EXPECT_EQ(id->max_len, 2);
+  const ColumnStats* v = s.Find("V.n1.v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->non_null, 2);
+  EXPECT_EQ(v->distinct, 2);
+  EXPECT_EQ(v->min_len, 1);  // strlen("1")
+  EXPECT_EQ(v->max_len, 2);  // strlen("22")
+}
+
+TEST(Statistics, DuplicateValuesCollapseInDistinct) {
+  // Rows are unique thanks to the id column (extents have set semantics);
+  // the value column still collapses x, x, y to 2 distinct values.
+  std::unique_ptr<Document> d = Doc("a(b=x b=x b=y)");
+  Table t = MaterializeView(MustParsePattern("a(/b{id,v})"), "V", *d);
+  ViewStats s = ComputeViewStats(t);
+  EXPECT_EQ(s.num_rows, 3);
+  const ColumnStats* v = s.Find("V.n1.v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->non_null, 3);
+  EXPECT_EQ(v->distinct, 2);
+}
+
+TEST(Statistics, NestedColumnsReportGroupAndInnerStats) {
+  std::unique_ptr<Document> d = Doc("a(b(c=1 c=2) b(c=3) b)");
+  Table t = MaterializeView(MustParsePattern("a(/b{id}(n/c{v}))"), "V", *d);
+  ViewStats s = ComputeViewStats(t);
+
+  const ColumnStats* g = s.Find("V.n2.g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->non_null, 3);      // every b row has a (possibly empty) group
+  EXPECT_EQ(g->nested_rows, 3);   // 2 + 1 + 0 inner rows
+  EXPECT_EQ(g->min_len, 0);       // group sizes 0..2
+  EXPECT_EQ(g->max_len, 2);
+  // Inner column aggregated across groups.
+  const ColumnStats* inner = s.Find("V.n2.v");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->non_null, 3);
+  EXPECT_EQ(inner->distinct, 3);
+}
+
+TEST(Statistics, TextRoundTrip) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b(c=x))");
+  Table t = MaterializeView(MustParsePattern("a(/b{id,v}(?/c{v}))"), "V", *d);
+  ViewStats s = ComputeViewStats(t);
+  Result<ViewStats> back = ParseViewStats(ViewStatsToString(s));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == s);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, SmallerViewScansCheaper) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2 b=3 c=1)");
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Materialize({"Big", MustParsePattern("a(/b{id,v})")}, *d)
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .Materialize({"Small", MustParsePattern("a(/c{id,v})")}, *d)
+                  .ok());
+  CostModel model = catalog.BuildCostModel();
+
+  PlanPtr big = MakeViewScan(
+      "Big", ViewSchema(MustParsePattern("a(/b{id,v})"), "Big"));
+  PlanPtr small = MakeViewScan(
+      "Small", ViewSchema(MustParsePattern("a(/c{id,v})"), "Small"));
+  EXPECT_GT(model.EstimateCost(*big), model.EstimateCost(*small));
+  EXPECT_DOUBLE_EQ(model.Estimate(*big).rows, 3.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(*small).rows, 1.0);
+}
+
+TEST(CostModel, JoinEstimateUsesDistinctCounts) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2 b=3 b=4)");
+  ViewCatalog catalog;
+  Pattern p = MustParsePattern("a(/b{id,v})");
+  ASSERT_TRUE(catalog.Materialize({"V1", p}, *d).ok());
+  ASSERT_TRUE(catalog.Materialize({"V2", p}, *d).ok());
+  CostModel model = catalog.BuildCostModel();
+
+  PlanPtr join = MakeIdEqJoin(MakeViewScan("V1", ViewSchema(p, "V1")),
+                              MakeViewScan("V2", ViewSchema(p, "V2")), 0, 0);
+  // 4 x 4 rows with 4 distinct ids each: the containment estimate is 4.
+  EXPECT_DOUBLE_EQ(model.Estimate(*join).rows, 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog persistence
+// ---------------------------------------------------------------------------
+
+TEST(ViewCatalog, SaveLoadRoundTripIsByteIdentical) {
+  std::unique_ptr<Document> d = Doc("a(b=1(c=x) b=2 b)");
+  TempDir dir;
+  ViewCatalog catalog(dir.path);
+  ASSERT_TRUE(
+      catalog.Materialize({"V1", MustParsePattern("a(/b{id,v})")}, *d).ok());
+  ASSERT_TRUE(
+      catalog
+          .Materialize({"V2", MustParsePattern("a(/b{id}(?/c{id,v}))")}, *d)
+          .ok());
+  ASSERT_TRUE(catalog.Save().ok());
+
+  ViewCatalog reloaded(dir.path);
+  Status s = reloaded.Load(d.get());
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(reloaded.size(), 2);
+  for (const char* name : {"V1", "V2"}) {
+    const StoredView* orig = catalog.Find(name);
+    const StoredView* back = reloaded.Find(name);
+    ASSERT_NE(back, nullptr);
+    EXPECT_TRUE(back->extent.EqualsIgnoringOrder(orig->extent));
+    EXPECT_TRUE(back->stats == orig->stats);
+    // Byte-identical: re-serializing the reloaded extent reproduces the
+    // stored bytes exactly.
+    EXPECT_EQ(SerializeExtent(back->extent), SerializeExtent(orig->extent));
+  }
+  // Saving the reloaded catalog reproduces identical extent files.
+  TempDir dir2;
+  ViewCatalog resave(dir2.path);
+  for (const auto& v : reloaded.views()) {
+    ASSERT_TRUE(resave.Add(v->def, v->extent).ok());
+  }
+  ASSERT_TRUE(resave.Save().ok());
+  for (const char* name : {"V1.extent", "V2.extent"}) {
+    std::ifstream f1(fs::path(dir.path) / name, std::ios::binary);
+    std::ifstream f2(fs::path(dir2.path) / name, std::ios::binary);
+    std::string b1((std::istreambuf_iterator<char>(f1)),
+                   std::istreambuf_iterator<char>());
+    std::string b2((std::istreambuf_iterator<char>(f2)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_EQ(b1, b2) << name;
+  }
+}
+
+TEST(ViewCatalog, ExecutorScansStoredExtent) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2)");
+  TempDir dir;
+  {
+    ViewCatalog catalog(dir.path);
+    ASSERT_TRUE(
+        catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
+    ASSERT_TRUE(catalog.Save().ok());
+  }
+  ViewCatalog reloaded(dir.path);
+  ASSERT_TRUE(reloaded.Load(d.get()).ok());
+  Catalog exec = reloaded.ExecutorCatalog();
+  PlanPtr scan =
+      MakeViewScan("V", ViewSchema(MustParsePattern("a(/b{id,v})"), "V"));
+  Result<Table> out = Execute(*scan, exec);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->NumRows(), 2);
+}
+
+TEST(ViewCatalog, RejectsUnsafeViewNames) {
+  ViewCatalog catalog;
+  Table t{Schema{}};
+  EXPECT_FALSE(catalog.Add({"../evil", Pattern()}, t).ok());
+  EXPECT_FALSE(catalog.Add({"", Pattern()}, t).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based rewriting selection
+// ---------------------------------------------------------------------------
+
+TEST(CostBasedRewriting, PrefersTheCheaperCover) {
+  // Two views both answering //b{id,v}: Narrow stores exactly the b rows,
+  // Wide stores every node's id/label/value (much larger). With statistics
+  // the rewriter must put the Narrow-based plan first.
+  std::unique_ptr<Document> d =
+      Doc("a(b=1 b=2 x(y=1 y=2 y=3 y=4 y=5 y=6 y=7 y=8) x(y=9) c c c)");
+  std::unique_ptr<Summary> summary = SummaryBuilder::Build(d.get());
+
+  ViewDef narrow{"Narrow", MustParsePattern("a(/b{id,v})")};
+  ViewDef wide{"Wide", MustParsePattern("a(//*{id,l,v})")};
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.Materialize(narrow, *d).ok());
+  ASSERT_TRUE(catalog.Materialize(wide, *d).ok());
+  ASSERT_GT(catalog.Find("Wide")->stats.num_rows,
+            catalog.Find("Narrow")->stats.num_rows);
+  CostModel model = catalog.BuildCostModel();
+
+  RewriterOptions opts;
+  opts.cost_model = &model;
+  opts.max_results = 8;
+  Rewriter rewriter(*summary, opts);
+  rewriter.AddView(narrow);
+  rewriter.AddView(wide);
+
+  RewriteStats stats;
+  Result<std::vector<Rewriting>> rws =
+      rewriter.Rewrite(MustParsePattern("a(/b{id,v})"), &stats);
+  ASSERT_TRUE(rws.ok()) << rws.status().ToString();
+  ASSERT_GE(rws->size(), 2u);
+  EXPECT_NE(rws->front().compact.find("Narrow"), std::string::npos)
+      << rws->front().compact;
+  EXPECT_GE(rws->front().est_cost, 0);
+  for (size_t i = 1; i < rws->size(); ++i) {
+    EXPECT_LE((*rws)[i - 1].est_cost, (*rws)[i].est_cost);
+  }
+  EXPECT_EQ(stats.cheapest_cost, rws->front().est_cost);
+
+  // Deterministic: a second run returns the same ranking.
+  Rewriter rewriter2(*summary, opts);
+  rewriter2.AddView(narrow);
+  rewriter2.AddView(wide);
+  Result<std::vector<Rewriting>> rws2 =
+      rewriter2.Rewrite(MustParsePattern("a(/b{id,v})"));
+  ASSERT_TRUE(rws2.ok());
+  ASSERT_EQ(rws->size(), rws2->size());
+  for (size_t i = 0; i < rws->size(); ++i) {
+    EXPECT_EQ((*rws)[i].compact, (*rws2)[i].compact);
+  }
+}
+
+TEST(CostBasedRewriting, WithoutModelKeepsDiscoveryOrder) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2)");
+  std::unique_ptr<Summary> summary = SummaryBuilder::Build(d.get());
+  ViewDef v{"V", MustParsePattern("a(/b{id,v})")};
+  Rewriter rewriter(*summary);
+  rewriter.AddView(v);
+  Result<std::vector<Rewriting>> rws =
+      rewriter.Rewrite(MustParsePattern("a(/b{id,v})"));
+  ASSERT_TRUE(rws.ok());
+  ASSERT_FALSE(rws->empty());
+  EXPECT_EQ(rws->front().est_cost, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Advisor
+// ---------------------------------------------------------------------------
+
+TEST(Advisor, PicksCoveringViewsUnderBudget) {
+  std::unique_ptr<Document> d =
+      Doc("a(b=1 b=2 b=3 c=x c=y d(e=1) d(e=2))");
+  std::unique_ptr<Summary> summary = SummaryBuilder::Build(d.get());
+  std::vector<Pattern> workload = {
+      MustParsePattern("a(/b{id,v})"),
+      MustParsePattern("a(/c{id,v})"),
+  };
+  AdvisorOptions opts;
+  opts.size_budget_bytes = 1 << 20;
+  AdvisorProposal proposal = AdviseViews(workload, *summary, *d, opts);
+
+  ASSERT_FALSE(proposal.chosen.empty());
+  EXPECT_GT(proposal.total_benefit, 0);
+  EXPECT_LE(proposal.total_bytes, opts.size_budget_bytes);
+  // Every workload query is improved by some chosen view.
+  std::vector<bool> covered(workload.size(), false);
+  for (const AdvisedView& v : proposal.chosen) {
+    for (size_t q : v.queries) covered[q] = true;
+  }
+  EXPECT_TRUE(covered[0]);
+  EXPECT_TRUE(covered[1]);
+}
+
+TEST(Advisor, RespectsTightBudget) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2 c=x)");
+  std::unique_ptr<Summary> summary = SummaryBuilder::Build(d.get());
+  std::vector<Pattern> workload = {MustParsePattern("a(/b{id,v})")};
+  AdvisorOptions opts;
+  opts.size_budget_bytes = 0;  // nothing fits
+  AdvisorProposal proposal = AdviseViews(workload, *summary, *d, opts);
+  EXPECT_TRUE(proposal.chosen.empty());
+  EXPECT_GT(proposal.candidates_considered, 0u);
+}
+
+}  // namespace
+}  // namespace svx
