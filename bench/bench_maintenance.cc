@@ -1,0 +1,241 @@
+// Incremental maintenance benchmark: apply randomized subtree updates to an
+// XMark document and maintain a view catalog through ApplyUpdate, versus
+// rematerializing every extent from scratch after each update. Reports
+// per-(view, update-kind) scenario timings and writes machine-readable
+// BENCH_maintenance.json into the working directory. Every scenario also
+// verifies the maintained extent is byte-identical to rematerialization.
+//
+//   $ ./build/bench_maintenance [scale] [updates-per-scenario]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+#include "src/viewstore/extent_io.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/workload/xmark.h"
+#include "src/xml/builder.h"
+#include "src/xml/update.h"
+
+namespace svx {
+namespace {
+
+struct ViewSpec {
+  const char* name;
+  const char* pattern;
+};
+
+const ViewSpec kViews[] = {
+    {"item_names", "site(//item{id}(/name{id,v}))"},
+    {"item_keywords_opt", "site(//item{id}(?//keyword{v}))"},
+    {"item_keywords_nested", "site(//item{id}(n//keyword{id,v}))"},
+    {"person_content", "site(//person{id,c})"},
+    {"auction_bidders", "site(//open_auction{id}(//bidder{id}(/increase{v})))"},
+};
+
+enum class UpdateKind { kLeafInsert, kSubtreeInsert, kSubtreeDelete };
+
+const char* UpdateKindName(UpdateKind k) {
+  switch (k) {
+    case UpdateKind::kLeafInsert:
+      return "leaf-insert";
+    case UpdateKind::kSubtreeInsert:
+      return "subtree-insert";
+    case UpdateKind::kSubtreeDelete:
+      return "subtree-delete";
+  }
+  return "?";
+}
+
+std::unique_ptr<Document> MustParseTree(const char* text) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bad tree: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// Picks an update of the given kind against `doc`; deterministic per rng.
+Result<UpdateResult> MakeUpdate(const Document& doc, UpdateKind kind,
+                                Rng* rng) {
+  switch (kind) {
+    case UpdateKind::kLeafInsert: {
+      NodeIndex n = static_cast<NodeIndex>(
+          rng->Uniform(0, static_cast<int64_t>(doc.size()) - 1));
+      return InsertSubtree(doc, doc.ord_path(n), *MustParseTree("keyword=k"));
+    }
+    case UpdateKind::kSubtreeInsert: {
+      NodeIndex n = static_cast<NodeIndex>(
+          rng->Uniform(0, static_cast<int64_t>(doc.size()) - 1));
+      return InsertSubtree(
+          doc, doc.ord_path(n),
+          *MustParseTree("item(name=fresh description(text=t keyword=new) "
+                         "incategory=c payment=cash)"));
+    }
+    case UpdateKind::kSubtreeDelete: {
+      // A random non-root subtree of bounded size (≤ 1% of the document).
+      int32_t cap = std::max<int32_t>(doc.size() / 100, 4);
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        NodeIndex n = static_cast<NodeIndex>(
+            rng->Uniform(1, static_cast<int64_t>(doc.size()) - 1));
+        if (doc.subtree_end(n) - n <= cap) {
+          return DeleteSubtree(doc, doc.ord_path(n));
+        }
+      }
+      return Status::NotFound("no deletable subtree under the size cap");
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+struct ScenarioRow {
+  std::string view;
+  std::string update;
+  int updates = 0;
+  int32_t doc_nodes = 0;
+  double avg_region = 0;     // nodes touched per update
+  double maintain_ms = 0;    // ApplyUpdate total
+  double remat_ms = 0;       // rematerialize-per-update total
+  double speedup = 0;
+  long long inserted = 0;
+  long long deleted = 0;
+  int rebuilds = 0;
+  bool identical = false;
+};
+
+ScenarioRow RunScenario(const ViewSpec& spec, UpdateKind kind, double scale,
+                        int updates) {
+  ScenarioRow row;
+  row.view = spec.name;
+  row.update = UpdateKindName(kind);
+  row.updates = updates;
+
+  XmarkOptions opts;
+  opts.scale = scale;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  row.doc_nodes = doc->size();
+
+  ViewDef def{spec.name, MustParsePattern(spec.pattern)};
+  ViewCatalog catalog;  // no store dir: time pure in-memory maintenance
+  Status s = catalog.Materialize(def, *doc);
+  if (!s.ok()) {
+    std::fprintf(stderr, "materialize: %s\n", s.ToString().c_str());
+    return row;
+  }
+
+  Rng rng(1234);
+  Timer t;
+  int64_t region_total = 0;
+  for (int i = 0; i < updates; ++i) {
+    Result<UpdateResult> r = MakeUpdate(*doc, kind, &rng);
+    if (!r.ok()) continue;
+    region_total += r->delta.region_size;
+
+    // Maintenance path.
+    MaintenanceStats ms;
+    t.Reset();
+    Status apply = catalog.ApplyUpdate(r->delta, &ms);
+    row.maintain_ms += t.ElapsedMillis();
+    if (!apply.ok()) {
+      std::fprintf(stderr, "apply: %s\n", apply.ToString().c_str());
+      return row;
+    }
+    row.inserted += ms.tuples_inserted;
+    row.deleted += ms.tuples_deleted;
+    row.rebuilds += ms.views_rebuilt;
+
+    // Rematerialization baseline: the same end state built from scratch
+    // (materialize + canonicalize + statistics, as the fallback path does).
+    t.Reset();
+    ViewCatalog fresh;
+    Status remat = fresh.Materialize(def, *r->doc);
+    row.remat_ms += t.ElapsedMillis();
+    if (!remat.ok()) return row;
+
+    doc = std::move(r->doc);
+    if (i + 1 == updates) {
+      row.identical =
+          SerializeExtent(catalog.Find(spec.name)->extent) ==
+              SerializeExtent(fresh.Find(spec.name)->extent) &&
+          catalog.Find(spec.name)->stats == fresh.Find(spec.name)->stats;
+    }
+  }
+  row.avg_region = updates > 0
+                       ? static_cast<double>(region_total) / updates
+                       : 0;
+  row.speedup = row.maintain_ms > 0 ? row.remat_ms / row.maintain_ms : 0;
+  return row;
+}
+
+void Run(double scale, int updates) {
+  std::printf("=== Incremental maintenance vs rematerialization ===\n");
+  std::vector<ScenarioRow> rows;
+  std::printf("%-22s %-15s %7s %9s %12s %12s %8s %6s %5s\n", "view", "update",
+              "nodes", "avg_region", "maintain(ms)", "remat(ms)", "speedup",
+              "ident", "rblt");
+  for (const ViewSpec& spec : kViews) {
+    for (UpdateKind kind :
+         {UpdateKind::kLeafInsert, UpdateKind::kSubtreeInsert,
+          UpdateKind::kSubtreeDelete}) {
+      ScenarioRow row = RunScenario(spec, kind, scale, updates);
+      std::printf("%-22s %-15s %7d %9.1f %12.2f %12.2f %7.1fx %6s %5d\n",
+                  row.view.c_str(), row.update.c_str(), row.doc_nodes,
+                  row.avg_region, row.maintain_ms, row.remat_ms, row.speedup,
+                  row.identical ? "yes" : "NO", row.rebuilds);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  int small_update_wins = 0;
+  for (const ScenarioRow& r : rows) {
+    bool small = r.doc_nodes > 0 &&
+                 r.avg_region <= 0.01 * static_cast<double>(r.doc_nodes);
+    if (small && r.identical && r.speedup > 1.0) ++small_update_wins;
+  }
+  std::printf("\nscenarios where maintenance beats rematerialization on "
+              "small (≤1%%) updates: %d / %zu\n",
+              small_update_wins, rows.size());
+
+  std::string json = "{\n";
+  json += StrFormat("  \"scale\": %.2f,\n", scale);
+  json += StrFormat("  \"updates_per_scenario\": %d,\n", updates);
+  json += StrFormat("  \"small_update_wins\": %d,\n", small_update_wins);
+  json += "  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioRow& r = rows[i];
+    json += StrFormat(
+        "    {\"view\": \"%s\", \"update\": \"%s\", \"updates\": %d, "
+        "\"doc_nodes\": %d, \"avg_region_nodes\": %.2f, "
+        "\"maintain_ms\": %.3f, \"remat_ms\": %.3f, \"speedup\": %.2f, "
+        "\"tuples_inserted\": %lld, \"tuples_deleted\": %lld, "
+        "\"full_rebuilds\": %d, \"identical\": %s}%s\n",
+        r.view.c_str(), r.update.c_str(), r.updates, r.doc_nodes,
+        r.avg_region, r.maintain_ms, r.remat_ms, r.speedup, r.inserted,
+        r.deleted, r.rebuilds, r.identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  std::ofstream out("BENCH_maintenance.json", std::ios::trunc);
+  out << json;
+  out.close();
+  std::printf("wrote BENCH_maintenance.json\n");
+}
+
+}  // namespace
+}  // namespace svx
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  int updates = 20;
+  if (argc > 1) scale = std::atof(argv[1]);
+  if (argc > 2) updates = std::atoi(argv[2]);
+  svx::Run(scale, updates);
+  return 0;
+}

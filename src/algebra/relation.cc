@@ -96,6 +96,67 @@ void Table::SortByIdColumn(int32_t col) {
                    });
 }
 
+namespace {
+
+int VariantRank(const Value& v) {
+  if (v.IsNull()) return 0;
+  if (v.IsString()) return 1;
+  if (v.IsId()) return 2;
+  if (v.IsContent()) return 3;
+  return 4;
+}
+
+}  // namespace
+
+int CompareValues(const Value& a, const Value& b) {
+  int ra = VariantRank(a);
+  int rb = VariantRank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1:
+      return a.AsString().compare(b.AsString());
+    case 2:
+      return a.AsId().Compare(b.AsId());
+    case 3: {
+      const NodeRef& na = a.AsContent();
+      const NodeRef& nb = b.AsContent();
+      SVX_CHECK(na.doc != nullptr && nb.doc != nullptr);
+      return na.doc->ord_path(na.node).Compare(nb.doc->ord_path(nb.node));
+    }
+    default: {
+      const Table& ta = a.AsTable();
+      const Table& tb = b.AsTable();
+      int64_t n = std::min(ta.NumRows(), tb.NumRows());
+      for (int64_t i = 0; i < n; ++i) {
+        int c = CompareTuples(ta.row(i), tb.row(i));
+        if (c != 0) return c;
+      }
+      if (ta.NumRows() != tb.NumRows()) {
+        return ta.NumRows() < tb.NumRows() ? -1 : 1;
+      }
+      return 0;
+    }
+  }
+}
+
+int CompareTuples(const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = CompareValues(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+void Table::SortRowsCanonical() {
+  std::sort(rows_.begin(), rows_.end(), [](const Tuple& a, const Tuple& b) {
+    return CompareTuples(a, b) < 0;
+  });
+}
+
 bool Table::EqualsIgnoringOrder(const Table& other) const {
   if (NumRows() != other.NumRows()) return false;
   // Multiset comparison via matching flags (tables are small in tests; view

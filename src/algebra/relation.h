@@ -84,11 +84,22 @@ class Table {
     rows_.push_back(std::move(row));
   }
 
+  /// Direct row storage for in-place maintenance (delta application,
+  /// content-reference rebinding). Callers must keep every row at schema
+  /// arity.
+  std::vector<Tuple>& mutable_rows() { return rows_; }
+
   /// Removes duplicate rows (set semantics), preserving first occurrences.
   void Deduplicate();
 
   /// Sorts rows by the given ID column in document order (nulls last).
   void SortByIdColumn(int32_t col);
+
+  /// Sorts rows into the canonical deterministic order (CompareTuples).
+  /// Assumes nested-table cells are already canonical (MaterializeView and
+  /// the delta evaluator build them sorted); the view store relies on this
+  /// to make equal extent row sets byte-identical under serialization.
+  void SortRowsCanonical();
 
   /// Deep row-set equality up to row order (schemas must match).
   bool EqualsIgnoringOrder(const Table& other) const;
@@ -103,6 +114,16 @@ class Table {
 
 /// Hash of a whole tuple (deep).
 size_t TupleHash(const Tuple& t);
+
+/// Deterministic total order over values: ⊥ < string < id < content <
+/// nested; strings lexicographic, ids in document order, content by the
+/// referenced node's ORDPATH, nested tables lexicographic by rows. Returns
+/// <0, 0, >0. Content cells compare equal iff their ORDPATHs are equal,
+/// independent of the owning Document — the order survives rebinding.
+int CompareValues(const Value& a, const Value& b);
+
+/// Lexicographic tuple comparison via CompareValues.
+int CompareTuples(const Tuple& a, const Tuple& b);
 
 }  // namespace svx
 

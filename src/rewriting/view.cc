@@ -47,132 +47,148 @@ Schema SubtreeSchema(const Pattern& p, PatternNodeId n,
   return schema;
 }
 
-class Materializer {
- public:
-  Materializer(const Pattern& p, const std::string& view_name,
-               const Document& doc)
-      : p_(p), view_name_(view_name), doc_(doc) {}
-
-  Table Run() {
-    Schema schema = SubtreeSchema(p_, p_.root(), view_name_);
-    Table out(schema);
-    if (Matches(p_.root(), doc_.root())) {
-      for (Tuple& row : MatchSub(p_.root(), doc_.root())) {
-        out.AddRow(std::move(row));
-      }
-    }
-    out.Deduplicate();
-    return out;
-  }
-
- private:
-  bool Matches(PatternNodeId pn, NodeIndex dn) const {
-    const Pattern::Node& node = p_.node(pn);
-    if (!node.IsWildcard() && doc_.label(dn) != node.label) return false;
-    if (node.pred.IsTrue()) return true;
-    return doc_.has_value(dn) && node.pred.ContainsValue(doc_.value(dn));
-  }
-
-  std::vector<NodeIndex> Candidates(PatternNodeId pn, NodeIndex dn) const {
-    const Pattern::Node& node = p_.node(pn);
-    std::vector<NodeIndex> out;
-    if (node.axis == Axis::kChild) {
-      for (NodeIndex c = doc_.first_child(dn); c != kInvalidNode;
-           c = doc_.next_sibling(c)) {
-        if (Matches(pn, c)) out.push_back(c);
-      }
-    } else {
-      for (NodeIndex c = dn + 1; c < doc_.subtree_end(dn); ++c) {
-        if (Matches(pn, c)) out.push_back(c);
-      }
-    }
-    return out;
-  }
-
-  /// Width (column count) of the subtree rooted at `n` at this nesting
-  /// level (nested children count as one column).
-  int32_t SubtreeWidth(PatternNodeId n) const {
-    const Pattern::Node& node = p_.node(n);
-    int32_t w = __builtin_popcount(node.attrs);
-    for (PatternNodeId m : node.children) {
-      w += p_.node(m).nested ? 1 : SubtreeWidth(m);
-    }
-    return w;
-  }
-
-  Tuple OwnValues(PatternNodeId pn, NodeIndex dn) const {
-    const Pattern::Node& node = p_.node(pn);
-    Tuple out;
-    if (node.attrs & kAttrId) out.emplace_back(doc_.ord_path(dn));
-    if (node.attrs & kAttrLabel) out.emplace_back(doc_.label(dn));
-    if (node.attrs & kAttrValue) {
-      if (doc_.has_value(dn)) {
-        out.emplace_back(doc_.value(dn));
-      } else {
-        out.emplace_back();
-      }
-    }
-    if (node.attrs & kAttrContent) out.emplace_back(NodeRef{&doc_, dn});
-    return out;
-  }
-
-  /// Rows of the subtree pattern rooted at `pn`, given pn bound to `dn`.
-  /// Requires Matches(pn, dn).
-  std::vector<Tuple> MatchSub(PatternNodeId pn, NodeIndex dn) {
-    std::vector<Tuple> rows{OwnValues(pn, dn)};
-    for (PatternNodeId m : p_.node(pn).children) {
-      const Pattern::Node& child = p_.node(m);
-      std::vector<Tuple> sub;
-      for (NodeIndex cand : Candidates(m, dn)) {
-        std::vector<Tuple> s = MatchSub(m, cand);
-        sub.insert(sub.end(), std::make_move_iterator(s.begin()),
-                   std::make_move_iterator(s.end()));
-      }
-      if (child.nested) {
-        // One nested-table value groups all bindings (possibly none —
-        // Figure 12 keeps empty tables).
-        Schema nested_schema = SubtreeSchema(p_, m, view_name_);
-        auto nested = std::make_shared<Table>(nested_schema);
-        for (Tuple& t : sub) nested->AddRow(std::move(t));
-        nested->Deduplicate();
-        Value v{TablePtr(nested)};
-        for (Tuple& r : rows) r.push_back(v);
-        continue;
-      }
-      if (sub.empty()) {
-        if (!child.optional) return {};
-        // ⊥-padding (§4.3).
-        sub.emplace_back(static_cast<size_t>(SubtreeWidth(m)));
-      }
-      // Cartesian combination.
-      std::vector<Tuple> combined;
-      combined.reserve(rows.size() * sub.size());
-      for (const Tuple& a : rows) {
-        for (const Tuple& b : sub) {
-          Tuple r = a;
-          r.insert(r.end(), b.begin(), b.end());
-          combined.push_back(std::move(r));
-        }
-      }
-      rows = std::move(combined);
-    }
-    return rows;
-  }
-
-  const Pattern& p_;
-  const std::string& view_name_;
-  const Document& doc_;
-};
-
 }  // namespace
+
+bool PatternNodeMatches(const Pattern& p, PatternNodeId pn,
+                        const Document& doc, NodeIndex dn) {
+  const Pattern::Node& node = p.node(pn);
+  if (!node.IsWildcard() && doc.label(dn) != node.label) return false;
+  if (node.pred.IsTrue()) return true;
+  return doc.has_value(dn) && node.pred.ContainsValue(doc.value(dn));
+}
+
+std::vector<NodeIndex> PatternCandidates(const Pattern& p, PatternNodeId pn,
+                                         const Document& doc, NodeIndex dn) {
+  const Pattern::Node& node = p.node(pn);
+  std::vector<NodeIndex> out;
+  if (node.axis == Axis::kChild) {
+    for (NodeIndex c = doc.first_child(dn); c != kInvalidNode;
+         c = doc.next_sibling(c)) {
+      if (PatternNodeMatches(p, pn, doc, c)) out.push_back(c);
+    }
+  } else {
+    for (NodeIndex c = dn + 1; c < doc.subtree_end(dn); ++c) {
+      if (PatternNodeMatches(p, pn, doc, c)) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Tuple PatternOwnValues(const Pattern& p, PatternNodeId pn,
+                       const Document& doc, NodeIndex dn) {
+  const Pattern::Node& node = p.node(pn);
+  Tuple out;
+  if (node.attrs & kAttrId) out.emplace_back(doc.ord_path(dn));
+  if (node.attrs & kAttrLabel) out.emplace_back(doc.label(dn));
+  if (node.attrs & kAttrValue) {
+    if (doc.has_value(dn)) {
+      out.emplace_back(doc.value(dn));
+    } else {
+      out.emplace_back();
+    }
+  }
+  if (node.attrs & kAttrContent) out.emplace_back(NodeRef{&doc, dn});
+  return out;
+}
+
+int32_t PatternSubtreeWidth(const Pattern& p, PatternNodeId n) {
+  const Pattern::Node& node = p.node(n);
+  int32_t w = __builtin_popcount(node.attrs);
+  for (PatternNodeId m : node.children) {
+    w += p.node(m).nested ? 1 : PatternSubtreeWidth(p, m);
+  }
+  return w;
+}
+
+std::vector<Tuple> MaterializeSubtreeRows(const Pattern& p, PatternNodeId pn,
+                                          const std::string& view_name,
+                                          const Document& doc, NodeIndex dn) {
+  std::vector<Tuple> rows{PatternOwnValues(p, pn, doc, dn)};
+  for (PatternNodeId m : p.node(pn).children) {
+    const Pattern::Node& child = p.node(m);
+    std::vector<Tuple> sub;
+    for (NodeIndex cand : PatternCandidates(p, m, doc, dn)) {
+      std::vector<Tuple> s = MaterializeSubtreeRows(p, m, view_name, doc,
+                                                    cand);
+      sub.insert(sub.end(), std::make_move_iterator(s.begin()),
+                 std::make_move_iterator(s.end()));
+    }
+    if (child.nested) {
+      // One nested-table value groups all bindings (possibly none —
+      // Figure 12 keeps empty tables). Canonically ordered so equal groups
+      // serialize identically regardless of how they were produced.
+      Schema nested_schema = SubtreeSchema(p, m, view_name);
+      auto nested = std::make_shared<Table>(nested_schema);
+      for (Tuple& t : sub) nested->AddRow(std::move(t));
+      nested->Deduplicate();
+      nested->SortRowsCanonical();
+      Value v{TablePtr(nested)};
+      for (Tuple& r : rows) r.push_back(v);
+      continue;
+    }
+    if (sub.empty()) {
+      if (!child.optional) return {};
+      // ⊥-padding (§4.3).
+      sub.emplace_back(static_cast<size_t>(PatternSubtreeWidth(p, m)));
+    }
+    // Cartesian combination.
+    std::vector<Tuple> combined;
+    combined.reserve(rows.size() * sub.size());
+    for (const Tuple& a : rows) {
+      for (const Tuple& b : sub) {
+        Tuple r = a;
+        r.insert(r.end(), b.begin(), b.end());
+        combined.push_back(std::move(r));
+      }
+    }
+    rows = std::move(combined);
+  }
+  return rows;
+}
+
+bool PatternSubtreeYieldsNothing(const Pattern& p, PatternNodeId pn,
+                                 const Document& doc, NodeIndex dn) {
+  // The subtree yields a row iff every non-optional, non-nested child has a
+  // candidate yielding a row (nested children always contribute a group,
+  // optional children pad). So pn bound to dn yields nothing iff some
+  // mandatory child has only barren candidates.
+  for (PatternNodeId m : p.node(pn).children) {
+    const Pattern::Node& child = p.node(m);
+    if (child.optional || child.nested) continue;
+    bool any = false;
+    for (NodeIndex cand : PatternCandidates(p, m, doc, dn)) {
+      if (!PatternSubtreeYieldsNothing(p, m, doc, cand)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return true;
+  }
+  return false;
+}
 
 Schema ViewSchema(const Pattern& pattern, const std::string& view_name) {
   return SubtreeSchema(pattern, pattern.root(), view_name);
 }
 
+Schema ViewSubtreeSchema(const Pattern& pattern, PatternNodeId n,
+                         const std::string& view_name) {
+  return SubtreeSchema(pattern, n, view_name);
+}
+
 Table MaterializeView(const Pattern& pattern, const std::string& view_name,
                       const Document& doc) {
-  return Materializer(pattern, view_name, doc).Run();
+  Schema schema = SubtreeSchema(pattern, pattern.root(), view_name);
+  Table out(schema);
+  if (doc.size() > 0 &&
+      PatternNodeMatches(pattern, pattern.root(), doc, doc.root())) {
+    for (Tuple& row : MaterializeSubtreeRows(pattern, pattern.root(),
+                                             view_name, doc, doc.root())) {
+      out.AddRow(std::move(row));
+    }
+  }
+  out.Deduplicate();
+  return out;
 }
 
 std::vector<MaterializedView> MaterializeAll(const std::vector<ViewDef>& defs,

@@ -17,41 +17,98 @@ double ClampRows(double rows) { return std::max(rows, 1.0); }
 
 void CostModel::AddViewStats(const std::string& view_name,
                              const ViewStats& stats) {
-  views_[view_name] = stats.num_rows;
+  PerView view;
+  view.num_rows = stats.num_rows;
   // Includes the inner columns of nested columns (ComputeViewStats emits
   // them with their own unique names), so estimates survive an unnest.
   for (const ColumnStats& c : stats.columns) {
-    columns_[c.name] = c;
+    view.columns[c.name] = c;
   }
+  views_[view_name] = std::move(view);
 }
 
-const ColumnStats* CostModel::FindColumn(const std::string& name) const {
-  auto it = columns_.find(name);
-  return it == columns_.end() ? nullptr : &it->second;
+CostModel::Origin CostModel::ResolveColumn(const PlanNode& plan,
+                                           int32_t col) const {
+  if (col < 0 || col >= plan.schema.size()) return {};
+  switch (plan.kind) {
+    case PlanKind::kViewScan: {
+      auto it = views_.find(plan.view_name);
+      if (it == views_.end()) return {};
+      const PerView& view = it->second;
+      auto c = view.columns.find(plan.schema.column(col).name);
+      return {&view, c == view.columns.end() ? nullptr : &c->second};
+    }
+    case PlanKind::kIdEqJoin:
+    case PlanKind::kStructJoin: {
+      int32_t nl = plan.children[0]->schema.size();
+      if (col < nl) return ResolveColumn(*plan.children[0], col);
+      if (plan.nested_join) return {};  // the synthesized nested column
+      return ResolveColumn(*plan.children[1], col - nl);
+    }
+    case PlanKind::kSelect:
+      return ResolveColumn(*plan.children[0], col);
+    case PlanKind::kProject:
+      return ResolveColumn(*plan.children[0],
+                           plan.project_cols[static_cast<size_t>(col)]);
+    case PlanKind::kUnion: {
+      // Same position in every branch; only an unambiguous origin counts.
+      Origin first = ResolveColumn(*plan.children[0], col);
+      for (size_t i = 1; i < plan.children.size(); ++i) {
+        Origin o = ResolveColumn(*plan.children[i], col);
+        if (o.view != first.view || o.column != first.column) return {};
+      }
+      return first;
+    }
+    case PlanKind::kUnnest: {
+      const Schema& in = plan.children[0]->schema;
+      int32_t ninner = in.column(plan.unnest_col).nested->size();
+      if (col < plan.unnest_col) return ResolveColumn(*plan.children[0], col);
+      if (col < plan.unnest_col + ninner) {
+        // An inner column of the flattened nested column: its stats live
+        // flat under the owning view (see AddViewStats).
+        Origin outer = ResolveColumn(*plan.children[0], plan.unnest_col);
+        if (outer.view == nullptr) return {};
+        auto c = outer.view->columns.find(plan.schema.column(col).name);
+        return {outer.view,
+                c == outer.view->columns.end() ? nullptr : &c->second};
+      }
+      return ResolveColumn(*plan.children[0], col - ninner + 1);
+    }
+    case PlanKind::kGroupBy: {
+      int32_t nkeys = static_cast<int32_t>(plan.group_key_cols.size());
+      if (col < nkeys) {
+        return ResolveColumn(*plan.children[0],
+                             plan.group_key_cols[static_cast<size_t>(col)]);
+      }
+      return {};  // the synthesized group column
+    }
+    case PlanKind::kNavigate:
+    case PlanKind::kDeriveParent: {
+      int32_t nin = plan.children[0]->schema.size();
+      if (col < nin) return ResolveColumn(*plan.children[0], col);
+      return {};  // derived columns carry no stored statistics
+    }
+  }
+  return {};
 }
 
 CostEstimate CostModel::Estimate(const PlanNode& plan) const {
   switch (plan.kind) {
     case PlanKind::kViewScan: {
       auto it = views_.find(plan.view_name);
-      double rows =
-          it == views_.end() ? default_rows : static_cast<double>(it->second);
+      double rows = it == views_.end()
+                        ? default_rows
+                        : static_cast<double>(it->second.num_rows);
       return {rows, rows};
     }
     case PlanKind::kIdEqJoin:
     case PlanKind::kStructJoin: {
       CostEstimate l = Estimate(*plan.children[0]);
       CostEstimate r = Estimate(*plan.children[1]);
-      const Schema& ls = plan.children[0]->schema;
-      const Schema& rs = plan.children[1]->schema;
       const ColumnStats* lc =
-          plan.left_col >= 0 && plan.left_col < ls.size()
-              ? FindColumn(ls.column(plan.left_col).name)
-              : nullptr;
+          ResolveColumn(*plan.children[0], plan.left_col).column;
       const ColumnStats* rc =
-          plan.right_col >= 0 && plan.right_col < rs.size()
-              ? FindColumn(rs.column(plan.right_col).name)
-              : nullptr;
+          ResolveColumn(*plan.children[1], plan.right_col).column;
       double dl = lc != nullptr ? static_cast<double>(lc->distinct) : l.rows;
       double dr = rc != nullptr ? static_cast<double>(rc->distinct) : r.rows;
       double rows;
@@ -81,11 +138,8 @@ CostEstimate CostModel::Estimate(const PlanNode& plan) const {
     }
     case PlanKind::kSelect: {
       CostEstimate in = Estimate(*plan.children[0]);
-      const Schema& s = plan.children[0]->schema;
-      const ColumnStats* c =
-          plan.select_col >= 0 && plan.select_col < s.size()
-              ? FindColumn(s.column(plan.select_col).name)
-              : nullptr;
+      Origin origin = ResolveColumn(*plan.children[0], plan.select_col);
+      const ColumnStats* c = origin.column;
       double sel;
       switch (plan.select_kind) {
         case SelectKind::kLabelEq:
@@ -100,14 +154,15 @@ CostEstimate CostModel::Estimate(const PlanNode& plan) const {
         case SelectKind::kNonNull:
         case SelectKind::kIsNull: {
           double nn = kNonNullSelectivity;
-          if (c != nullptr) {
-            // The non-null fraction of the source extent carries over.
-            double base = static_cast<double>(std::max<int64_t>(
-                c->non_null, 0));
-            // Denominator: the view's row count is not recorded per column;
-            // approximate with the larger of non_null and the input rows.
-            double denom = std::max(base, in.rows);
-            nn = denom > 0 ? base / denom : kNonNullSelectivity;
+          if (c != nullptr && origin.view != nullptr &&
+              origin.view->num_rows > 0) {
+            // The owning view's non-null fraction carries over through
+            // upstream operators (independence assumption). Using the
+            // view's row count as the denominator — not the post-filter
+            // input cardinality — keeps the fraction a property of the
+            // stored data rather than of the plan shape above it.
+            nn = static_cast<double>(std::max<int64_t>(c->non_null, 0)) /
+                 static_cast<double>(origin.view->num_rows);
             nn = std::min(std::max(nn, 0.0), 1.0);
           }
           sel = plan.select_kind == SelectKind::kNonNull ? nn : 1.0 - nn;
@@ -134,11 +189,8 @@ CostEstimate CostModel::Estimate(const PlanNode& plan) const {
     }
     case PlanKind::kUnnest: {
       CostEstimate in = Estimate(*plan.children[0]);
-      const Schema& s = plan.children[0]->schema;
       const ColumnStats* c =
-          plan.unnest_col >= 0 && plan.unnest_col < s.size()
-              ? FindColumn(s.column(plan.unnest_col).name)
-              : nullptr;
+          ResolveColumn(*plan.children[0], plan.unnest_col).column;
       double avg_group =
           c != nullptr && c->non_null > 0
               ? static_cast<double>(c->nested_rows) /

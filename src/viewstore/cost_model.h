@@ -6,9 +6,10 @@
 //   * ⋈≺ / ⋈≺≺ model the executor's ORDPATH hash-probe (each right row
 //     probes its parent id, or its ≤ depth ancestor prefixes);
 //   * selections apply per-kind selectivities (σ≠⊥ uses the measured
-//     non-null fraction when the column's statistics are known).
-// Column statistics are looked up by column *name* ("V1.n2.id"), which view
-// scans introduce and joins/selections preserve.
+//     non-null fraction over the owning view's row count).
+// Column statistics are keyed by (view, column): a plan column is resolved
+// to its originating view scan by walking the plan (its *provenance*), so
+// views that expose same-named columns never alias each other's statistics.
 #ifndef SVX_VIEWSTORE_COST_MODEL_H_
 #define SVX_VIEWSTORE_COST_MODEL_H_
 
@@ -29,9 +30,9 @@ struct CostEstimate {
 /// Estimates plan costs from per-view extent statistics.
 class CostModel {
  public:
-  /// Registers the statistics of one materialized view. Column names are
-  /// assumed globally unique across views (the ViewSchema "<view>.n<k>.<a>"
-  /// convention guarantees this for distinct view names).
+  /// Registers the statistics of one materialized view, replacing any
+  /// previous registration under the same name (including its column
+  /// statistics — nothing stale survives a re-registration).
   void AddViewStats(const std::string& view_name, const ViewStats& stats);
 
   bool HasView(const std::string& view_name) const {
@@ -50,10 +51,26 @@ class CostModel {
   double default_rows = 1000;
 
  private:
-  const ColumnStats* FindColumn(const std::string& name) const;
+  /// One registered view: extent row count plus column stats by name
+  /// (ComputeViewStats flattens nested inner columns into the same list).
+  struct PerView {
+    int64_t num_rows = 0;
+    std::unordered_map<std::string, ColumnStats> columns;
+  };
 
-  std::unordered_map<std::string, int64_t> views_;  // name -> extent rows
-  std::unordered_map<std::string, ColumnStats> columns_;  // by column name
+  /// A plan column resolved to its source: the owning view's stats entry
+  /// and (when known) the column's stats. Either may be null — derived
+  /// columns (group-by groups, navigation, parent derivation) and
+  /// ambiguous unions have no single origin.
+  struct Origin {
+    const PerView* view = nullptr;
+    const ColumnStats* column = nullptr;
+  };
+
+  /// Walks the plan to the view scan contributing output column `col`.
+  Origin ResolveColumn(const PlanNode& plan, int32_t col) const;
+
+  std::unordered_map<std::string, PerView> views_;
 };
 
 }  // namespace svx

@@ -308,6 +308,12 @@ int64_t ExtentByteSize(const Table& table) {
          SchemaByteSize(table.schema()) + RowsByteSize(table);
 }
 
+int64_t TupleByteSize(const Tuple& tuple) {
+  int64_t size = 0;
+  for (const Value& v : tuple) size += CellByteSize(v);
+  return size;
+}
+
 Result<Table> DeserializeExtent(std::string_view bytes, const Document* doc) {
   if (bytes.size() < sizeof(kMagic) ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -329,6 +335,51 @@ Result<Table> DeserializeExtent(std::string_view bytes, const Document* doc) {
         StrFormat("trailing bytes at offset %zu", r.pos()));
   }
   return table;
+}
+
+std::string EncodeTupleKey(const Tuple& tuple) {
+  std::string key;
+  for (const Value& v : tuple) EncodeValue(v, &key);
+  return key;
+}
+
+Status RebindTupleContent(Tuple* tuple, const Document& doc) {
+  for (Value& v : *tuple) {
+    if (v.IsContent()) {
+      const NodeRef& ref = v.AsContent();
+      if (ref.doc == &doc) continue;
+      SVX_CHECK(ref.doc != nullptr && ref.node != kInvalidNode);
+      const OrdPath& id = ref.doc->ord_path(ref.node);
+      NodeIndex node = doc.FindByOrdPath(id);
+      if (node == kInvalidNode) {
+        return Status::NotFound("content reference " + id.ToString() +
+                                " not in the document");
+      }
+      v = Value(NodeRef{&doc, node});
+    } else if (v.IsTable()) {
+      const Table& nested = v.AsTable();
+      bool has_content = false;
+      for (const Tuple& row : nested.rows()) {
+        for (const Value& cell : row) {
+          if (cell.IsContent() || cell.IsTable()) {
+            has_content = true;
+            break;
+          }
+        }
+        if (has_content) break;
+      }
+      if (!has_content) continue;
+      Table copy(nested.schema());
+      for (const Tuple& row : nested.rows()) {
+        Tuple r = row;
+        Status s = RebindTupleContent(&r, doc);
+        if (!s.ok()) return s;
+        copy.AddRow(std::move(r));
+      }
+      v = Value(TablePtr(std::make_shared<const Table>(std::move(copy))));
+    }
+  }
+  return Status::OK();
 }
 
 Status WriteExtentFile(const std::string& path, const Table& table) {

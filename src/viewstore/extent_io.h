@@ -31,6 +31,11 @@ std::string SerializeExtent(const Table& table);
 /// Size of SerializeExtent(table) without building the bytes.
 int64_t ExtentByteSize(const Table& table);
 
+/// Serialized size of one row's cells (rows carry no per-row header, so
+/// ExtentByteSize changes by exactly this much per inserted/deleted row —
+/// the incremental byte accounting used by view maintenance).
+int64_t TupleByteSize(const Tuple& tuple);
+
 /// Parses a serialized extent. Content cells are rebound against `doc` via
 /// their ORDPATH ids; a content cell with `doc == nullptr` or an id absent
 /// from `doc` is an error.
@@ -41,8 +46,20 @@ Status WriteExtentFile(const std::string& path, const Table& table);
 Result<Table> ReadExtentFile(const std::string& path, const Document* doc);
 
 /// Serializes one cell value (the row encoding above, without the schema) —
-/// a stable deep encoding also used for exact distinct counting.
+/// a stable deep encoding also used for exact distinct counting. Content
+/// cells encode as the referenced node's ORDPATH, so the encoding is
+/// invariant under RebindTupleContent.
 void EncodeValue(const Value& v, std::string* out);
+
+/// EncodeValue folded over a whole row — the stable tuple identity used by
+/// incremental maintenance to match deltas against stored extents.
+std::string EncodeTupleKey(const Tuple& tuple);
+
+/// Rebinds every content reference in the tuple (deep, including nested
+/// tables) to `doc` via its ORDPATH — the in-memory analogue of the
+/// serialize-then-rebind round trip, used after a document update. Fails
+/// with NotFound if a referenced ORDPATH is absent from `doc`.
+Status RebindTupleContent(Tuple* tuple, const Document& doc);
 
 }  // namespace svx
 

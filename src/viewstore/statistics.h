@@ -45,6 +45,17 @@ struct ViewStats {
 /// Scans `extent` once and computes exact statistics.
 ViewStats ComputeViewStats(const Table& extent);
 
+/// Refreshes `stats` to describe `extent` after a tuple delta was applied
+/// by incremental view maintenance. With no deleted rows, the additive
+/// counters (row count, non-null, nested totals, length bounds) are
+/// updated from the inserted tuples in O(|delta|) and only the exact
+/// distinct counts are re-derived with a column scan; a delete forces a
+/// full recomputation (distinct counts and length bounds cannot shrink
+/// incrementally). The result always equals ComputeViewStats(extent).
+ViewStats RefreshViewStats(const ViewStats& stats, const Table& extent,
+                           int64_t deleted_rows,
+                           const std::vector<Tuple>& inserted);
+
 /// Line-based text serialization, round-trippable:
 ///   rows <n>
 ///   col <name> <non_null> <distinct> <min_len> <max_len> <nested_rows>

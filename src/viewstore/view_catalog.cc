@@ -1,7 +1,10 @@
 #include "src/viewstore/view_catalog.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <unordered_set>
 
+#include "src/maintenance/delta_evaluator.h"
 #include "src/pattern/pattern_parser.h"
 #include "src/pattern/pattern_printer.h"
 #include "src/util/fileio.h"
@@ -29,6 +32,30 @@ bool SafeName(const std::string& name) {
   return name[0] != '.';
 }
 
+bool SchemaHasContent(const Schema& schema) {
+  for (const ColumnSpec& c : schema.columns()) {
+    if (c.kind == ColumnKind::kContent) return true;
+    if (c.nested != nullptr && SchemaHasContent(*c.nested)) return true;
+  }
+  return false;
+}
+
+/// Writes `bytes` to `path` via a temp file + rename, so readers (and
+/// crash recovery) never observe a half-written file.
+Status WriteFileAtomic(const fs::path& path, std::string_view bytes) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  Status s = WriteFileBytes(tmp.string(), bytes);
+  if (!s.ok()) return s;
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + tmp.string() + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status ViewCatalog::Materialize(const ViewDef& def, const Document& doc) {
@@ -45,6 +72,7 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
     return Status::InvalidArgument(
         "zero-column extent with rows is not storable: " + def.name);
   }
+  extent.SortRowsCanonical();
   auto stored = std::make_unique<StoredView>();
   stored->stats = ComputeViewStats(extent);
   stored->extent_bytes = ExtentByteSize(extent);
@@ -81,19 +109,158 @@ Status ViewCatalog::Save() const {
     return Status::Internal("cannot create store dir " + dir_ + ": " +
                             ec.message());
   }
+  // Extents and stats first (each atomically), the manifest last: a crash
+  // anywhere mid-save leaves the previous manifest referencing only files
+  // that are still fully present.
   std::string manifest(kManifestHeader);
   manifest.push_back('\n');
   for (const auto& v : views_) {
     manifest += StrFormat("view %s %s\n", v->def.name.c_str(),
                           PatternToString(v->def.pattern).c_str());
-    Status s = WriteExtentFile(
-        (fs::path(dir_) / (v->def.name + ".extent")).string(), v->extent);
+    Status s = WriteFileAtomic(fs::path(dir_) / (v->def.name + ".extent"),
+                               SerializeExtent(v->extent));
     if (!s.ok()) return s;
-    s = WriteFileBytes((fs::path(dir_) / (v->def.name + ".stats")).string(),
-                      ViewStatsToString(v->stats));
+    s = WriteFileAtomic(fs::path(dir_) / (v->def.name + ".stats"),
+                        ViewStatsToString(v->stats));
     if (!s.ok()) return s;
   }
-  return WriteFileBytes((fs::path(dir_) / "manifest.txt").string(), manifest);
+  Status s = WriteFileAtomic(fs::path(dir_) / "manifest.txt", manifest);
+  if (!s.ok()) return s;
+
+  // Sweep files the new manifest does not reference: extents/stats of
+  // replaced or dropped views and temp files of interrupted saves.
+  std::unordered_set<std::string> live{"manifest.txt"};
+  for (const auto& v : views_) {
+    live.insert(v->def.name + ".extent");
+    live.insert(v->def.name + ".stats");
+  }
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;  // best-effort
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    std::string ext = entry.path().extension().string();
+    if (ext != ".extent" && ext != ".stats" && ext != ".tmp") continue;
+    if (live.count(name) != 0) continue;
+    std::error_code remove_ec;
+    fs::remove(entry.path(), remove_ec);
+  }
+  return Status::OK();
+}
+
+Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
+                                MaintenanceStats* out_stats) {
+  if (delta.old_doc == nullptr || delta.new_doc == nullptr) {
+    return Status::InvalidArgument("document delta without documents");
+  }
+  MaintenanceStats ms;
+  std::vector<const StoredView*> dirty;
+  for (auto& v : views_) {
+    auto rebuild = [&]() {
+      Table extent =
+          MaterializeView(v->def.pattern, v->def.name, *delta.new_doc);
+      extent.SortRowsCanonical();
+      v->stats = ComputeViewStats(extent);
+      v->extent = std::move(extent);
+      v->extent_bytes = ExtentByteSize(v->extent);
+      ++ms.views_rebuilt;
+      ++ms.views_touched;
+      dirty.push_back(v.get());
+    };
+    TableDelta td =
+        ComputeViewDelta(v->def.pattern, v->def.name, v->extent, delta);
+    if (td.full_rebuild) {
+      rebuild();
+      continue;
+    }
+    // Apply the delta in place: remove by key, rebind survivors' content
+    // references to the new document (ORDPATH stability makes this a pure
+    // re-lookup — and it is needed even with an empty delta, since the old
+    // document may be destroyed after this call), append inserts, restore
+    // the canonical order. Byte sizes track per-tuple cell sizes (rows
+    // carry no per-row header), so the recorded size stays exact without a
+    // full recount.
+    std::vector<Tuple>& rows = v->extent.mutable_rows();
+    int64_t deleted = 0;
+    if (!td.delete_rows.empty()) {
+      // The delta was computed against this very extent, so dropping by
+      // row index avoids re-encoding the whole extent for key matching.
+      size_t next_delete = 0;
+      size_t out = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (next_delete < td.delete_rows.size() &&
+            static_cast<int64_t>(i) == td.delete_rows[next_delete]) {
+          v->extent_bytes -= TupleByteSize(rows[i]);
+          ++deleted;
+          ++next_delete;
+          continue;
+        }
+        if (out != i) rows[out] = std::move(rows[i]);
+        ++out;
+      }
+      rows.resize(out);
+    }
+    if (SchemaHasContent(v->extent.schema())) {
+      bool rebound = true;
+      for (Tuple& row : rows) {
+        if (!RebindTupleContent(&row, *delta.new_doc).ok()) {
+          // A stored reference did not survive as expected; rather than
+          // leave this view half-patched (and pointing into old_doc),
+          // rebuild it from the new document.
+          rebound = false;
+          break;
+        }
+      }
+      if (!rebound) {
+        rebuild();
+        continue;
+      }
+    }
+    for (const Tuple& t : td.inserts) {
+      v->extent_bytes += TupleByteSize(t);
+      rows.push_back(t);
+    }
+    if (deleted > 0 || !td.inserts.empty()) {
+      v->stats = RefreshViewStats(v->stats, v->extent, deleted, td.inserts);
+      v->extent.SortRowsCanonical();
+      ++ms.views_touched;
+      dirty.push_back(v.get());
+    }
+    ms.tuples_deleted += deleted;
+    ms.tuples_inserted += static_cast<int64_t>(td.inserts.size());
+  }
+  if (out_stats != nullptr) *out_stats = ms;
+  if (dir_.empty()) return Status::OK();
+
+  // Persist incrementally: the views whose extent changed — plus any view
+  // whose files are not on disk yet (the catalog may never have been
+  // saved) — then the manifest, which must reference only present files.
+  // No sweep needed: file names are unchanged.
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create store dir " + dir_ + ": " +
+                            ec.message());
+  }
+  std::unordered_set<const StoredView*> dirty_set(dirty.begin(), dirty.end());
+  for (const auto& v : views_) {
+    fs::path extent_path = fs::path(dir_) / (v->def.name + ".extent");
+    fs::path stats_path = fs::path(dir_) / (v->def.name + ".stats");
+    if (dirty_set.count(v.get()) == 0 && fs::exists(extent_path) &&
+        fs::exists(stats_path)) {
+      continue;
+    }
+    Status s = WriteFileAtomic(extent_path, SerializeExtent(v->extent));
+    if (!s.ok()) return s;
+    s = WriteFileAtomic(stats_path, ViewStatsToString(v->stats));
+    if (!s.ok()) return s;
+  }
+  std::string manifest(kManifestHeader);
+  manifest.push_back('\n');
+  for (const auto& v : views_) {
+    manifest += StrFormat("view %s %s\n", v->def.name.c_str(),
+                          PatternToString(v->def.pattern).c_str());
+  }
+  return WriteFileAtomic(fs::path(dir_) / "manifest.txt", manifest);
 }
 
 Status ViewCatalog::Load(const Document* doc) {

@@ -19,8 +19,17 @@
 #include "src/util/status.h"
 #include "src/viewstore/cost_model.h"
 #include "src/viewstore/statistics.h"
+#include "src/xml/update.h"
 
 namespace svx {
+
+/// What one ApplyUpdate pass did, per catalog.
+struct MaintenanceStats {
+  int32_t views_touched = 0;    // views whose extent changed
+  int32_t views_rebuilt = 0;    // fell back to full rematerialization
+  int64_t tuples_inserted = 0;  // across all incremental deltas
+  int64_t tuples_deleted = 0;
+};
 
 /// One catalog entry: definition, extent, statistics, serialized size.
 struct StoredView {
@@ -47,15 +56,32 @@ class ViewCatalog {
   /// same-named view). Statistics are computed at materialization time.
   Status Materialize(const ViewDef& def, const Document& doc);
 
-  /// Registers an externally produced extent.
+  /// Registers an externally produced extent. Rows are brought into the
+  /// canonical extent order (Table::SortRowsCanonical), so equal extents
+  /// are stored byte-identically however they were produced.
   Status Add(ViewDef def, Table extent);
+
+  /// Maintains every stored extent under a document update: computes a
+  /// tuple-level delta per view (src/maintenance/), applies it — falling
+  /// back to rematerialization when incremental evaluation does not
+  /// apply — rebinds stored content references to delta.new_doc, refreshes
+  /// statistics incrementally, and, when the catalog has a store
+  /// directory, persists the result. Afterwards every extent is
+  /// byte-identical to a fresh materialization over delta.new_doc.
+  Status ApplyUpdate(const DocumentDelta& delta,
+                     MaintenanceStats* out_stats = nullptr);
 
   const StoredView* Find(const std::string& name) const;
 
   /// Total serialized size of all extents — the advisor's budget currency.
   int64_t TotalBytes() const;
 
-  /// Writes manifest, extents and statistics under dir().
+  /// Writes manifest, extents and statistics under dir(). Crash-safe:
+  /// every file is written to a temp name and renamed into place, with the
+  /// manifest renamed last — an interrupted save leaves the previous
+  /// manifest pointing at the previous (still present) files. Extent/stats
+  /// files no longer referenced by the manifest (replaced or dropped
+  /// views, stale temps) are swept afterwards.
   Status Save() const;
 
   /// Replaces the catalog contents with the store at dir(). `doc` rebinds

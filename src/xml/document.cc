@@ -6,18 +6,28 @@ namespace svx {
 
 NodeIndex Document::FindByOrdPath(const OrdPath& id) const {
   if (size() == 0 || !id.IsValid()) return kInvalidNode;
-  // Walk down from the root following child ordinals.
+  // Walk down from the root comparing stored child ordinals. Ordinals are
+  // not positional: after a subtree delete the siblings keep their original
+  // ordinals (gaps are legal), and appends use max(ordinal) + 1.
   const auto& comps = id.components();
   if (comps.empty() || comps[0] != 1) return kInvalidNode;
   NodeIndex cur = root();
   for (size_t i = 1; i < comps.size(); ++i) {
     int32_t ordinal = comps[i];
-    NodeIndex child = first_child(cur);
-    for (int32_t k = 1; k < ordinal && child != kInvalidNode; ++k) {
-      child = next_sibling(child);
+    NodeIndex found = kInvalidNode;
+    for (NodeIndex child = first_child(cur); child != kInvalidNode;
+         child = next_sibling(child)) {
+      const auto& child_comps = ord_paths_[static_cast<size_t>(child)]
+                                    .components();
+      if (child_comps.back() == ordinal) {
+        found = child;
+        break;
+      }
+      // Children are stored in ordinal order; stop early once past it.
+      if (child_comps.back() > ordinal) break;
     }
-    if (child == kInvalidNode) return kInvalidNode;
-    cur = child;
+    if (found == kInvalidNode) return kInvalidNode;
+    cur = found;
   }
   return cur;
 }

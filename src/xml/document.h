@@ -104,6 +104,7 @@ class Document {
 
  private:
   friend class DocumentBuilder;
+  friend class DocumentUpdater;
   friend class SummaryBuilder;
 
   size_t Check(NodeIndex n) const {

@@ -1,0 +1,182 @@
+#include "src/xml/update.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace svx {
+
+/// Rebuilds a Document from a preorder list of (label, value, ordpath)
+/// descriptors. ORDPATHs are taken verbatim — this is what keeps surviving
+/// ids stable across updates (DocumentBuilder would renumber ordinals).
+class DocumentUpdater {
+ public:
+  struct NodeSpec {
+    const std::string* label = nullptr;
+    const std::string* value = nullptr;  // nullptr = no atomic value
+    OrdPath ord_path;
+  };
+
+  static std::unique_ptr<Document> Build(const std::vector<NodeSpec>& nodes) {
+    auto doc = std::make_unique<Document>();
+    Document& d = *doc;
+    size_t n = nodes.size();
+    d.labels_.reserve(n);
+    d.value_ids_.reserve(n);
+    d.parents_.reserve(n);
+    d.first_children_.reserve(n);
+    d.next_siblings_.reserve(n);
+    d.subtree_ends_.reserve(n);
+    d.depths_.reserve(n);
+    d.ord_paths_.reserve(n);
+    d.path_ids_.assign(n, -1);
+
+    // Stack of open ancestors: (node index, last child seen).
+    struct Open {
+      NodeIndex node;
+      NodeIndex last_child = kInvalidNode;
+    };
+    std::vector<Open> stack;
+    for (size_t i = 0; i < n; ++i) {
+      const NodeSpec& spec = nodes[i];
+      NodeIndex idx = static_cast<NodeIndex>(i);
+      int32_t depth = spec.ord_path.Depth();
+      SVX_CHECK_MSG(depth >= 1, "invalid ordpath in update");
+      // Close finished subtrees: the preorder invariant says the parent of
+      // node i is the nearest preceding node with depth(i) - 1.
+      while (static_cast<int32_t>(stack.size()) >= depth) {
+        d.subtree_ends_[static_cast<size_t>(stack.back().node)] = idx;
+        stack.pop_back();
+      }
+      SVX_CHECK_MSG(static_cast<int32_t>(stack.size()) == depth - 1,
+                    "non-preorder node list in update");
+
+      d.labels_.push_back(d.label_interner_.Intern(*spec.label));
+      if (spec.value != nullptr) {
+        d.value_ids_.push_back(static_cast<int32_t>(d.values_.size()));
+        d.values_.push_back(*spec.value);
+      } else {
+        d.value_ids_.push_back(-1);
+      }
+      d.first_children_.push_back(kInvalidNode);
+      d.next_siblings_.push_back(kInvalidNode);
+      d.subtree_ends_.push_back(kInvalidNode);
+      d.depths_.push_back(depth);
+      d.ord_paths_.push_back(spec.ord_path);
+      if (stack.empty()) {
+        d.parents_.push_back(kInvalidNode);
+      } else {
+        Open& top = stack.back();
+        d.parents_.push_back(top.node);
+        if (top.last_child == kInvalidNode) {
+          d.first_children_[static_cast<size_t>(top.node)] = idx;
+        } else {
+          d.next_siblings_[static_cast<size_t>(top.last_child)] = idx;
+        }
+        top.last_child = idx;
+      }
+      stack.push_back(Open{idx, kInvalidNode});
+    }
+    while (!stack.empty()) {
+      d.subtree_ends_[static_cast<size_t>(stack.back().node)] =
+          static_cast<NodeIndex>(n);
+      stack.pop_back();
+    }
+    return doc;
+  }
+};
+
+namespace {
+
+using NodeSpec = DocumentUpdater::NodeSpec;
+
+NodeSpec SpecOf(const Document& doc, NodeIndex n, OrdPath id) {
+  NodeSpec spec;
+  spec.label = &doc.label(n);
+  spec.value = doc.has_value(n) ? &doc.value(n) : nullptr;
+  spec.ord_path = std::move(id);
+  return spec;
+}
+
+}  // namespace
+
+Result<UpdateResult> InsertSubtree(const Document& doc, const OrdPath& parent,
+                                   const Document& subtree) {
+  NodeIndex parent_idx = doc.FindByOrdPath(parent);
+  if (parent_idx == kInvalidNode) {
+    return Status::NotFound("insert parent " + parent.ToString() +
+                            " not in document");
+  }
+  if (subtree.size() == 0) {
+    return Status::InvalidArgument("cannot insert an empty subtree");
+  }
+
+  // New child ordinal: one past the largest existing ordinal (never reuses
+  // the ordinal of a previously deleted sibling).
+  int32_t max_ordinal = 0;
+  for (NodeIndex c = doc.first_child(parent_idx); c != kInvalidNode;
+       c = doc.next_sibling(c)) {
+    max_ordinal = std::max(max_ordinal, doc.ord_path(c).components().back());
+  }
+  OrdPath region = parent.Child(max_ordinal + 1);
+
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(static_cast<size_t>(doc.size() + subtree.size()));
+  NodeIndex splice_at = doc.subtree_end(parent_idx);
+  for (NodeIndex n = 0; n < splice_at; ++n) {
+    nodes.push_back(SpecOf(doc, n, doc.ord_path(n)));
+  }
+  // The inserted subtree in preorder; ordpaths are re-rooted under `region`
+  // by replacing the subtree-root prefix.
+  for (NodeIndex n = 0; n < subtree.size(); ++n) {
+    const auto& comps = subtree.ord_path(n).components();
+    std::vector<int32_t> rebased = region.components();
+    rebased.insert(rebased.end(), comps.begin() + 1, comps.end());
+    nodes.push_back(SpecOf(subtree, n, OrdPath(std::move(rebased))));
+  }
+  for (NodeIndex n = splice_at; n < doc.size(); ++n) {
+    nodes.push_back(SpecOf(doc, n, doc.ord_path(n)));
+  }
+
+  UpdateResult out;
+  out.doc = DocumentUpdater::Build(nodes);
+  out.delta.kind = DocumentDelta::Kind::kInsert;
+  out.delta.old_doc = &doc;
+  out.delta.new_doc = out.doc.get();
+  out.delta.region = std::move(region);
+  out.delta.region_size = subtree.size();
+  return out;
+}
+
+Result<UpdateResult> DeleteSubtree(const Document& doc,
+                                   const OrdPath& target) {
+  NodeIndex target_idx = doc.FindByOrdPath(target);
+  if (target_idx == kInvalidNode) {
+    return Status::NotFound("delete target " + target.ToString() +
+                            " not in document");
+  }
+  if (target_idx == doc.root()) {
+    return Status::InvalidArgument("cannot delete the document root");
+  }
+
+  NodeIndex skip_end = doc.subtree_end(target_idx);
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(static_cast<size_t>(doc.size() - (skip_end - target_idx)));
+  for (NodeIndex n = 0; n < doc.size(); ++n) {
+    if (n == target_idx) {
+      n = skip_end - 1;  // skip the removed subtree
+      continue;
+    }
+    nodes.push_back(SpecOf(doc, n, doc.ord_path(n)));
+  }
+
+  UpdateResult out;
+  out.doc = DocumentUpdater::Build(nodes);
+  out.delta.kind = DocumentDelta::Kind::kDelete;
+  out.delta.old_doc = &doc;
+  out.delta.new_doc = out.doc.get();
+  out.delta.region = target;
+  out.delta.region_size = skip_end - target_idx;
+  return out;
+}
+
+}  // namespace svx

@@ -1,0 +1,61 @@
+// Document updates with stable structural identifiers (the ID-based storage
+// design of paper §1 "Exploiting ID properties"): a subtree insert or delete
+// produces a brand-new Document plus a DocumentDelta naming the affected
+// ORDPATH region. Surviving nodes keep their ORDPATH ids bit-for-bit:
+//   * DeleteSubtree leaves sibling ordinals untouched (ordinal gaps are
+//     legal Dewey ids, document order is preserved),
+//   * InsertSubtree appends the new subtree as the last child of its parent
+//     with ordinal max(existing child ordinals) + 1.
+// Stability is what makes incremental view maintenance possible: extents
+// key tuples by ORDPATH, so tuples of unaffected nodes never change.
+#ifndef SVX_XML_UPDATE_H_
+#define SVX_XML_UPDATE_H_
+
+#include <memory>
+
+#include "src/util/status.h"
+#include "src/xml/document.h"
+
+namespace svx {
+
+/// Describes one applied subtree update. Both documents are borrowed: the
+/// caller keeps them alive while the delta (or anything derived from it,
+/// e.g. a maintenance pass over a ViewCatalog) is in use.
+struct DocumentDelta {
+  enum class Kind { kInsert, kDelete };
+
+  Kind kind = Kind::kInsert;
+  const Document* old_doc = nullptr;
+  const Document* new_doc = nullptr;
+
+  /// ORDPATH of the affected subtree root: the inserted subtree's root (an
+  /// id of new_doc) for kInsert, the deleted subtree's root (an id of
+  /// old_doc) for kDelete. Every added/removed node has `region` as an
+  /// ORDPATH prefix; every other node survives with an unchanged id.
+  OrdPath region;
+
+  /// Number of nodes added (kInsert) or removed (kDelete).
+  int32_t region_size = 0;
+};
+
+/// A freshly built document together with the delta leading to it.
+struct UpdateResult {
+  std::unique_ptr<Document> doc;
+  /// delta.new_doc == doc.get(); delta.old_doc is the input document.
+  DocumentDelta delta;
+};
+
+/// Inserts a copy of `subtree` (a standalone document; its root becomes the
+/// new node) as the last child of the node identified by `parent`.
+/// Fails if `parent` is not in `doc`. Summary path annotation is not
+/// carried over — re-annotate with SummaryBuilder if needed.
+Result<UpdateResult> InsertSubtree(const Document& doc, const OrdPath& parent,
+                                   const Document& subtree);
+
+/// Removes the subtree rooted at the node identified by `target`. Fails if
+/// `target` is not in `doc` or is the document root.
+Result<UpdateResult> DeleteSubtree(const Document& doc, const OrdPath& target);
+
+}  // namespace svx
+
+#endif  // SVX_XML_UPDATE_H_

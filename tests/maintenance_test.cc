@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/maintenance/delta_evaluator.h"
+#include "src/pattern/pattern_parser.h"
+#include "src/util/rng.h"
+#include "src/viewstore/extent_io.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/workload/xmark.h"
+#include "src/xml/builder.h"
+#include "src/xml/update.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Document> Doc(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+// ---------------------------------------------------------------------------
+// Document updates: stable ORDPATHs
+// ---------------------------------------------------------------------------
+
+TEST(DocumentUpdate, InsertAppendsWithFreshOrdinal) {
+  std::unique_ptr<Document> d = Doc("a(b=1 c=2)");
+  std::unique_ptr<Document> sub = Doc("d(e=3)");
+  Result<UpdateResult> r = InsertSubtree(*d, OrdPath::Root(), *sub);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& nd = *r->doc;
+  EXPECT_EQ(nd.size(), 5);
+  EXPECT_EQ(r->delta.kind, DocumentDelta::Kind::kInsert);
+  EXPECT_EQ(r->delta.region.ToString(), "1.3");
+  EXPECT_EQ(r->delta.region_size, 2);
+  // Surviving nodes keep their ids and values.
+  NodeIndex b = nd.FindByOrdPath(OrdPath::FromString("1.1"));
+  ASSERT_NE(b, kInvalidNode);
+  EXPECT_EQ(nd.label(b), "b");
+  EXPECT_EQ(nd.value(b), "1");
+  // The inserted subtree is reachable under the region id.
+  NodeIndex e = nd.FindByOrdPath(OrdPath::FromString("1.3.1"));
+  ASSERT_NE(e, kInvalidNode);
+  EXPECT_EQ(nd.label(e), "e");
+  EXPECT_EQ(nd.value(e), "3");
+  EXPECT_EQ(nd.parent(e), nd.FindByOrdPath(OrdPath::FromString("1.3")));
+}
+
+TEST(DocumentUpdate, DeleteKeepsSiblingOrdinals) {
+  std::unique_ptr<Document> d = Doc("a(b=1 c=2 d=3)");
+  Result<UpdateResult> r = DeleteSubtree(*d, OrdPath::FromString("1.2"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& nd = *r->doc;
+  EXPECT_EQ(nd.size(), 3);
+  EXPECT_EQ(r->delta.region_size, 1);
+  // The surviving third child still answers to ordinal 3 (ordinal gap).
+  NodeIndex dd = nd.FindByOrdPath(OrdPath::FromString("1.3"));
+  ASSERT_NE(dd, kInvalidNode);
+  EXPECT_EQ(nd.label(dd), "d");
+  EXPECT_EQ(nd.FindByOrdPath(OrdPath::FromString("1.2")), kInvalidNode);
+}
+
+TEST(DocumentUpdate, InsertOrdinalIsMaxSurvivorPlusOne) {
+  std::unique_ptr<Document> d = Doc("a(b c d)");
+  // Deleting a middle sibling leaves max ordinal 3; the next insert takes 4.
+  Result<UpdateResult> del = DeleteSubtree(*d, OrdPath::FromString("1.2"));
+  ASSERT_TRUE(del.ok());
+  Result<UpdateResult> ins =
+      InsertSubtree(*del->doc, OrdPath::Root(), *Doc("x"));
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->delta.region.ToString(), "1.4");
+  NodeIndex x = ins->doc->FindByOrdPath(ins->delta.region);
+  ASSERT_NE(x, kInvalidNode);
+  EXPECT_EQ(ins->doc->label(x), "x");
+}
+
+TEST(DocumentUpdate, DeleteRootRejected) {
+  std::unique_ptr<Document> d = Doc("a(b)");
+  EXPECT_FALSE(DeleteSubtree(*d, OrdPath::Root()).ok());
+  EXPECT_FALSE(DeleteSubtree(*d, OrdPath::FromString("1.7")).ok());
+  EXPECT_FALSE(InsertSubtree(*d, OrdPath::FromString("1.7"), *Doc("x")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance vs rematerialization — targeted cases
+// ---------------------------------------------------------------------------
+
+/// Applies the delta through a catalog and checks every extent and its
+/// statistics are byte-identical to a fresh materialization.
+void ExpectMaintainedEqualsRemat(const ViewCatalog& catalog,
+                                 const Document& new_doc) {
+  for (const auto& v : catalog.views()) {
+    ViewCatalog fresh;
+    ASSERT_TRUE(fresh.Materialize(v->def, new_doc).ok());
+    const StoredView* want = fresh.Find(v->def.name);
+    ASSERT_NE(want, nullptr);
+    EXPECT_EQ(SerializeExtent(v->extent), SerializeExtent(want->extent))
+        << v->def.name << " extent diverged from rematerialization";
+    EXPECT_TRUE(v->stats == want->stats)
+        << v->def.name << " stats diverged from rematerialization";
+    EXPECT_EQ(v->extent_bytes, want->extent_bytes) << v->def.name;
+  }
+}
+
+TEST(Maintenance, InsertEmitsOnlyNewTuples) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2)");
+  ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
+  Result<UpdateResult> r = InsertSubtree(*d, OrdPath::Root(), *Doc("b=3"));
+  ASSERT_TRUE(r.ok());
+
+  TableDelta td = ComputeViewDelta(MustParsePattern("a(/b{id,v})"), "V",
+                                   catalog.Find("V")->extent, r->delta);
+  EXPECT_FALSE(td.full_rebuild);
+  EXPECT_TRUE(td.deletes.empty());
+  ASSERT_EQ(td.inserts.size(), 1u);
+
+  MaintenanceStats ms;
+  ASSERT_TRUE(catalog.ApplyUpdate(r->delta, &ms).ok());
+  EXPECT_EQ(ms.tuples_inserted, 1);
+  EXPECT_EQ(ms.views_rebuilt, 0);
+  ExpectMaintainedEqualsRemat(catalog, *r->doc);
+}
+
+TEST(Maintenance, DeleteKeepsMultiplyJustifiedTuples) {
+  // The label-only tuple ("b") is justified by two embeddings; deleting one
+  // must not delete the tuple (set semantics).
+  std::unique_ptr<Document> d = Doc("a(x(b=1) y(b=2))");
+  ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Materialize({"L", MustParsePattern("a(//b{l})")}, *d).ok());
+  ASSERT_EQ(catalog.Find("L")->extent.NumRows(), 1);
+
+  Result<UpdateResult> r = DeleteSubtree(*d, OrdPath::FromString("1.2"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(catalog.ApplyUpdate(r->delta).ok());
+  EXPECT_EQ(catalog.Find("L")->extent.NumRows(), 1);
+  ExpectMaintainedEqualsRemat(catalog, *r->doc);
+
+  // Deleting the second occurrence removes the tuple for good.
+  std::unique_ptr<Document> d2 = std::move(r->doc);
+  Result<UpdateResult> r2 = DeleteSubtree(*d2, OrdPath::FromString("1.1"));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(catalog.ApplyUpdate(r2->delta).ok());
+  EXPECT_EQ(catalog.Find("L")->extent.NumRows(), 0);
+  ExpectMaintainedEqualsRemat(catalog, *r2->doc);
+}
+
+TEST(Maintenance, OptionalEdgePaddingFlipsBothWays) {
+  std::unique_ptr<Document> d = Doc("a(b=0(c=1))");
+  Pattern p = MustParsePattern("a(/b{id}(?/c{v}))");
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.Materialize({"O", p}, *d).ok());
+
+  // Delete the only c: (1.1, '1') must become (1.1, ⊥).
+  Result<UpdateResult> r = DeleteSubtree(*d, OrdPath::FromString("1.1.1"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(catalog.ApplyUpdate(r->delta).ok());
+  ASSERT_EQ(catalog.Find("O")->extent.NumRows(), 1);
+  EXPECT_TRUE(catalog.Find("O")->extent.row(0)[1].IsNull());
+  ExpectMaintainedEqualsRemat(catalog, *r->doc);
+
+  // Insert a c again: the padded tuple must flip back to a value.
+  std::unique_ptr<Document> d2 = std::move(r->doc);
+  Result<UpdateResult> r2 =
+      InsertSubtree(*d2, OrdPath::FromString("1.1"), *Doc("c=9"));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(catalog.ApplyUpdate(r2->delta).ok());
+  ASSERT_EQ(catalog.Find("O")->extent.NumRows(), 1);
+  EXPECT_EQ(catalog.Find("O")->extent.row(0)[1].AsString(), "9");
+  ExpectMaintainedEqualsRemat(catalog, *r2->doc);
+}
+
+TEST(Maintenance, NestedGroupsReaggregate) {
+  std::unique_ptr<Document> d = Doc("a(b=0(c=1) b=9)");
+  Pattern p = MustParsePattern("a(/b{id}(n/c{v}))");
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.Materialize({"N", p}, *d).ok());
+
+  Result<UpdateResult> r =
+      InsertSubtree(*d, OrdPath::FromString("1.1"), *Doc("c=2"));
+  ASSERT_TRUE(r.ok());
+  MaintenanceStats ms;
+  ASSERT_TRUE(catalog.ApplyUpdate(r->delta, &ms).ok());
+  EXPECT_EQ(ms.views_rebuilt, 0);
+  ExpectMaintainedEqualsRemat(catalog, *r->doc);
+  // The affected b row's group now has two inner rows.
+  const Table& t = catalog.Find("N")->extent;
+  ASSERT_EQ(t.NumRows(), 2);
+  bool saw_two = false;
+  for (int64_t i = 0; i < t.NumRows(); ++i) {
+    if (t.row(i)[1].AsTable().NumRows() == 2) saw_two = true;
+  }
+  EXPECT_TRUE(saw_two);
+}
+
+TEST(Maintenance, ContentReferencesRebindToNewDocument) {
+  std::unique_ptr<Document> d = Doc("a(b(c=1) b(c=2))");
+  Pattern p = MustParsePattern("a(/b{id,c})");
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.Materialize({"C", p}, *d).ok());
+
+  Result<UpdateResult> r = InsertSubtree(*d, OrdPath::Root(), *Doc("b(c=3)"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(catalog.ApplyUpdate(r->delta).ok());
+  // Every surviving content cell now points into the new document.
+  for (const Tuple& row : catalog.Find("C")->extent.rows()) {
+    ASSERT_TRUE(row[1].IsContent());
+    EXPECT_EQ(row[1].AsContent().doc, r->doc.get());
+  }
+  ExpectMaintainedEqualsRemat(catalog, *r->doc);
+}
+
+TEST(Maintenance, StoreBackedUpdatePersistsAndReloads) {
+  namespace fs = std::filesystem;
+  std::string dir = (fs::temp_directory_path() /
+                     ("svx_maintenance_store_" + std::to_string(::getpid())))
+                        .string();
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2)");
+  ViewCatalog catalog(dir);
+  ASSERT_TRUE(
+      catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
+  ASSERT_TRUE(catalog.Save().ok());
+
+  Result<UpdateResult> r = InsertSubtree(*d, OrdPath::Root(), *Doc("b=3"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(catalog.ApplyUpdate(r->delta).ok());
+
+  // The maintained extent is already on disk: a fresh catalog loads it.
+  ViewCatalog reloaded(dir);
+  ASSERT_TRUE(reloaded.Load(r->doc.get()).ok());
+  ASSERT_EQ(reloaded.size(), 1);
+  EXPECT_EQ(SerializeExtent(reloaded.Find("V")->extent),
+            SerializeExtent(catalog.Find("V")->extent));
+  EXPECT_TRUE(reloaded.Find("V")->stats == catalog.Find("V")->stats);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(Maintenance, NeverSavedCatalogPersistsEveryViewOnUpdate) {
+  namespace fs = std::filesystem;
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("svx_maintenance_unsaved_" + std::to_string(::getpid())))
+          .string();
+  std::unique_ptr<Document> d = Doc("a(b=1 c=2)");
+  ViewCatalog catalog(dir);
+  ASSERT_TRUE(
+      catalog.Materialize({"V1", MustParsePattern("a(/b{id,v})")}, *d).ok());
+  ASSERT_TRUE(
+      catalog.Materialize({"V2", MustParsePattern("a(/c{id,v})")}, *d).ok());
+  // No Save(): the first ApplyUpdate must still produce a loadable store,
+  // including the untouched view's files.
+  Result<UpdateResult> r = InsertSubtree(*d, OrdPath::Root(), *Doc("b=3"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(catalog.ApplyUpdate(r->delta).ok());
+
+  ViewCatalog reloaded(dir);
+  Status s = reloaded.Load(r->doc.get());
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(reloaded.size(), 2);
+  for (const char* name : {"V1", "V2"}) {
+    EXPECT_EQ(SerializeExtent(reloaded.Find(name)->extent),
+              SerializeExtent(catalog.Find(name)->extent))
+        << name;
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(Maintenance, InvalidDeltaFallsBackToRebuild) {
+  std::unique_ptr<Document> d = Doc("a(b=1)");
+  std::unique_ptr<Document> d2 = Doc("a(b=1 b=2)");
+  ViewCatalog catalog;
+  Pattern p = MustParsePattern("a(/b{id,v})");
+  ASSERT_TRUE(catalog.Materialize({"V", p}, *d).ok());
+
+  DocumentDelta delta;  // invalid region → rematerialize over new_doc
+  delta.old_doc = d.get();
+  delta.new_doc = d2.get();
+  TableDelta td = ComputeViewDelta(p, "V", catalog.Find("V")->extent, delta);
+  EXPECT_TRUE(td.full_rebuild);
+  MaintenanceStats ms;
+  ASSERT_TRUE(catalog.ApplyUpdate(delta, &ms).ok());
+  EXPECT_EQ(ms.views_rebuilt, 1);
+  EXPECT_EQ(catalog.Find("V")->extent.NumRows(), 2);
+  ExpectMaintainedEqualsRemat(catalog, *d2);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property: maintained extents == rematerialized extents
+// ---------------------------------------------------------------------------
+
+/// XMark-flavored subtree pool for random inserts.
+const char* kInsertPool[] = {
+    "item(name=gadget incategory=cat1)",
+    "keyword=fresh",
+    "name=widget",
+    "item(name=tool description(text=sturdy keyword=steel) payment=cash)",
+    "person(name=bob emailaddress=bob)",
+    "listitem(text=lorem keyword=ipsum)",
+    "annotation(description(text=fine))",
+    "open_auction(initial=7 bidder(increase=2))",
+};
+
+void RunRandomizedMaintenance(uint64_t seed, int ops, int* performed) {
+  XmarkOptions opts;
+  opts.scale = 0.2;
+  opts.seed = seed;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+
+  std::vector<ViewDef> defs = {
+      {"plain", MustParsePattern("site(//item{id}(/name{id,v}))")},
+      {"opt", MustParsePattern("site(//item{id}(?//keyword{v}))")},
+      {"nest", MustParsePattern("site(//item{id}(n//keyword{id,v}))")},
+      {"content", MustParsePattern("site(//person{id,c})")},
+      {"labels", MustParsePattern("site(//description{id}(//keyword{l}))")},
+  };
+  ViewCatalog catalog;
+  for (const ViewDef& def : defs) {
+    ASSERT_TRUE(catalog.Materialize(def, *doc).ok());
+  }
+
+  Rng rng(seed);
+  for (int op = 0; op < ops; ++op) {
+    Result<UpdateResult> r = [&]() -> Result<UpdateResult> {
+      if (doc->size() > 2 && rng.Bernoulli(0.45)) {
+        // Delete a random non-root subtree.
+        NodeIndex n = static_cast<NodeIndex>(
+            rng.Uniform(1, static_cast<int64_t>(doc->size()) - 1));
+        return DeleteSubtree(*doc, doc->ord_path(n));
+      }
+      // Insert a pool subtree under a random node.
+      NodeIndex n = static_cast<NodeIndex>(
+          rng.Uniform(0, static_cast<int64_t>(doc->size()) - 1));
+      std::unique_ptr<Document> sub = Doc(
+          kInsertPool[static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(std::size(kInsertPool)) - 1))]);
+      return InsertSubtree(*doc, doc->ord_path(n), *sub);
+    }();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE(catalog.ApplyUpdate(r->delta).ok());
+    ExpectMaintainedEqualsRemat(catalog, *r->doc);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "diverged at op " << op << " seed " << seed;
+      return;
+    }
+    doc = std::move(r->doc);
+    ++*performed;
+  }
+}
+
+TEST(MaintenanceProperty, RandomSequencesMatchRematerialization) {
+  int performed = 0;
+  for (uint64_t seed : {7u, 21u, 99u}) {
+    RunRandomizedMaintenance(seed, 40, &performed);
+    if (::testing::Test::HasFailure()) break;
+  }
+  // The acceptance bar: at least 100 randomized insert/delete updates, each
+  // checked byte-identical against full rematerialization.
+  EXPECT_GE(performed, 100);
+}
+
+}  // namespace
+}  // namespace svx

@@ -8,6 +8,7 @@
 
 #include "src/pattern/pattern_parser.h"
 #include "src/rewriting/rewriter.h"
+#include "src/util/fileio.h"
 #include "src/summary/summary_builder.h"
 #include "src/viewstore/advisor.h"
 #include "src/viewstore/cost_model.h"
@@ -230,6 +231,74 @@ TEST(CostModel, JoinEstimateUsesDistinctCounts) {
   EXPECT_DOUBLE_EQ(model.Estimate(*join).rows, 4.0);
 }
 
+TEST(CostModel, ViewsSharingColumnNamesKeepSeparateStats) {
+  // Two views expose a column with the same bare name "B1" (nothing
+  // enforces name uniqueness across user-supplied stats); each join must
+  // be priced with its own view's statistics, resolved through the plan.
+  ViewStats many_distinct;
+  many_distinct.num_rows = 1000;
+  many_distinct.columns.push_back({"B1", 1000, 1000, 2, 2, 0});
+  ViewStats few_distinct;
+  few_distinct.num_rows = 1000;
+  few_distinct.columns.push_back({"B1", 1000, 10, 2, 2, 0});
+  CostModel model;
+  model.AddViewStats("Many", many_distinct);
+  model.AddViewStats("Few", few_distinct);
+
+  Schema schema({{"B1", ColumnKind::kId, nullptr}});
+  // Self ⋈= on the shared column name: 1000 distinct ids keep 1000 rows;
+  // 10 distinct ids explode to 100000. A name-keyed model would price both
+  // with whichever stats were registered last.
+  PlanPtr many_join = MakeIdEqJoin(MakeViewScan("Many", schema),
+                                   MakeViewScan("Many", schema), 0, 0);
+  PlanPtr few_join = MakeIdEqJoin(MakeViewScan("Few", schema),
+                                  MakeViewScan("Few", schema), 0, 0);
+  EXPECT_DOUBLE_EQ(model.Estimate(*many_join).rows, 1000.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(*few_join).rows, 100000.0);
+}
+
+TEST(CostModel, ReRegisteringAViewDropsStaleColumns) {
+  ViewStats with_extra;
+  with_extra.num_rows = 5;
+  with_extra.columns.push_back({"V.n1.id", 5, 5, 2, 2, 0});
+  with_extra.columns.push_back({"V.n1.v", 5, 5, 1, 1, 0});
+  ViewStats narrower;
+  narrower.num_rows = 5;
+  narrower.columns.push_back({"V.n1.id", 5, 5, 2, 2, 0});
+  CostModel model;
+  model.AddViewStats("V", with_extra);
+  model.AddViewStats("V", narrower);
+  // The stale V.n1.v entry must not survive; σ≠⊥ on it falls back to the
+  // default selectivity instead of the old measurement.
+  Schema schema({{"V.n1.id", ColumnKind::kId, nullptr},
+                 {"V.n1.v", ColumnKind::kValue, nullptr}});
+  PlanPtr plan = MakeSelectNonNull(MakeViewScan("V", schema), 1);
+  EXPECT_DOUBLE_EQ(model.Estimate(*plan).rows, 5 * 0.9);
+}
+
+TEST(CostModel, NonNullSelectivityUsesOwningViewRowCount) {
+  // 10 rows, 4 of them non-null: the σ≠⊥ selectivity is 0.4 however much
+  // an upstream filter shrank the input (the old max(non_null, in.rows)
+  // denominator degenerated to selectivity 1.0 here).
+  ViewStats stats;
+  stats.num_rows = 10;
+  stats.columns.push_back({"V.n1.id", 10, 10, 2, 2, 0});
+  stats.columns.push_back({"V.n1.v", 4, 4, 1, 1, 0});
+  CostModel model;
+  model.AddViewStats("V", stats);
+  Schema schema({{"V.n1.id", ColumnKind::kId, nullptr},
+                 {"V.n1.v", ColumnKind::kValue, nullptr}});
+  PlanPtr filtered =
+      MakeSelectValue(MakeViewScan("V", schema), 1, Predicate::True());
+  double in_rows = model.Estimate(*filtered).rows;  // 10 * 0.33
+  PlanPtr non_null = MakeSelectNonNull(
+      MakeSelectValue(MakeViewScan("V", schema), 1, Predicate::True()), 1);
+  EXPECT_NEAR(model.Estimate(*non_null).rows, in_rows * 0.4, 1e-9);
+  PlanPtr is_null = MakeSelectIsNull(
+      MakeSelectValue(MakeViewScan("V", schema), 1, Predicate::True()), 1);
+  EXPECT_NEAR(model.Estimate(*is_null).rows, in_rows * 0.6, 1e-9);
+}
+
 // ---------------------------------------------------------------------------
 // Catalog persistence
 // ---------------------------------------------------------------------------
@@ -302,6 +371,77 @@ TEST(ViewCatalog, RejectsUnsafeViewNames) {
   Table t{Schema{}};
   EXPECT_FALSE(catalog.Add({"../evil", Pattern()}, t).ok());
   EXPECT_FALSE(catalog.Add({"", Pattern()}, t).ok());
+}
+
+TEST(ViewCatalog, ResaveSweepsOrphanedFilesAndSizesMatch) {
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2 c=x)");
+  TempDir dir;
+  {
+    ViewCatalog catalog(dir.path);
+    ASSERT_TRUE(
+        catalog.Materialize({"V1", MustParsePattern("a(/b{id,v})")}, *d).ok());
+    ASSERT_TRUE(
+        catalog.Materialize({"V2", MustParsePattern("a(/c{id,v})")}, *d).ok());
+    ASSERT_TRUE(catalog.Save().ok());
+  }
+  // Simulate leftovers of an interrupted save.
+  ASSERT_TRUE(
+      WriteFileBytes((fs::path(dir.path) / "V9.extent.tmp").string(), "junk")
+          .ok());
+
+  // A catalog that kept only V1 (V2 dropped, V1 replaced with fewer rows).
+  std::unique_ptr<Document> d2 = Doc("a(b=9)");
+  ViewCatalog replaced(dir.path);
+  ASSERT_TRUE(
+      replaced.Materialize({"V1", MustParsePattern("a(/b{id,v})")}, *d2).ok());
+  ASSERT_TRUE(replaced.Save().ok());
+
+  // Dropped/stale files are gone; what remains matches the manifest.
+  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "V2.extent"));
+  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "V2.stats"));
+  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "V9.extent.tmp"));
+  EXPECT_TRUE(fs::exists(fs::path(dir.path) / "V1.extent"));
+  // The replaced extent file is the new one: its size equals the catalog's
+  // recorded byte size (no half-written or stale content).
+  EXPECT_EQ(static_cast<int64_t>(
+                fs::file_size(fs::path(dir.path) / "V1.extent")),
+            replaced.Find("V1")->extent_bytes);
+
+  ViewCatalog reloaded(dir.path);
+  ASSERT_TRUE(reloaded.Load(d2.get()).ok());
+  ASSERT_EQ(reloaded.size(), 1);
+  EXPECT_TRUE(reloaded.Find("V1")->extent.EqualsIgnoringOrder(
+      replaced.Find("V1")->extent));
+}
+
+TEST(ViewCatalog, LoadFailsOnManifestPointingAtMissingExtent) {
+  std::unique_ptr<Document> d = Doc("a(b=1)");
+  TempDir dir;
+  {
+    ViewCatalog catalog(dir.path);
+    ASSERT_TRUE(
+        catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
+    ASSERT_TRUE(catalog.Save().ok());
+  }
+  fs::remove(fs::path(dir.path) / "V.extent");
+  ViewCatalog reloaded(dir.path);
+  Status s = reloaded.Load(d.get());
+  EXPECT_FALSE(s.ok());
+  // A failed load leaves the catalog reusable (no partial state observed
+  // through the public API).
+  EXPECT_EQ(reloaded.size(), 0);
+}
+
+TEST(ViewCatalog, SaveLeavesNoTempFiles) {
+  std::unique_ptr<Document> d = Doc("a(b=1)");
+  TempDir dir;
+  ViewCatalog catalog(dir.path);
+  ASSERT_TRUE(
+      catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
+  ASSERT_TRUE(catalog.Save().ok());
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
 }
 
 // ---------------------------------------------------------------------------
