@@ -1,0 +1,290 @@
+// Rewriter fast-path benchmark: cold vs warm rewrite latency over the
+// 20-query XMark workload (the bench_viewstore workload), at one or more
+// document scales.
+//
+// Per query it measures
+//   * baseline_ms  — the rewriter with every PR-4 fast path disabled
+//                    (no view index, no containment memo, no rewrite cache),
+//   * cold_ms      — ViewIndex + coverage pruning + catalog-pinned
+//                    containment memo, first (cache-miss) call,
+//   * warm_ms      — the same query again, served from the catalog's
+//                    RewriteCache,
+// and verifies that
+//   * every baseline rewriting is found identically (compact form and
+//     estimated cost) by the optimized rewriter — the pruned search only
+//     removes provably fruitless work, so it can find strictly more
+//     rewritings on queries where the baseline exhausts its candidate
+//     budget, never fewer or different ones;
+//   * the optimized cheapest plan, executed over the stored extents,
+//     returns exactly the query's direct evaluation over the document.
+//
+// Writes BENCH_rewriter.json into the working directory.
+//
+//   $ ./bench_rewriter [scale ...] [--ceiling-ms N]
+//
+// With --ceiling-ms, exits non-zero when any cold rewrite exceeds N ms —
+// the CI regression guard.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/base_views.h"
+#include "src/algebra/executor.h"
+#include "src/rewriting/rewriter.h"
+#include "src/summary/summary_builder.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+#include "src/viewstore/rewrite_cache.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/workload/xmark.h"
+#include "src/workload/xmark_queries.h"
+
+namespace svx {
+namespace {
+
+struct QueryRow {
+  int number = 0;
+  double baseline_ms = 0;
+  double cold_ms = 0;
+  double warm_ms = 0;
+  size_t baseline_rewritings = 0;
+  size_t rewritings = 0;
+  size_t candidates_pruned = 0;
+  size_t memo_hits = 0;
+  size_t memo_misses = 0;
+  bool cache_hit_on_warm = false;
+  bool plans_match = false;     // identical ranked plan lists
+  bool plans_superset = false;  // baseline plans all found by optimized
+  bool exec_matches_direct = true;
+};
+
+struct ScaleReport {
+  double scale = 0;
+  int32_t document_nodes = 0;
+  int32_t summary_paths = 0;
+  size_t num_views = 0;
+  double geomean_speedup = 0;  // baseline_ms / cold_ms
+  double max_cold_ms = 0;
+  std::vector<QueryRow> rows;
+};
+
+std::vector<std::string> Compacts(const std::vector<Rewriting>& rws) {
+  std::vector<std::string> out;
+  out.reserve(rws.size());
+  for (const Rewriting& r : rws) out.push_back(r.compact);
+  return out;
+}
+
+ScaleReport RunScale(double scale) {
+  namespace fs = std::filesystem;
+  ScaleReport report;
+  report.scale = scale;
+
+  XmarkOptions opts;
+  opts.scale = scale;
+  std::unique_ptr<Document> doc = GenerateXmark(opts);
+  std::unique_ptr<Summary> summary = SummaryBuilder::Build(doc.get());
+  std::vector<ViewDef> defs = BuildBaseTagViews(*summary);
+  report.document_nodes = doc->size();
+  report.summary_paths = summary->size();
+  report.num_views = defs.size();
+
+  const std::string store_dir =
+      (fs::temp_directory_path() / "svx_bench_rewriter").string();
+  ViewCatalog catalog(store_dir);
+  for (const ViewDef& d : defs) {
+    Status s = catalog.Materialize(d, *doc);
+    if (!s.ok()) {
+      std::printf("materialize %s: %s\n", d.name.c_str(),
+                  s.ToString().c_str());
+      return report;
+    }
+  }
+  CostModel model = catalog.BuildCostModel();
+  Catalog exec_catalog = catalog.ExecutorCatalog();
+
+  // One shared rewriter per configuration: the optimized one builds its
+  // ViewIndex once at first use (registration-time cost, amortized over
+  // the workload) and pins the catalog's containment memo.
+  RewriterOptions base_opts;
+  base_opts.max_results = 4;
+  base_opts.time_budget_ms = 30000;
+  base_opts.cost_model = &model;
+  base_opts.use_view_index = false;
+  base_opts.memoize_containment = false;
+  Rewriter baseline(*summary, base_opts);
+
+  RewriterOptions fast_opts = base_opts;
+  fast_opts.use_view_index = true;
+  fast_opts.memoize_containment = true;
+  fast_opts.memo = catalog.containment_memo();
+  Rewriter optimized(*summary, fast_opts);
+
+  for (const auto& v : catalog.views()) {
+    baseline.AddView(v->def);
+    optimized.AddView(v->def);
+  }
+
+  std::printf(
+      "scale %.1f: %d nodes, %d paths, %zu views\n"
+      "%6s %12s %9s %9s %7s %7s %7s %6s %6s %5s\n",
+      scale, doc->size(), summary->size(), defs.size(), "query",
+      "baseline(ms)", "cold(ms)", "warm(ms)", "#rw", "pruned", "memoH",
+      "plans", "exec", "hit");
+
+  double log_speedup_sum = 0;
+  for (const XmarkQuery& q : XmarkQueryPatterns()) {
+    Pattern qp = GetXmarkQueryPatternConjunctive(q.number);
+    QueryRow row;
+    row.number = q.number;
+
+    Timer t;
+    Result<std::vector<Rewriting>> base_rws = baseline.Rewrite(qp);
+    row.baseline_ms = t.ElapsedMillis();
+    row.baseline_rewritings = base_rws.ok() ? base_rws->size() : 0;
+
+    RewriteStats cold_stats;
+    t.Reset();
+    Result<std::vector<Rewriting>> cold_rws = CachedRewrite(
+        catalog.rewrite_cache(), &optimized, qp, &cold_stats);
+    row.cold_ms = t.ElapsedMillis();
+    row.candidates_pruned = cold_stats.candidates_pruned;
+    row.memo_hits = cold_stats.containment_memo_hits;
+    row.memo_misses = cold_stats.containment_memo_misses;
+    row.rewritings = cold_rws.ok() ? cold_rws->size() : 0;
+
+    // Plan verification: baseline results must reappear identically.
+    if (base_rws.ok() && cold_rws.ok()) {
+      std::vector<std::string> base_c = Compacts(*base_rws);
+      std::vector<std::string> cold_c = Compacts(*cold_rws);
+      row.plans_match = base_c == cold_c;
+      row.plans_superset = true;
+      for (const std::string& c : base_c) {
+        row.plans_superset =
+            row.plans_superset &&
+            std::find(cold_c.begin(), cold_c.end(), c) != cold_c.end();
+      }
+    }
+
+    // Execution verification: cheapest optimized plan ≡ direct evaluation.
+    if (cold_rws.ok() && !cold_rws->empty()) {
+      Table reference = MaterializeView(qp, "Q", *doc);
+      Result<Table> out = Execute(*cold_rws->front().plan, exec_catalog);
+      row.exec_matches_direct =
+          out.ok() && out->EqualsIgnoringOrder(reference);
+    }
+
+    RewriteStats warm_stats;
+    t.Reset();
+    Result<std::vector<Rewriting>> warm_rws = CachedRewrite(
+        catalog.rewrite_cache(), &optimized, qp, &warm_stats);
+    row.warm_ms = t.ElapsedMillis();
+    row.cache_hit_on_warm = warm_stats.rewrite_cache_hits > 0;
+    if (warm_rws.ok() && cold_rws.ok()) {
+      row.plans_match =
+          row.plans_match && Compacts(*warm_rws) == Compacts(*cold_rws);
+    }
+
+    log_speedup_sum +=
+        std::log(row.baseline_ms / std::max(row.cold_ms, 1e-3));
+    report.max_cold_ms = std::max(report.max_cold_ms, row.cold_ms);
+    std::printf("q%-5d %12.1f %9.1f %9.3f %3zu/%-3zu %7zu %7zu %6s %6s %5s\n",
+                row.number, row.baseline_ms, row.cold_ms, row.warm_ms,
+                row.baseline_rewritings, row.rewritings,
+                row.candidates_pruned, row.memo_hits,
+                row.plans_match ? "=" : (row.plans_superset ? "⊇" : "✗"),
+                row.exec_matches_direct ? "ok" : "BAD",
+                row.cache_hit_on_warm ? "yes" : "NO");
+    report.rows.push_back(row);
+  }
+  report.geomean_speedup =
+      std::exp(log_speedup_sum / static_cast<double>(report.rows.size()));
+  std::printf("geomean cold speedup vs in-process baseline: %.2fx\n\n",
+              report.geomean_speedup);
+  return report;
+}
+
+void WriteJson(const std::vector<ScaleReport>& reports) {
+  std::string json = "{\n  \"scales\": [\n";
+  for (size_t si = 0; si < reports.size(); ++si) {
+    const ScaleReport& r = reports[si];
+    json += StrFormat(
+        "    {\"scale\": %.2f, \"document_nodes\": %d, \"summary_paths\": "
+        "%d, \"num_views\": %zu, \"geomean_speedup\": %.3f, \"max_cold_ms\": "
+        "%.3f,\n     \"queries\": [\n",
+        r.scale, r.document_nodes, r.summary_paths, r.num_views,
+        r.geomean_speedup, r.max_cold_ms);
+    for (size_t i = 0; i < r.rows.size(); ++i) {
+      const QueryRow& q = r.rows[i];
+      json += StrFormat(
+          "      {\"query\": %d, \"baseline_ms\": %.3f, \"cold_ms\": %.3f, "
+          "\"warm_ms\": %.3f, \"baseline_rewritings\": %zu, \"rewritings\": "
+          "%zu, \"candidates_pruned\": %zu, \"containment_memo_hits\": %zu, "
+          "\"containment_memo_misses\": %zu, \"rewrite_cache_hit_on_warm\": "
+          "%s, \"plans_match\": %s, \"plans_superset\": %s, "
+          "\"exec_matches_direct\": %s}%s\n",
+          q.number, q.baseline_ms, q.cold_ms, q.warm_ms,
+          q.baseline_rewritings, q.rewritings, q.candidates_pruned,
+          q.memo_hits, q.memo_misses, q.cache_hit_on_warm ? "true" : "false",
+          q.plans_match ? "true" : "false",
+          q.plans_superset ? "true" : "false",
+          q.exec_matches_direct ? "true" : "false",
+          i + 1 < r.rows.size() ? "," : "");
+    }
+    json += StrFormat("    ]}%s\n", si + 1 < reports.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  std::ofstream out("BENCH_rewriter.json", std::ios::trunc);
+  out << json;
+}
+
+}  // namespace
+}  // namespace svx
+
+int main(int argc, char** argv) {
+  std::vector<double> scales;
+  double ceiling_ms = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ceiling-ms") == 0) {
+      if (i + 1 >= argc || (ceiling_ms = std::atof(argv[++i])) <= 0) {
+        std::fprintf(stderr, "--ceiling-ms needs a positive value\n");
+        return 2;
+      }
+    } else {
+      double scale = std::atof(argv[i]);
+      if (scale <= 0) {
+        std::fprintf(stderr, "bad argument: %s\n", argv[i]);
+        return 2;
+      }
+      scales.push_back(scale);
+    }
+  }
+  if (scales.empty()) scales = {0.5, 1.0};
+
+  std::vector<svx::ScaleReport> reports;
+  for (double s : scales) reports.push_back(svx::RunScale(s));
+  svx::WriteJson(reports);
+  std::printf("wrote BENCH_rewriter.json\n");
+
+  bool ok = true;
+  for (const svx::ScaleReport& r : reports) {
+    for (const svx::QueryRow& q : r.rows) {
+      ok = ok && q.plans_superset && q.exec_matches_direct &&
+           q.cache_hit_on_warm;
+      if (ceiling_ms > 0 && q.cold_ms > ceiling_ms) {
+        std::printf("FAIL: scale %.1f q%d cold %.1f ms exceeds ceiling %.1f "
+                    "ms\n",
+                    r.scale, q.number, q.cold_ms, ceiling_ms);
+        ok = false;
+      }
+    }
+  }
+  if (!ok) std::printf("bench_rewriter: FAILED verification\n");
+  return ok ? 0 : 1;
+}

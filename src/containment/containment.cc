@@ -265,7 +265,8 @@ Result<bool> IsContainedInUnion(const Pattern& p,
                                 const std::vector<const Pattern*>& qs,
                                 const Summary& summary,
                                 const ContainmentOptions& options,
-                                ContainmentStats* stats) {
+                                ContainmentStats* stats,
+                                const std::vector<CanonicalTree>* p_model) {
   // Filter members by the static conditions; incompatible members can never
   // cover a tuple of p.
   std::vector<const Pattern*> usable;
@@ -284,8 +285,7 @@ Result<bool> IsContainedInUnion(const Pattern& p,
 
   bool contained = true;
   Status grid_status = Status::OK();
-  Status st = ForEachCanonicalTree(
-      p, summary, options.model, [&](const CanonicalTree& te) {
+  auto check_tree = [&](const CanonicalTree& te) {
         if (stats != nullptr) {
           ++stats->trees_checked;
           ++stats->left_model_size;
@@ -333,8 +333,15 @@ Result<bool> IsContainedInUnion(const Pattern& p,
           return false;
         }
         return true;
-      });
-  if (!st.ok()) return st;
+      };
+  if (p_model != nullptr) {
+    for (const CanonicalTree& te : *p_model) {
+      if (!check_tree(te)) break;
+    }
+  } else {
+    Status st = ForEachCanonicalTree(p, summary, options.model, check_tree);
+    if (!st.ok()) return st;
+  }
   if (!grid_status.ok()) return grid_status;
   return contained;
 }

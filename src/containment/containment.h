@@ -48,11 +48,18 @@ Result<bool> IsContained(const Pattern& p, const Pattern& q,
                          ContainmentStats* stats = nullptr);
 
 /// Decides p ⊆S q1 ∪ ... ∪ qm (Prop 3.2 / §4.2).
+///
+/// `p_model`, when given, must be modS(p) as built by BuildCanonicalModel
+/// with the same summary and model options: the decision then iterates the
+/// precomputed trees instead of re-enumerating them — the rewriter tests
+/// one fixed query against many candidate unions and builds modS(q) once.
 Result<bool> IsContainedInUnion(const Pattern& p,
                                 const std::vector<const Pattern*>& qs,
                                 const Summary& summary,
                                 const ContainmentOptions& options = {},
-                                ContainmentStats* stats = nullptr);
+                                ContainmentStats* stats = nullptr,
+                                const std::vector<CanonicalTree>* p_model =
+                                    nullptr);
 
 /// Two-way containment (S-equivalence).
 Result<bool> AreEquivalent(const Pattern& p, const Pattern& q,

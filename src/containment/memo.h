@@ -1,0 +1,77 @@
+// Memoized containment decisions.
+//
+// The rewriter tests structurally identical pattern pairs over and over:
+// TryMatch rebuilds the same per-piece test patterns across assignments and
+// candidates, and the union phase re-checks overlapping subsets. Containment
+// is a pure function of (p, q-set, summary, options), so decisions are
+// memoized under the key
+//
+//   direction tag · options fingerprint · canonical(p) · canonical(q1..qm)
+//
+// where canonical() is the round-trippable ParsePattern serialization (two
+// patterns with equal text have equal semantics) and union members are
+// sorted (union containment is order-independent).
+//
+// A memo is bound to ONE summary: the key deliberately omits it, so share a
+// memo only across calls that use the same summary, and Clear() it whenever
+// the underlying document (and hence the summary) changes. ViewCatalog owns
+// a memo with exactly this lifecycle, pinned across Rewrite() calls and
+// cleared by ApplyUpdate.
+//
+// Only ok() results are memoized; resource-exhausted decisions are retried.
+#ifndef SVX_CONTAINMENT_MEMO_H_
+#define SVX_CONTAINMENT_MEMO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/containment/containment.h"
+#include "src/pattern/pattern.h"
+#include "src/summary/summary.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+class ContainmentMemo {
+ public:
+  /// Memoized IsContained(p, q, summary, options).
+  Result<bool> Contained(const Pattern& p, const Pattern& q,
+                         const Summary& summary,
+                         const ContainmentOptions& options);
+
+  /// Memoized IsContainedInUnion(p, qs, summary, options). `p_model` is
+  /// forwarded on a miss (see containment.h); it does not enter the key.
+  Result<bool> ContainedInUnion(const Pattern& p,
+                                const std::vector<const Pattern*>& qs,
+                                const Summary& summary,
+                                const ContainmentOptions& options,
+                                const std::vector<CanonicalTree>* p_model =
+                                    nullptr);
+
+  /// Drops every entry (call when the summary changes).
+  void Clear();
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size() const { return table_.size(); }
+
+  /// When the table is full a new insert drops it whole (constant-time
+  /// eviction, like RewriteCache) — bounds memory for long-lived
+  /// catalog-pinned memos serving unbounded ad-hoc query streams.
+  size_t max_entries = 1u << 16;
+
+ private:
+  Result<bool> LookupOrCompute(std::string key,
+                               const std::function<Result<bool>()>& compute);
+
+  std::unordered_map<std::string, bool> table_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace svx
+
+#endif  // SVX_CONTAINMENT_MEMO_H_

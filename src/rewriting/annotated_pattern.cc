@@ -29,8 +29,16 @@ std::vector<const ColumnBinding*> Piece::FindPrefix(
 std::string Piece::CanonicalString() const {
   std::string out = PatternToString(pattern);
   std::vector<std::string> roles;
+  roles.reserve(bindings.size());
   for (const ColumnBinding& b : bindings) {
-    roles.push_back(StrFormat("%d:%d:%s", b.node, b.attr, b.prefix.c_str()));
+    std::string role;
+    role.reserve(b.prefix.size() + 8);
+    role += std::to_string(b.node);
+    role += ':';
+    role += std::to_string(b.attr);
+    role += ':';
+    role += b.prefix;
+    roles.push_back(std::move(role));
   }
   std::sort(roles.begin(), roles.end());
   out += '|';
@@ -55,12 +63,15 @@ std::vector<std::string> Candidate::JoinablePrefixes() const {
   return out;
 }
 
-std::string Candidate::CanonicalString() const {
-  std::vector<std::string> parts;
-  parts.reserve(pieces.size());
-  for (const Piece& p : pieces) parts.push_back(p.CanonicalString());
-  std::sort(parts.begin(), parts.end());
-  return Join(parts, "\n");
+const std::string& Candidate::CanonicalString() const {
+  if (canonical_.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(pieces.size());
+    for (const Piece& p : pieces) parts.push_back(p.CanonicalString());
+    std::sort(parts.begin(), parts.end());
+    canonical_ = Join(parts, "\n");
+  }
+  return canonical_;
 }
 
 Candidate Candidate::CloneShallowPlan() const {
@@ -68,6 +79,7 @@ Candidate Candidate::CloneShallowPlan() const {
   out.plan = plan->Clone();
   out.pieces = pieces;
   out.used_views = used_views;
+  out.canonical_ = canonical_;
   return out;
 }
 

@@ -76,9 +76,15 @@ struct Candidate {
   std::vector<std::string> JoinablePrefixes() const;
 
   /// Sorted multiset string of piece canonical strings (Prop 3.5).
-  std::string CanonicalString() const;
+  /// Computed on first use and cached: the rewriter consults it several
+  /// times per join attempt, and pieces are immutable once the candidate
+  /// has entered the search.
+  const std::string& CanonicalString() const;
 
   Candidate CloneShallowPlan() const;
+
+ private:
+  mutable std::string canonical_;  // empty = not yet computed
 };
 
 /// Knobs for view expansion.

@@ -1,6 +1,7 @@
 #include "src/rewriting/rewriter.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -154,6 +155,22 @@ void RetagPieces(std::vector<Piece>* pieces, const std::string& tag) {
 
 enum class JoinType { kEq, kParent, kAncestor };
 
+/// True iff a piece pinned to `pa` can absorb a piece pinned to `pb` under
+/// `type` — the path-relation precondition of MergePieces, shared with the
+/// join enumeration's pre-passes so they cannot drift apart.
+bool PiecePathsJoin(const Summary& summary, PathId pa, PathId pb,
+                    JoinType type) {
+  switch (type) {
+    case JoinType::kEq:
+      return pa == pb;
+    case JoinType::kParent:
+      return summary.parent(pb) == pa;
+    case JoinType::kAncestor:
+      return summary.IsAncestor(pa, pb);
+  }
+  return false;
+}
+
 /// Root-to-node chain of pattern node ids (inclusive).
 std::vector<PatternNodeId> AncestorChain(const Pattern& p, PatternNodeId n) {
   std::vector<PatternNodeId> rev;
@@ -179,17 +196,7 @@ bool MergePieces(const Summary& summary, const Piece& a,
   }
   PathId pa = ba->path;
   PathId pb = bb->path;
-  switch (type) {
-    case JoinType::kEq:
-      if (pa != pb) return false;
-      break;
-    case JoinType::kParent:
-      if (summary.parent(pb) != pa) return false;
-      break;
-    case JoinType::kAncestor:
-      if (!summary.IsAncestor(pa, pb)) return false;
-      break;
-  }
+  if (!PiecePathsJoin(summary, pa, pb, type)) return false;
 
   std::vector<PatternNodeId> a_chain = AncestorChain(a.pattern, ba->node);
   std::vector<PatternNodeId> b_chain = AncestorChain(b.pattern, bb->node);
@@ -235,6 +242,305 @@ bool MergePieces(const Summary& summary, const Piece& a,
 }
 
 // ---------------------------------------------------------------------------
+// Query-column coverage (ViewIndex-driven pruning)
+// ---------------------------------------------------------------------------
+
+/// Which query columns each kept view can serve (over-approximate, via the
+/// ViewIndex signatures), plus the minimal number of views needed to cover
+/// any remaining column set. Lets the rewriter skip single-view candidates and
+/// join combinations that provably cannot reach full coverage — and bail
+/// out of the whole query when no ≤ max_plan_views combination can.
+class CoverageAnalysis {
+ public:
+  static constexpr int32_t kMaxCols = 16;  // DP is 2^cols
+
+  CoverageAnalysis(const QueryInfo& qi, const Summary& summary,
+                   const ViewIndex& index,
+                   const std::vector<size_t>& kept_view_indices) {
+    int32_t cols = static_cast<int32_t>(qi.cols.size());
+    enabled_ = cols > 0 && cols <= kMaxCols;
+    if (!enabled_) return;
+    full_ = (uint32_t{1} << cols) - 1;
+
+    // Per column: feasible paths as a bitset; a column inside an optional
+    // subtree may have none — then the assignment path check is skipped, so
+    // any path serves (all-ones).
+    std::vector<PathBitset> col_bits;
+    for (int32_t i = 0; i < cols; ++i) {
+      PathBitset b = MakePathBitset(summary.size());
+      if (qi.col_paths[static_cast<size_t>(i)].empty()) {
+        for (uint64_t& w : b) w = ~uint64_t{0};
+      } else {
+        for (PathId s : qi.col_paths[static_cast<size_t>(i)]) {
+          PathBitsetSet(&b, s);
+        }
+      }
+      col_bits.push_back(std::move(b));
+    }
+
+    view_masks_.reserve(kept_view_indices.size());
+    std::vector<uint32_t> distinct;
+    for (size_t vi : kept_view_indices) {
+      uint32_t mask = 0;
+      for (int32_t i = 0; i < cols; ++i) {
+        const Pattern::Node& qnode =
+            qi.flat.node(qi.cols[static_cast<size_t>(i)]);
+        if (index.CanServe(vi, qi.col_attrs[static_cast<size_t>(i)],
+                           col_bits[static_cast<size_t>(i)], qnode)) {
+          mask |= uint32_t{1} << i;
+        }
+      }
+      view_masks_.push_back(mask);
+      if (mask != 0) distinct.push_back(mask);
+    }
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+
+    // mincover_[m] = fewest views whose serve masks cover m (INT32_MAX when
+    // impossible). Some view must serve m's lowest set column.
+    mincover_.assign(size_t{1} << cols, std::numeric_limits<int32_t>::max());
+    mincover_[0] = 0;
+    for (uint32_t m = 1; m <= full_; ++m) {
+      uint32_t low = m & ~(m - 1);
+      for (uint32_t vm : distinct) {
+        if ((vm & low) == 0) continue;
+        int32_t sub = mincover_[m & ~vm];
+        if (sub != std::numeric_limits<int32_t>::max() &&
+            sub + 1 < mincover_[m]) {
+          mincover_[m] = sub + 1;
+        }
+      }
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Serve mask of the kept view at position `kept_pos`.
+  uint32_t ViewMask(size_t kept_pos) const { return view_masks_[kept_pos]; }
+
+  /// True when `mask` serves every query column.
+  bool Covers(uint32_t mask) const { return (full_ & ~mask) == 0; }
+
+  /// True when a candidate already using `used` views with coverage `mask`
+  /// can still reach full coverage within `max_views` views total.
+  bool Extendable(uint32_t mask, size_t used, int32_t max_views) const {
+    uint32_t rem = full_ & ~mask;
+    int32_t need = mincover_[rem];
+    if (need == std::numeric_limits<int32_t>::max()) return false;
+    return static_cast<int32_t>(used) + need <= max_views;
+  }
+
+ private:
+  bool enabled_ = false;
+  uint32_t full_ = 0;
+  std::vector<uint32_t> view_masks_;
+  std::vector<int32_t> mincover_;
+};
+
+/// Per-candidate state cached for the join enumeration: the join-relevant
+/// joinable prefixes with their per-piece pinned paths (so a join attempt
+/// can be rejected with integer comparisons before any piece is merged),
+/// and the over-approximate column-serve mask of the candidate's views.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// Hash consistent with Piece::CanonicalString() equality: equal canonical
+/// strings imply equal hashes (the string is injective in the hashed
+/// components, and the role multiset is combined commutatively exactly as
+/// the string sorts it).
+uint64_t PieceCanonicalHash(const Piece& p) {
+  std::hash<std::string> hs;
+  uint64_t h = 0x5851f42d4c957f2dULL;
+  for (PatternNodeId n = 0; n < p.pattern.size(); ++n) {
+    const Pattern::Node& node = p.pattern.node(n);
+    h = HashCombine(h, hs(node.label));
+    h = HashCombine(h, (static_cast<uint64_t>(node.parent) << 8) |
+                           (static_cast<uint64_t>(node.axis) << 6) |
+                           (static_cast<uint64_t>(node.optional) << 5) |
+                           (static_cast<uint64_t>(node.nested) << 4) |
+                           node.attrs);
+    if (!node.pred.IsTrue()) h = HashCombine(h, hs(node.pred.ToString()));
+  }
+  uint64_t roles = 0;
+  for (const ColumnBinding& b : p.bindings) {
+    roles += HashCombine(hs(b.prefix),
+                         static_cast<uint64_t>(b.node) * 131 + b.attr);
+  }
+  return HashCombine(h, roles);
+}
+
+/// Hash consistent with Candidate::CanonicalString() equality (commutative
+/// over the sorted piece multiset).
+uint64_t CandidateCanonicalHash(const Candidate& c) {
+  uint64_t sum = 0;
+  for (const Piece& p : c.pieces) sum += PieceCanonicalHash(p);
+  return sum;
+}
+
+/// Structural equivalents of canonical-string equality, so duplicate joins
+/// are confirmed without building any string. PatternToString is
+/// round-trippable, hence injective in exactly these components.
+bool PatternsCanonicalEqual(const Pattern& a, const Pattern& b) {
+  if (a.size() != b.size()) return false;
+  for (PatternNodeId n = 0; n < a.size(); ++n) {
+    const Pattern::Node& x = a.node(n);
+    const Pattern::Node& y = b.node(n);
+    if (x.label != y.label || x.parent != y.parent || x.axis != y.axis ||
+        x.optional != y.optional || x.nested != y.nested ||
+        x.attrs != y.attrs || !(x.pred == y.pred)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PiecesCanonicalEqual(const Piece& a, const Piece& b) {
+  if (a.bindings.size() != b.bindings.size()) return false;
+  if (!PatternsCanonicalEqual(a.pattern, b.pattern)) return false;
+  // The canonical string compares the role multiset (node, attr, prefix).
+  auto key_less = [](const ColumnBinding* x, const ColumnBinding* y) {
+    if (x->node != y->node) return x->node < y->node;
+    if (x->attr != y->attr) return x->attr < y->attr;
+    return x->prefix < y->prefix;
+  };
+  std::vector<const ColumnBinding*> ra, rb;
+  ra.reserve(a.bindings.size());
+  rb.reserve(b.bindings.size());
+  for (const ColumnBinding& c : a.bindings) ra.push_back(&c);
+  for (const ColumnBinding& c : b.bindings) rb.push_back(&c);
+  std::sort(ra.begin(), ra.end(), key_less);
+  std::sort(rb.begin(), rb.end(), key_less);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i]->node != rb[i]->node || ra[i]->attr != rb[i]->attr ||
+        ra[i]->prefix != rb[i]->prefix) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Candidate::CanonicalString() equality without the strings: a bijection
+/// between the piece multisets under PiecesCanonicalEqual, searched within
+/// equal-piece-hash groups.
+bool CandidatesCanonicalEqual(const Candidate& a, const Candidate& b) {
+  size_t n = a.pieces.size();
+  if (n != b.pieces.size()) return false;
+  std::vector<std::pair<uint64_t, size_t>> ha, hb;
+  ha.reserve(n);
+  hb.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ha.emplace_back(PieceCanonicalHash(a.pieces[i]), i);
+    hb.emplace_back(PieceCanonicalHash(b.pieces[i]), i);
+  }
+  std::sort(ha.begin(), ha.end());
+  std::sort(hb.begin(), hb.end());
+  for (size_t i = 0; i < n; ++i) {
+    if (ha[i].first != hb[i].first) return false;
+  }
+  std::vector<bool> used(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    bool matched = false;
+    // Candidates in b share a's hash at the same sorted positions; scan the
+    // equal-hash run (equality is an equivalence, so greedy matching is
+    // complete).
+    for (size_t j = 0; j < n && hb[j].first <= ha[i].first; ++j) {
+      if (used[j] || hb[j].first != ha[i].first) continue;
+      if (PiecesCanonicalEqual(a.pieces[ha[i].second],
+                               b.pieces[hb[j].second])) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+/// Pinned paths of one joinable prefix, in three bitset views so a whole
+/// (prefix, prefix, join type) combination is testable with a few word
+/// ANDs: anc ⋈= desc needs paths∩paths, ⋈≺ needs paths∩parents, ⋈≺≺ needs
+/// paths∩ancestors.
+struct PrefixPathSets {
+  PathBitset paths;
+  PathBitset parents;
+  PathBitset ancestors;  // strict-ancestor closure of paths
+};
+
+struct CandInfo {
+  uint32_t serve_mask = 0;
+  /// True when any piece node carries a non-trivial value predicate. When
+  /// both join sides are predicate-free, every path-compatible piece pair
+  /// merges successfully, so the merged piece count is predictable.
+  bool has_preds = false;
+  uint64_t canon_hash = 0;
+  std::vector<std::string> rel_prefixes;
+  /// Aligned with rel_prefixes; one pinned path per piece.
+  std::vector<std::vector<PathId>> prefix_paths;
+  /// Aligned with rel_prefixes.
+  std::vector<PrefixPathSets> prefix_sets;
+};
+
+bool PrefixSetsJoin(const PrefixPathSets& anc, const PrefixPathSets& desc,
+                    JoinType type) {
+  switch (type) {
+    case JoinType::kEq:
+      return PathBitsetsIntersect(anc.paths, desc.paths);
+    case JoinType::kParent:
+      return PathBitsetsIntersect(anc.paths, desc.parents);
+    case JoinType::kAncestor:
+      return PathBitsetsIntersect(anc.paths, desc.ancestors);
+  }
+  return false;
+}
+
+CandInfo BuildCandInfo(const Candidate& c, const QueryInfo& qi,
+                       const Summary& summary, uint32_t serve_mask,
+                       uint64_t canon_hash) {
+  CandInfo info;
+  info.serve_mask = serve_mask;
+  info.canon_hash = canon_hash;
+  for (const Piece& piece : c.pieces) {
+    for (PatternNodeId n = 0; n < piece.pattern.size() && !info.has_preds;
+         ++n) {
+      info.has_preds = !piece.pattern.node(n).pred.IsTrue();
+    }
+    if (info.has_preds) break;
+  }
+  for (const std::string& prefix : c.JoinablePrefixes()) {
+    bool relevant = false;
+    std::vector<PathId> paths;
+    paths.reserve(c.pieces.size());
+    for (const Piece& piece : c.pieces) {
+      const ColumnBinding* b = piece.Find(prefix, kAttrId);
+      // JoinablePrefixes guarantees a skeleton ID binding in every piece.
+      paths.push_back(b->path);
+      relevant = relevant ||
+                 qi.join_relevant[static_cast<size_t>(b->path)];
+    }
+    if (!relevant) continue;
+    PrefixPathSets sets;
+    sets.paths = MakePathBitset(summary.size());
+    sets.parents = MakePathBitset(summary.size());
+    sets.ancestors = MakePathBitset(summary.size());
+    for (PathId s : paths) {
+      PathBitsetSet(&sets.paths, s);
+      PathId p = summary.parent(s);
+      if (p != kInvalidPath) PathBitsetSet(&sets.parents, p);
+      for (PathId a = p; a != kInvalidPath; a = summary.parent(a)) {
+        PathBitsetSet(&sets.ancestors, a);
+      }
+    }
+    info.rel_prefixes.push_back(prefix);
+    info.prefix_paths.push_back(std::move(paths));
+    info.prefix_sets.push_back(std::move(sets));
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
 // Equivalence testing and plan adaptation
 // ---------------------------------------------------------------------------
 
@@ -253,14 +559,18 @@ struct Assignment {
 struct Partial {
   PlanPtr projected_plan;  // flat projected plan (no nesting adaptation yet)
   std::vector<Pattern> test_patterns;
-  std::string key;  // dedup
 };
 
 class RewriteSession {
  public:
   RewriteSession(const Summary& summary, const RewriterOptions& options,
-                 const QueryInfo& qi, RewriteStats* stats)
-      : summary_(summary), options_(options), qi_(qi), stats_(stats) {}
+                 const QueryInfo& qi, ContainmentMemo* memo,
+                 RewriteStats* stats)
+      : summary_(summary),
+        options_(options),
+        qi_(qi),
+        memo_(memo),
+        stats_(stats) {}
 
   /// Tests a candidate against the query; appends results and partial
   /// covers. Returns true if the result budget is exhausted.
@@ -276,8 +586,7 @@ class RewriteSession {
       // Direction 1: every piece pattern is contained in the query.
       bool all_contained = true;
       for (const Pattern& tp : tps) {
-        Result<bool> c = IsContained(tp, qi_.flat, summary_,
-                                     options_.containment);
+        Result<bool> c = Contained(tp, qi_.flat);
         if (!c.ok() || !*c) {
           all_contained = false;
           break;
@@ -289,41 +598,26 @@ class RewriteSession {
       std::vector<const Pattern*> ptrs;
       ptrs.reserve(tps.size());
       for (const Pattern& tp : tps) ptrs.push_back(&tp);
-      Result<bool> covered = IsContainedInUnion(qi_.flat, ptrs, summary_,
-                                                options_.containment);
+      Result<bool> covered = ContainedInUnion(qi_.flat, ptrs);
       if (!covered.ok()) continue;
 
       PlanPtr projected = BuildProjectedPlan(cand, asg, selects);
       if (*covered) {
         PlanPtr final_plan = AdaptNesting(projected->Clone());
         std::string compact = PlanToCompactString(*final_plan);
-        bool duplicate = false;
-        for (const Rewriting& r : *results) {
-          if (r.compact == compact) {
-            duplicate = true;
-            break;
-          }
-        }
-        if (!duplicate) {
+        if (result_compacts_.insert(compact).second) {
           results->push_back({std::move(final_plan), std::move(compact)});
           if (stats_ != nullptr) {
             ++stats_->results;
           }
         }
         if (Exhausted(results)) return true;
-      } else if (partials_.size() < options_.max_union_partials) {
+      } else if (partials_.size() < options_.max_union_partials &&
+                 partial_keys_.insert(cand.CanonicalString()).second) {
         Partial p;
         p.projected_plan = std::move(projected);
         p.test_patterns = std::move(tps);
-        p.key = cand.CanonicalString();
-        bool dup = false;
-        for (const Partial& existing : partials_) {
-          if (existing.key == p.key) {
-            dup = true;
-            break;
-          }
-        }
-        if (!dup) partials_.push_back(std::move(p));
+        partials_.push_back(std::move(p));
       }
     }
     return Exhausted(results);
@@ -357,8 +651,7 @@ class RewriteSession {
             }
           }
           if (stats_ != nullptr) ++stats_->equivalence_tests;
-          Result<bool> covered = IsContainedInUnion(
-              qi_.flat, all, summary_, options_.containment);
+          Result<bool> covered = ContainedInUnion(qi_.flat, all);
           if (covered.ok() && *covered) {
             found_subsets.push_back(idx);
             std::vector<PlanPtr> plans;
@@ -391,6 +684,38 @@ class RewriteSession {
   bool Exhausted(const std::vector<Rewriting>* results) const {
     return results->size() >= options_.max_results ||
            (options_.stop_at_first && !results->empty());
+  }
+
+  /// Containment through the memo when one is configured.
+  Result<bool> Contained(const Pattern& p, const Pattern& q) const {
+    if (memo_ != nullptr) {
+      return memo_->Contained(p, q, summary_, options_.containment);
+    }
+    return IsContained(p, q, summary_, options_.containment);
+  }
+
+  /// Union containment of the (fixed) query in candidate piece sets, with
+  /// modS(q) built once and reused across every test of this session. When
+  /// the model build exceeds its budgets, falls back to per-call streaming
+  /// (which can still decide negatives early).
+  Result<bool> ContainedInUnion(const Pattern& p,
+                                const std::vector<const Pattern*>& qs) {
+    const std::vector<CanonicalTree>* model = nullptr;
+    if (&p == &qi_.flat) {
+      if (!q_model_state_) {
+        Result<std::vector<CanonicalTree>> built = BuildCanonicalModel(
+            qi_.flat, summary_, options_.containment.model);
+        q_model_state_ = built.ok() ? 1 : -1;
+        if (built.ok()) q_model_ = std::move(*built);
+      }
+      if (q_model_state_ > 0) model = &q_model_;
+    }
+    if (memo_ != nullptr) {
+      return memo_->ContainedInUnion(p, qs, summary_, options_.containment,
+                                     model);
+    }
+    return IsContainedInUnion(p, qs, summary_, options_.containment, nullptr,
+                              model);
   }
 
   /// Available attributes per prefix: intersection over pieces of the attr
@@ -782,8 +1107,14 @@ class RewriteSession {
   const Summary& summary_;
   const RewriterOptions& options_;
   const QueryInfo& qi_;
+  ContainmentMemo* memo_;
   RewriteStats* stats_;
   std::vector<Partial> partials_;
+  std::unordered_set<std::string> result_compacts_;  // dedup of *results
+  std::unordered_set<std::string> partial_keys_;     // dedup of partials_
+  /// modS(q.flat), built lazily (0 = not built, 1 = ready, -1 = failed).
+  int q_model_state_ = 0;
+  std::vector<CanonicalTree> q_model_;
 };
 
 }  // namespace
@@ -807,23 +1138,67 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
 
   // ---- Setup: Prop 3.4 pruning + view expansion. ----
   if (stats != nullptr) stats->views_total = views_.size();
+  const bool use_index = options_.use_view_index;
+  if (use_index) {
+    if (index_ == nullptr) {
+      index_ = std::make_unique<ViewIndex>(summary_, options_.expansion);
+    }
+    while (index_->size() < static_cast<int32_t>(views_.size())) {
+      index_->AddView(views_[static_cast<size_t>(index_->size())]);
+    }
+  }
+  PathBitset related_bits;
+  if (use_index) {
+    related_bits = MakePathBitset(summary_.size());
+    for (PathId s = 0; s < summary_.size(); ++s) {
+      if (qi.related_path[static_cast<size_t>(s)]) {
+        PathBitsetSet(&related_bits, s);
+      }
+    }
+  }
   std::vector<const ViewDef*> kept;
-  for (const ViewDef& v : views_) {
-    if (!options_.prune_views || ViewRelated(v, qi, summary_)) {
-      kept.push_back(&v);
+  std::vector<size_t> kept_idx;  // positions in views_
+  for (size_t vi = 0; vi < views_.size(); ++vi) {
+    bool keep = !options_.prune_views ||
+                (use_index ? index_->Related(vi, related_bits)
+                           : ViewRelated(views_[vi], qi, summary_));
+    if (keep) {
+      kept.push_back(&views_[vi]);
+      kept_idx.push_back(vi);
     }
   }
   if (stats != nullptr) stats->views_kept = kept.size();
 
+  // ---- Column coverage: whole-query early-out. ----
+  std::unique_ptr<CoverageAnalysis> cover;
+  if (use_index) {
+    cover =
+        std::make_unique<CoverageAnalysis>(qi, summary_, *index_, kept_idx);
+    if (!cover->enabled()) cover.reset();
+  }
+  if (cover != nullptr && !cover->Extendable(0, 0, options_.max_plan_views)) {
+    // No combination of ≤ max_plan_views views can serve every return
+    // column, so neither a candidate, a join, nor a union of partial
+    // covers (each of which serves all columns) can exist.
+    if (stats != nullptr) {
+      stats->candidates_pruned += kept.size();
+      stats->setup_ms = total_timer.ElapsedMillis();
+      stats->total_ms = total_timer.ElapsedMillis();
+    }
+    return std::vector<Rewriting>{};
+  }
+
   std::vector<Candidate> m0;
+  std::vector<uint32_t> m0_masks;  // aligned serve masks (0 without cover)
   int instance = 0;
-  for (const ViewDef* v : kept) {
+  for (size_t k = 0; k < kept.size(); ++k) {
     Result<std::vector<Candidate>> expanded =
-        ExpandView(*v, summary_, qi.labels, options_.expansion);
+        ExpandView(*kept[k], summary_, qi.labels, options_.expansion);
     if (!expanded.ok()) continue;  // over-budget views are skipped
     for (Candidate& c : *expanded) {
       RetagPieces(&c.pieces, StrFormat("i%d.", instance++));
       m0.push_back(std::move(c));
+      m0_masks.push_back(cover != nullptr ? cover->ViewMask(k) : 0);
       if (m0.size() >= options_.max_candidates) break;
     }
     if (m0.size() >= options_.max_candidates) break;
@@ -842,10 +1217,11 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
     }
     return 1;
   };
-  std::stable_sort(m0.begin(), m0.end(),
-                   [&](const Candidate& a, const Candidate& b) {
-                     return exactness(a) < exactness(b);
-                   });
+  std::vector<size_t> order(m0.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return exactness(m0[a]) < exactness(m0[b]);
+  });
 
   if (stats != nullptr) {
     stats->candidates_built = m0.size();
@@ -853,66 +1229,90 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   }
 
   std::vector<Rewriting> results;
-  RewriteSession session(summary_, options_, qi, stats);
+  ContainmentMemo local_memo;
+  ContainmentMemo* memo =
+      options_.memo != nullptr
+          ? options_.memo
+          : (options_.memoize_containment ? &local_memo : nullptr);
+  size_t memo_hits0 = memo != nullptr ? memo->hits() : 0;
+  size_t memo_misses0 = memo != nullptr ? memo->misses() : 0;
+  RewriteSession session(summary_, options_, qi, memo, stats);
   auto note_first = [&]() {
     if (stats != nullptr && stats->first_ms < 0 && !results.empty()) {
       stats->first_ms = total_timer.ElapsedMillis();
     }
   };
+  auto over_time_budget = [&]() {
+    if (total_timer.ElapsedMillis() <= options_.time_budget_ms) return false;
+    if (stats != nullptr) stats->time_budget_hit = true;
+    return true;
+  };
+
+  // ---- Phase B state (built first so phase A shares the caches). ----
+  std::vector<Candidate> m;
+  std::vector<CandInfo> info;
+  m.reserve(m0.size());
+  info.reserve(m0.size());
+  for (size_t i : order) {
+    info.push_back(BuildCandInfo(m0[i], qi, summary_, m0_masks[i],
+                                 CandidateCanonicalHash(m0[i])));
+    m.push_back(std::move(m0[i]));
+  }
+  // Candidate dedup, two-level: canonical hash buckets, with the (rarely
+  // needed) full canonical strings as the arbiter on hash collisions.
+  std::unordered_map<uint64_t, std::vector<size_t>> seen_patterns;
+  for (size_t i = 0; i < m.size(); ++i) {
+    seen_patterns[info[i].canon_hash].push_back(i);
+  }
 
   // ---- Phase A: single-view candidates. ----
-  for (const Candidate& c : m0) {
-    if (session.TryMatch(c, &results)) break;
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (cover != nullptr && !cover->Covers(info[i].serve_mask)) {
+      // The candidate's views provably cannot serve every column, so
+      // TryMatch would enumerate no assignment; skipping it is a no-op.
+      if (stats != nullptr) ++stats->candidates_pruned;
+      continue;
+    }
+    if (session.TryMatch(m[i], &results)) break;
     note_first();
-    if (total_timer.ElapsedMillis() > options_.time_budget_ms) break;
+    if (over_time_budget()) break;
   }
   note_first();
 
   // ---- Phase B: left-deep join enumeration (Algorithm 1 lines 2-11). ----
-  std::unordered_set<std::string> seen_patterns;
-  for (const Candidate& c : m0) seen_patterns.insert(c.CanonicalString());
-
-  std::vector<Candidate> m = {};
-  for (Candidate& c : m0) m.push_back(std::move(c));
   size_t frontier_begin = 0;
   size_t total_candidates = m.size();
   bool done = results.size() >= options_.max_results ||
               (options_.stop_at_first && !results.empty());
 
-  while (!done && frontier_begin < m.size() &&
-         total_timer.ElapsedMillis() < options_.time_budget_ms) {
+  while (!done && frontier_begin < m.size() && !over_time_budget()) {
     size_t frontier_end = m.size();
     for (size_t ci = frontier_begin; ci < frontier_end && !done; ++ci) {
       for (size_t cj = 0; cj < frontier_end && !done; ++cj) {
         // Right operand drawn from the initial set only (left-deep plans).
         if (m[cj].used_views.size() != 1) continue;
-        if (static_cast<int32_t>(m[ci].used_views.size() +
-                                 m[cj].used_views.size()) >
-            options_.max_plan_views) {
+        size_t used_total =
+            m[ci].used_views.size() + m[cj].used_views.size();
+        if (static_cast<int32_t>(used_total) > options_.max_plan_views) {
           continue;
         }
-        if (total_timer.ElapsedMillis() > options_.time_budget_ms) break;
+        // Coverage pruning: this pair — and hence every left-deep extension
+        // of it — can never serve all query columns, so neither results
+        // nor union partials can come out of it.
+        if (cover != nullptr &&
+            !cover->Extendable(info[ci].serve_mask | info[cj].serve_mask,
+                               used_total, options_.max_plan_views)) {
+          if (stats != nullptr) ++stats->candidates_pruned;
+          continue;
+        }
+        if (over_time_budget()) break;
 
-        auto relevant = [&](const Candidate& cand, const std::string& prefix) {
-          for (const Piece& piece : cand.pieces) {
-            const ColumnBinding* binding = piece.Find(prefix, kAttrId);
-            if (binding != nullptr && binding->skeleton &&
-                qi.join_relevant[static_cast<size_t>(binding->path)]) {
-              return true;
-            }
-          }
-          return false;
-        };
-        std::vector<std::string> pi;
-        for (const std::string& p : m[ci].JoinablePrefixes()) {
-          if (relevant(m[ci], p)) pi.push_back(p);
-        }
-        std::vector<std::string> pj;
-        for (const std::string& p : m[cj].JoinablePrefixes()) {
-          if (relevant(m[cj], p)) pj.push_back(p);
-        }
-        for (const std::string& a : pi) {
-          for (const std::string& b : pj) {
+        // Note: m and info grow inside the loop body, so every reference
+        // into them is re-resolved per iteration (push_back may reallocate).
+        size_t num_pi = info[ci].rel_prefixes.size();
+        size_t num_pj = info[cj].rel_prefixes.size();
+        for (size_t ai = 0; ai < num_pi; ++ai) {
+          for (size_t bj = 0; bj < num_pj; ++bj) {
             for (JoinType type :
                  {JoinType::kEq, JoinType::kParent, JoinType::kAncestor}) {
               for (bool i_is_ancestor : {true, false}) {
@@ -920,25 +1320,67 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                 if (done) break;
                 const Candidate& anc = i_is_ancestor ? m[ci] : m[cj];
                 const Candidate& desc = i_is_ancestor ? m[cj] : m[ci];
-                const std::string& anc_prefix = i_is_ancestor ? a : b;
-                const std::string& desc_prefix = i_is_ancestor ? b : a;
+                const CandInfo& anc_info = i_is_ancestor ? info[ci] : info[cj];
+                const CandInfo& desc_info = i_is_ancestor ? info[cj] : info[ci];
+                size_t anc_pidx = i_is_ancestor ? ai : bj;
+                size_t desc_pidx = i_is_ancestor ? bj : ai;
+                const std::string& anc_prefix =
+                    anc_info.rel_prefixes[anc_pidx];
+                const std::string& desc_prefix =
+                    desc_info.rel_prefixes[desc_pidx];
+                // Bitset pre-pass: a few word ANDs decide whether ANY piece
+                // pair is path-compatible under this join type.
+                if (!PrefixSetsJoin(anc_info.prefix_sets[anc_pidx],
+                                    desc_info.prefix_sets[desc_pidx], type)) {
+                  continue;
+                }
+                const std::vector<PathId>& anc_paths =
+                    anc_info.prefix_paths[anc_pidx];
+                const std::vector<PathId>& desc_paths =
+                    desc_info.prefix_paths[desc_pidx];
+
+                // Integer pre-pass over the pinned join paths: merging can
+                // only produce pieces for path-compatible piece pairs. When
+                // neither side has predicates, every compatible pair merges
+                // successfully, so a pair count beyond max_pieces discards
+                // the combination before any merge (the merge loop below
+                // would discard it after max_pieces wasted merges).
+                size_t compatible = 0;
+                for (size_t x = 0; x < anc_paths.size(); ++x) {
+                  for (size_t y = 0; y < desc_paths.size(); ++y) {
+                    compatible += PiecePathsJoin(summary_, anc_paths[x],
+                                                 desc_paths[y], type)
+                                      ? 1
+                                      : 0;
+                  }
+                }
+                if (compatible == 0) continue;
+                if (compatible > options_.max_pieces &&
+                    !anc_info.has_preds && !desc_info.has_preds) {
+                  continue;
+                }
 
                 int32_t shift = anc.plan->schema.size();
                 std::vector<Piece> merged;
-                for (const Piece& pa : anc.pieces) {
-                  for (const Piece& pb : desc.pieces) {
+                bool over_budget = false;
+                for (size_t x = 0; x < anc.pieces.size() && !over_budget;
+                     ++x) {
+                  for (size_t y = 0; y < desc.pieces.size(); ++y) {
                     Piece out;
-                    if (MergePieces(summary_, pa, anc_prefix, pb, desc_prefix,
-                                    type, shift, &out)) {
+                    if (PiecePathsJoin(summary_, anc_paths[x], desc_paths[y],
+                                       type) &&
+                        MergePieces(summary_, anc.pieces[x], anc_prefix,
+                                    desc.pieces[y], desc_prefix, type, shift,
+                                    &out)) {
                       merged.push_back(std::move(out));
                     }
-                    if (merged.size() > options_.max_pieces) break;
+                    if (merged.size() > options_.max_pieces) {
+                      over_budget = true;
+                      break;
+                    }
                   }
-                  if (merged.size() > options_.max_pieces) break;
                 }
-                if (merged.empty() || merged.size() > options_.max_pieces) {
-                  continue;
-                }
+                if (merged.empty() || over_budget) continue;
 
                 Candidate joined;
                 joined.pieces = std::move(merged);
@@ -946,10 +1388,37 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                 joined.used_views.insert(joined.used_views.end(),
                                          desc.used_views.begin(),
                                          desc.used_views.end());
-                // Retag the right side to keep prefixes unique. The merge
-                // used original prefixes; retag only newly absorbed ones...
-                // prefixes are already unique per instance, and both sides
-                // came from distinct instances, so no action is needed here.
+                // Prefixes are unique per instance and both sides came from
+                // distinct instances, so no retagging is needed here.
+
+                // Prop 3.5: skip when the joined pattern set coincides with
+                // a child's; global dedup otherwise. Hashes first — the
+                // full canonical strings are only built on a hash match.
+                uint64_t jhash = CandidateCanonicalHash(joined);
+                if (options_.prune_same_pattern &&
+                    ((jhash == anc_info.canon_hash &&
+                      CandidatesCanonicalEqual(joined, anc)) ||
+                     (jhash == desc_info.canon_hash &&
+                      CandidatesCanonicalEqual(joined, desc)))) {
+                  continue;
+                }
+                std::vector<size_t>& bucket = seen_patterns[jhash];
+                bool duplicate = false;
+                for (size_t idx : bucket) {
+                  if (CandidatesCanonicalEqual(m[idx], joined)) {
+                    duplicate = true;
+                    break;
+                  }
+                }
+                if (duplicate) continue;
+                if (total_candidates >= options_.max_candidates) {
+                  done = true;
+                  break;
+                }
+                bucket.push_back(m.size());
+                ++total_candidates;
+                if (stats != nullptr) ++stats->join_candidates;
+
                 int32_t anc_col =
                     anc.pieces[0].Find(anc_prefix, kAttrId)->col;
                 int32_t desc_col =
@@ -975,24 +1444,18 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                 }
                 joined.plan = std::move(jplan);
 
-                // Prop 3.5: skip when the joined pattern set coincides with
-                // a child's; global dedup otherwise.
-                std::string canon = joined.CanonicalString();
-                if (options_.prune_same_pattern &&
-                    (canon == anc.CanonicalString() ||
-                     canon == desc.CanonicalString())) {
-                  continue;
+                uint32_t joined_mask =
+                    info[ci].serve_mask | info[cj].serve_mask;
+                if (cover != nullptr && !cover->Covers(joined_mask)) {
+                  // Useful only as a future join operand: TryMatch would
+                  // enumerate no assignment (see phase A).
+                  if (stats != nullptr) ++stats->candidates_pruned;
+                } else {
+                  done = session.TryMatch(joined, &results) || done;
+                  note_first();
                 }
-                if (!seen_patterns.insert(canon).second) continue;
-                if (total_candidates >= options_.max_candidates) {
-                  done = true;
-                  break;
-                }
-                ++total_candidates;
-                if (stats != nullptr) ++stats->join_candidates;
-
-                done = session.TryMatch(joined, &results) || done;
-                note_first();
+                info.push_back(
+                    BuildCandInfo(joined, qi, summary_, joined_mask, jhash));
                 m.push_back(std::move(joined));
               }
               if (done) break;
@@ -1034,6 +1497,10 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
 
   if (stats != nullptr) {
     stats->results = results.size();
+    if (memo != nullptr) {
+      stats->containment_memo_hits += memo->hits() - memo_hits0;
+      stats->containment_memo_misses += memo->misses() - memo_misses0;
+    }
     stats->total_ms = total_timer.ElapsedMillis();
   }
   return results;

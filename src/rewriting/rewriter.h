@@ -20,8 +20,10 @@
 
 #include "src/algebra/plan.h"
 #include "src/containment/containment.h"
+#include "src/containment/memo.h"
 #include "src/rewriting/annotated_pattern.h"
 #include "src/rewriting/view.h"
+#include "src/rewriting/view_index.h"
 #include "src/summary/summary.h"
 #include "src/util/status.h"
 
@@ -45,6 +47,21 @@ struct RewriterOptions {
   bool prune_same_pattern = true;  // Prop 3.5
   bool stop_at_first = false;
   double time_budget_ms = 60000;
+  /// Use the precomputed ViewIndex signatures: Prop 3.4 by bitset
+  /// intersection, a whole-query early-out when no ≤ max_plan_views view
+  /// combination can serve every required column, and skipping of
+  /// join combinations (and equivalence tests) that provably cannot cover
+  /// the query. All skips are certified by over-approximate signatures, so
+  /// the found rewritings are unchanged; only dead search space is cut.
+  bool use_view_index = true;
+  /// Memoize containment decisions within (and, via `memo`, across)
+  /// Rewrite() calls.
+  bool memoize_containment = true;
+  /// Optional cross-call memo (e.g. ViewCatalog::containment_memo()),
+  /// pinned by the caller. Borrowed; must outlive the rewriter and must be
+  /// cleared when the summary changes. When null and memoize_containment is
+  /// set, a per-call memo is used instead.
+  ContainmentMemo* memo = nullptr;
   /// When set, found rewritings are ranked by estimated cost (cheapest
   /// first, ties broken by compact form) instead of discovery order.
   /// Borrowed; must outlive the rewriter.
@@ -68,6 +85,19 @@ struct RewriteStats {
   size_t candidates_built = 0;
   size_t join_candidates = 0;
   size_t equivalence_tests = 0;
+  /// Search steps skipped by the ViewIndex: single-view candidates and join
+  /// combinations whose signatures cannot cover the query's required
+  /// columns (on a whole-query early-out, the kept views whose expansion
+  /// was skipped).
+  size_t candidates_pruned = 0;
+  size_t containment_memo_hits = 0;
+  size_t containment_memo_misses = 0;
+  /// Set by CachedRewrite (src/viewstore/rewrite_cache.h): 1 when the
+  /// ranked rewriting list was served from the catalog's rewrite cache.
+  size_t rewrite_cache_hits = 0;
+  /// True when the search stopped on time_budget_ms: the (partial) result
+  /// depends on machine load, so CachedRewrite refuses to cache it.
+  bool time_budget_hit = false;
   size_t results = 0;
   /// Cost spread over the found rewritings (-1 without a cost model): a
   /// large ratio means cost-based selection matters for this query.
@@ -89,6 +119,8 @@ class Rewriter {
 
   int32_t num_views() const { return static_cast<int32_t>(views_.size()); }
 
+  const RewriterOptions& options() const { return options_; }
+
   /// Finds equivalent rewritings of `q` (up to options.max_results).
   /// Returns an empty vector when none exists within the budgets.
   Result<std::vector<Rewriting>> Rewrite(const Pattern& q,
@@ -98,6 +130,8 @@ class Rewriter {
   const Summary& summary_;
   RewriterOptions options_;
   std::vector<ViewDef> views_;
+  /// Signatures for views_[0..index_views_), grown lazily on Rewrite().
+  std::unique_ptr<ViewIndex> index_;
 };
 
 }  // namespace svx

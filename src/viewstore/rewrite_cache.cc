@@ -1,0 +1,99 @@
+#include "src/viewstore/rewrite_cache.h"
+
+#include "src/pattern/pattern_printer.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+namespace svx {
+
+namespace {
+
+std::vector<Rewriting> CloneRewritings(const std::vector<Rewriting>& rws) {
+  std::vector<Rewriting> out;
+  out.reserve(rws.size());
+  for (const Rewriting& r : rws) {
+    out.push_back({r.plan->Clone(), r.compact, r.est_cost});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RewriteCache::KeyFor(const Pattern& q) {
+  return PatternToString(q);
+}
+
+bool RewriteCache::Lookup(const std::string& key,
+                          std::vector<Rewriting>* out) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = CloneRewritings(it->second);
+  return true;
+}
+
+void RewriteCache::Insert(const std::string& key,
+                          const std::vector<Rewriting>& rewritings) {
+  if (entries_.size() >= max_entries && entries_.find(key) == entries_.end()) {
+    entries_.clear();
+  }
+  entries_[key] = CloneRewritings(rewritings);
+}
+
+void RewriteCache::Invalidate() {
+  if (!entries_.empty()) ++invalidations_;
+  entries_.clear();
+}
+
+Result<std::vector<Rewriting>> CachedRewrite(RewriteCache* cache,
+                                             Rewriter* rewriter,
+                                             const Pattern& q,
+                                             RewriteStats* stats) {
+  if (cache == nullptr) return rewriter->Rewrite(q, stats);
+  Timer timer;
+  // The ranked list depends on the rewriter's configuration and view set,
+  // not just the query — salt the key with every result-affecting option so
+  // rewriters with different configurations sharing one catalog cache do
+  // not serve each other mismatched plans. Distinct cost models or view
+  // sets of equal size are not distinguished; don't share a catalog across
+  // those.
+  const RewriterOptions& o = rewriter->options();
+  const ExpansionOptions& e = o.expansion;
+  const ContainmentOptions& c = o.containment;
+  std::string key = StrFormat(
+      "%s|r%zu.v%d.p%d.c%zu.pc%zu.a%zu.u%zu.up%zu.%d%d%d%d.m%d"
+      "|e%zu.%zu.%d.%d.%d.%d|k%d.%d.%zu.%zu.%zu.%d",
+      RewriteCache::KeyFor(q).c_str(), o.max_results, rewriter->num_views(),
+      o.max_plan_views, o.max_candidates, o.max_pieces, o.max_assignments,
+      o.max_union_size, o.max_union_partials, o.prune_views ? 1 : 0,
+      o.prune_same_pattern ? 1 : 0, o.stop_at_first ? 1 : 0,
+      o.use_view_index ? 1 : 0, o.cost_model != nullptr ? 1 : 0,
+      e.max_embeddings, e.max_pieces, e.max_strengthen_edges,
+      e.unfold_content ? 1 : 0, e.add_virtual_ids ? 1 : 0,
+      e.max_virtual_depth, c.use_one_to_one_relaxation ? 1 : 0,
+      c.model.use_strong_edges ? 1 : 0, c.model.max_embeddings,
+      c.model.max_trees, c.max_grid_points, c.model.max_optional_edges);
+  std::vector<Rewriting> cached;
+  if (cache->Lookup(key, &cached)) {
+    if (stats != nullptr) {
+      stats->rewrite_cache_hits = 1;
+      stats->results = cached.size();
+      stats->first_ms = timer.ElapsedMillis();
+      stats->total_ms = timer.ElapsedMillis();
+    }
+    return cached;
+  }
+  RewriteStats local_stats;
+  RewriteStats* effective = stats != nullptr ? stats : &local_stats;
+  Result<std::vector<Rewriting>> fresh = rewriter->Rewrite(q, effective);
+  // A time-budget-truncated search is load-dependent; caching it would pin
+  // a transiently inferior (possibly empty) plan list until the next
+  // catalog mutation.
+  if (fresh.ok() && !effective->time_budget_hit) cache->Insert(key, *fresh);
+  return fresh;
+}
+
+}  // namespace svx

@@ -1,0 +1,74 @@
+// Catalog-level cache of rewrite results.
+//
+// Million-user traffic is dominated by repeat queries, and a Rewrite() call
+// is pure given (query, view set, summary, rewriter options): the ranked
+// rewriting list can be cached under the query's canonical pattern text
+// (salted by CachedRewrite with the rewriter's configuration) and served in
+// microseconds.
+// The cache is owned by the ViewCatalog, which invalidates it on every
+// mutation of the view set or the document (Materialize / Add / Drop /
+// ApplyUpdate / Load), so a hit is always as fresh as a recomputation.
+//
+// Entries store plans by value; Lookup returns deep clones, so callers own
+// their plans and cache entries stay immutable.
+#ifndef SVX_VIEWSTORE_REWRITE_CACHE_H_
+#define SVX_VIEWSTORE_REWRITE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pattern/pattern.h"
+#include "src/rewriting/rewriter.h"
+#include "src/util/status.h"
+
+namespace svx {
+
+class RewriteCache {
+ public:
+  /// Cache key of a query pattern (its round-trippable text form).
+  static std::string KeyFor(const Pattern& q);
+
+  /// Returns true and fills `out` with cloned rewritings (ranked order
+  /// preserved) when `key` is cached. An entry may hold zero rewritings —
+  /// "no rewriting exists" is equally worth caching.
+  bool Lookup(const std::string& key, std::vector<Rewriting>* out) const;
+
+  /// Caches `rewritings` (cloned) under `key`, replacing any previous
+  /// entry. When the cache is full, the whole table is dropped first — a
+  /// crude but constant-time eviction; `max_entries` is high enough that
+  /// this only guards against unbounded ad-hoc query streams.
+  void Insert(const std::string& key,
+              const std::vector<Rewriting>& rewritings);
+
+  /// Drops every entry. Called by the catalog on any view-set or document
+  /// mutation.
+  void Invalidate();
+
+  size_t size() const { return entries_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t invalidations() const { return invalidations_; }
+
+  size_t max_entries = 4096;
+
+ private:
+  std::unordered_map<std::string, std::vector<Rewriting>> entries_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+  size_t invalidations_ = 0;
+};
+
+/// Rewrites `q` through `cache`: serves a hit (setting
+/// stats->rewrite_cache_hits and the timing fields), otherwise calls
+/// rewriter->Rewrite(q, stats) and caches the ok() result. With a null
+/// cache this is exactly rewriter->Rewrite.
+Result<std::vector<Rewriting>> CachedRewrite(RewriteCache* cache,
+                                             Rewriter* rewriter,
+                                             const Pattern& q,
+                                             RewriteStats* stats = nullptr);
+
+}  // namespace svx
+
+#endif  // SVX_VIEWSTORE_REWRITE_CACHE_H_

@@ -66,6 +66,10 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
   if (!SafeName(def.name)) {
     return Status::InvalidArgument("view name not storable: " + def.name);
   }
+  // The view set changes: cached rewrite plans may miss (or wrongly keep
+  // using) this view. The containment memo only depends on the summary and
+  // stays valid.
+  rewrite_cache_.Invalidate();
   // The extent format cannot represent rows without columns; reject them
   // here so Save()/Load() round-trips everything this catalog accepts.
   if (extent.schema().size() == 0 && extent.NumRows() > 0) {
@@ -86,6 +90,17 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
   }
   views_.push_back(std::move(stored));
   return Status::OK();
+}
+
+Status ViewCatalog::Drop(const std::string& name) {
+  for (auto it = views_.begin(); it != views_.end(); ++it) {
+    if ((*it)->def.name == name) {
+      views_.erase(it);
+      rewrite_cache_.Invalidate();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such view: " + name);
 }
 
 const StoredView* ViewCatalog::Find(const std::string& name) const {
@@ -152,6 +167,10 @@ Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
   if (delta.old_doc == nullptr || delta.new_doc == nullptr) {
     return Status::InvalidArgument("document delta without documents");
   }
+  // The document changes: cached plans were ranked against stale statistics
+  // and the memo's decisions were made against the old summary.
+  rewrite_cache_.Invalidate();
+  containment_memo_.Clear();
   MaintenanceStats ms;
   std::vector<const StoredView*> dirty;
   for (auto& v : views_) {
@@ -320,6 +339,8 @@ Status ViewCatalog::Load(const Document* doc) {
   }
   if (!saw_header) return Status::ParseError("empty manifest");
   views_ = std::move(loaded);
+  rewrite_cache_.Invalidate();
+  containment_memo_.Clear();
   return Status::OK();
 }
 

@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "src/algebra/executor.h"
+#include "src/containment/memo.h"
 #include "src/rewriting/view.h"
 #include "src/util/status.h"
 #include "src/viewstore/cost_model.h"
+#include "src/viewstore/rewrite_cache.h"
 #include "src/viewstore/statistics.h"
 #include "src/xml/update.h"
 
@@ -71,10 +73,24 @@ class ViewCatalog {
   Status ApplyUpdate(const DocumentDelta& delta,
                      MaintenanceStats* out_stats = nullptr);
 
+  /// Removes the named view from the catalog (files are swept on the next
+  /// Save()). NotFound when no such view is registered.
+  Status Drop(const std::string& name);
+
   const StoredView* Find(const std::string& name) const;
 
   /// Total serialized size of all extents — the advisor's budget currency.
   int64_t TotalBytes() const;
+
+  /// Cache of ranked rewrite results keyed by canonical query text
+  /// (src/viewstore/rewrite_cache.h). Invalidated by every catalog
+  /// mutation: Materialize / Add / Drop / ApplyUpdate / Load.
+  RewriteCache* rewrite_cache() const { return &rewrite_cache_; }
+
+  /// Containment memo pinned across Rewrite() calls against this catalog's
+  /// document (pass as RewriterOptions::memo). Cleared whenever the
+  /// document — and hence the summary — may change (ApplyUpdate / Load).
+  ContainmentMemo* containment_memo() const { return &containment_memo_; }
 
   /// Writes manifest, extents and statistics under dir(). Crash-safe:
   /// every file is written to a temp name and renamed into place, with the
@@ -98,6 +114,8 @@ class ViewCatalog {
  private:
   std::string dir_;
   std::vector<std::unique_ptr<StoredView>> views_;  // stable addresses
+  mutable RewriteCache rewrite_cache_;
+  mutable ContainmentMemo containment_memo_;
 };
 
 }  // namespace svx

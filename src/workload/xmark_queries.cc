@@ -74,6 +74,19 @@ const std::vector<XmarkQuery>& XmarkQueryPatterns() {
   return *kQueries;
 }
 
+Pattern GetXmarkQueryPatternConjunctive(int number) {
+  Pattern qp = GetXmarkQueryPattern(number);
+  for (PatternNodeId n = 0; n < qp.size(); ++n) {
+    Pattern::Node& node = qp.mutable_node(n);
+    if (node.attrs & kAttrContent) {
+      node.attrs = (node.attrs & ~kAttrContent) | kAttrValue;
+    }
+    node.optional = false;
+    node.nested = false;
+  }
+  return qp;
+}
+
 Pattern GetXmarkQueryPattern(int number) {
   for (const XmarkQuery& q : XmarkQueryPatterns()) {
     if (q.number == number) return MustParsePattern(q.text);

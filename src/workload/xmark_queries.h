@@ -28,6 +28,12 @@ const std::vector<XmarkQuery>& XmarkQueryPatterns();
 /// Parses query `number` (1-based).
 Pattern GetXmarkQueryPattern(int number);
 
+/// Query `number` in conjunctive value form — C attributes become V,
+/// optional and nested edges become required — the shape answerable from
+/// the {id, v} base tag views (bench/base_views.h). Used by bench_viewstore
+/// and bench_rewriter so both measure exactly the same workload.
+Pattern GetXmarkQueryPatternConjunctive(int number);
+
 }  // namespace svx
 
 #endif  // SVX_WORKLOAD_XMARK_QUERIES_H_

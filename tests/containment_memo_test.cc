@@ -1,0 +1,126 @@
+#include "src/containment/memo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/pattern/pattern_printer.h"
+#include "src/summary/summary_io.h"
+#include "src/util/rng.h"
+#include "src/workload/pattern_generator.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Summary> Sum(std::string_view s) {
+  Result<std::unique_ptr<Summary>> r = ParseSummary(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ContainmentMemo, AgreesWithDirectCalls) {
+  std::unique_ptr<Summary> s = Sum("r(a(b c(b)) b d(a(b) e))");
+  ContainmentMemo memo;
+  ContainmentOptions opts;
+  Pattern p1 = MustParsePattern("r(//a(//b{id}))");
+  Pattern p2 = MustParsePattern("r(//b{id})");
+  Result<bool> direct = IsContained(p1, p2, *s, opts);
+  Result<bool> memoized = memo.Contained(p1, p2, *s, opts);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(memoized.ok());
+  EXPECT_EQ(*direct, *memoized);
+  EXPECT_EQ(memo.misses(), 1u);
+  // The repeat is a hit with the same answer.
+  Result<bool> again = memo.Contained(p1, p2, *s, opts);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *direct);
+  EXPECT_EQ(memo.hits(), 1u);
+}
+
+/// Randomized property: over generated pattern pairs, the memoized decision
+/// (miss and hit alike) agrees with the unmemoized one, for plain and union
+/// containment.
+TEST(ContainmentMemo, PropertyMemoizedAgreesWithUnmemoized) {
+  std::unique_ptr<Summary> s =
+      Sum("site(regions(asia(item(name description(text))) "
+          "europe(item(name payment))) people(person(name address(city))) "
+          "open_auctions(open_auction(bidder(increase) initial)))");
+  Rng rng(20260728);
+  PatternGenOptions gen;
+  gen.num_nodes = 5;
+  gen.num_return = 1;
+  gen.p_optional = 0.3;
+
+  ContainmentMemo memo;
+  ContainmentOptions opts;
+  int checked = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    Result<Pattern> p = GeneratePattern(*s, gen, &rng);
+    Result<Pattern> q = GeneratePattern(*s, gen, &rng);
+    Result<Pattern> u = GeneratePattern(*s, gen, &rng);
+    if (!p.ok() || !q.ok() || !u.ok()) continue;
+
+    Result<bool> direct = IsContained(*p, *q, *s, opts);
+    Result<bool> memo1 = memo.Contained(*p, *q, *s, opts);
+    Result<bool> memo2 = memo.Contained(*p, *q, *s, opts);  // hit path
+    if (direct.ok()) {
+      ASSERT_TRUE(memo1.ok());
+      ASSERT_TRUE(memo2.ok());
+      EXPECT_EQ(*memo1, *direct)
+          << PatternToString(*p) << " vs " << PatternToString(*q);
+      EXPECT_EQ(*memo2, *direct);
+      ++checked;
+    }
+
+    std::vector<const Pattern*> members{&*q, &*u};
+    Result<bool> dunion = IsContainedInUnion(*p, members, *s, opts);
+    Result<bool> munion1 = memo.ContainedInUnion(*p, members, *s, opts);
+    // Union membership order must not matter for the key or the answer.
+    std::vector<const Pattern*> swapped{&*u, &*q};
+    Result<bool> munion2 = memo.ContainedInUnion(*p, swapped, *s, opts);
+    if (dunion.ok()) {
+      ASSERT_TRUE(munion1.ok());
+      ASSERT_TRUE(munion2.ok());
+      EXPECT_EQ(*munion1, *dunion);
+      EXPECT_EQ(*munion2, *dunion);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20) << "generator produced too few decidable pairs";
+  EXPECT_GT(memo.hits(), 0u);
+  EXPECT_GT(memo.misses(), 0u);
+}
+
+/// Differing options must not share entries: the §4.5 relaxation can change
+/// the verdict, so it is part of the fingerprint.
+TEST(ContainmentMemo, OptionsEnterTheKey) {
+  std::unique_ptr<Summary> s = Sum("a(b(c))");
+  ContainmentMemo memo;
+  Pattern p = MustParsePattern("a(/b{id}(n/c{v}))");
+  Pattern q = MustParsePattern("a(/b{id}(n/c{v}))");
+  ContainmentOptions relaxed;
+  relaxed.use_one_to_one_relaxation = true;
+  ContainmentOptions strict;
+  strict.use_one_to_one_relaxation = false;
+  Result<bool> r1 = memo.Contained(p, q, *s, relaxed);
+  Result<bool> r2 = memo.Contained(p, q, *s, strict);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(memo.misses(), 2u) << "distinct options must miss separately";
+  EXPECT_EQ(*r1, *IsContained(p, q, *s, relaxed));
+  EXPECT_EQ(*r2, *IsContained(p, q, *s, strict));
+}
+
+TEST(ContainmentMemo, ClearDropsEntries) {
+  std::unique_ptr<Summary> s = Sum("a(b)");
+  ContainmentMemo memo;
+  Pattern p = MustParsePattern("a(/b{id})");
+  ASSERT_TRUE(memo.Contained(p, p, *s, {}).ok());
+  EXPECT_EQ(memo.size(), 1u);
+  memo.Clear();
+  EXPECT_EQ(memo.size(), 0u);
+  ASSERT_TRUE(memo.Contained(p, p, *s, {}).ok());
+  EXPECT_EQ(memo.misses(), 2u);
+}
+
+}  // namespace
+}  // namespace svx

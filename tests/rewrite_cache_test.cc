@@ -1,0 +1,166 @@
+#include "src/viewstore/rewrite_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pattern/pattern_parser.h"
+#include "src/summary/summary_builder.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/xml/builder.h"
+#include "src/xml/update.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Document> Doc(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::vector<std::string> Compacts(const std::vector<Rewriting>& rws) {
+  std::vector<std::string> out;
+  for (const Rewriting& r : rws) out.push_back(r.compact);
+  return out;
+}
+
+class RewriteCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = Doc("a(b=1 b=2 c=3)");
+    summary_ = SummaryBuilder::Build(doc_.get());
+    ASSERT_TRUE(
+        catalog_.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *doc_)
+            .ok());
+  }
+
+  Rewriter MakeRewriter() {
+    RewriterOptions opts;
+    opts.memo = catalog_.containment_memo();
+    Rewriter rw(*summary_, opts);
+    for (const auto& v : catalog_.views()) rw.AddView(v->def);
+    return rw;
+  }
+
+  std::vector<Rewriting> RewriteCached(Rewriter* rw, std::string_view q,
+                                       RewriteStats* stats = nullptr) {
+    Result<std::vector<Rewriting>> r = CachedRewrite(
+        catalog_.rewrite_cache(), rw, MustParsePattern(q), stats);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<Summary> summary_;
+  ViewCatalog catalog_;  // no store dir: in-memory only
+};
+
+TEST_F(RewriteCacheTest, HitServesIdenticalPlans) {
+  Rewriter rw = MakeRewriter();
+  RewriteStats cold;
+  std::vector<Rewriting> first = RewriteCached(&rw, "a(/b{v})", &cold);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(cold.rewrite_cache_hits, 0u);
+  EXPECT_EQ(catalog_.rewrite_cache()->misses(), 1u);
+
+  RewriteStats warm;
+  std::vector<Rewriting> second = RewriteCached(&rw, "a(/b{v})", &warm);
+  EXPECT_EQ(warm.rewrite_cache_hits, 1u);
+  EXPECT_EQ(catalog_.rewrite_cache()->hits(), 1u);
+  EXPECT_EQ(Compacts(first), Compacts(second));
+  // Served plans are clones: executing/mutating one call's plans must not
+  // affect the cache (pointer inequality is enough here).
+  ASSERT_FALSE(second.empty());
+  EXPECT_NE(first[0].plan.get(), second[0].plan.get());
+}
+
+TEST_F(RewriteCacheTest, EmptyResultIsCachedToo) {
+  Rewriter rw = MakeRewriter();
+  // The view stores b columns only; a c query has no rewriting.
+  std::vector<Rewriting> none = RewriteCached(&rw, "a(/c{v})");
+  EXPECT_TRUE(none.empty());
+  RewriteStats warm;
+  std::vector<Rewriting> again = RewriteCached(&rw, "a(/c{v})", &warm);
+  EXPECT_TRUE(again.empty());
+  EXPECT_EQ(warm.rewrite_cache_hits, 1u);
+}
+
+TEST_F(RewriteCacheTest, ApplyUpdateInvalidates) {
+  Rewriter rw = MakeRewriter();
+  std::vector<Rewriting> cold = RewriteCached(&rw, "a(/b{v})");
+  ASSERT_FALSE(cold.empty());
+  EXPECT_EQ(catalog_.rewrite_cache()->size(), 1u);
+  ASSERT_TRUE(catalog_.containment_memo()->size() > 0 ||
+              catalog_.containment_memo()->misses() > 0);
+
+  std::unique_ptr<Document> sub = Doc("b=9");
+  Result<UpdateResult> up = InsertSubtree(*doc_, OrdPath::Root(), *sub);
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  ASSERT_TRUE(catalog_.ApplyUpdate(up->delta).ok());
+
+  // Cached plan dropped, memo cleared.
+  EXPECT_EQ(catalog_.rewrite_cache()->size(), 0u);
+  EXPECT_EQ(catalog_.containment_memo()->size(), 0u);
+
+  // Re-rewriting matches a fresh rewriter's output over the new world.
+  std::unique_ptr<Summary> new_summary = SummaryBuilder::Build(up->doc.get());
+  Rewriter fresh(*new_summary);
+  for (const auto& v : catalog_.views()) fresh.AddView(v->def);
+  Result<std::vector<Rewriting>> expect =
+      fresh.Rewrite(MustParsePattern("a(/b{v})"));
+  ASSERT_TRUE(expect.ok());
+
+  summary_ = std::move(new_summary);
+  doc_ = std::move(up->doc);
+  Rewriter rw2 = MakeRewriter();
+  RewriteStats stats;
+  std::vector<Rewriting> recomputed = RewriteCached(&rw2, "a(/b{v})", &stats);
+  EXPECT_EQ(stats.rewrite_cache_hits, 0u) << "stale plan served after update";
+  EXPECT_EQ(Compacts(recomputed), Compacts(*expect));
+}
+
+TEST_F(RewriteCacheTest, ViewAddAndDropInvalidate) {
+  Rewriter rw = MakeRewriter();
+  RewriteCached(&rw, "a(/b{v})");
+  EXPECT_EQ(catalog_.rewrite_cache()->size(), 1u);
+
+  // Add: a new view can enable new (cheaper) plans.
+  ASSERT_TRUE(
+      catalog_.Materialize({"W", MustParsePattern("a(/c{id,v})")}, *doc_)
+          .ok());
+  EXPECT_EQ(catalog_.rewrite_cache()->size(), 0u);
+
+  Rewriter rw2 = MakeRewriter();
+  RewriteCached(&rw2, "a(/c{v})");
+  EXPECT_EQ(catalog_.rewrite_cache()->size(), 1u);
+
+  // Drop: cached plans may reference the dropped view.
+  ASSERT_TRUE(catalog_.Drop("W").ok());
+  EXPECT_EQ(catalog_.rewrite_cache()->size(), 0u);
+  EXPECT_EQ(catalog_.Find("W"), nullptr);
+  EXPECT_FALSE(catalog_.Drop("W").ok());
+
+  // After the drop, the c query has no rewriting again — and the fresh
+  // (uncached) result reflects that.
+  Rewriter rw3 = MakeRewriter();
+  RewriteStats stats;
+  std::vector<Rewriting> none = RewriteCached(&rw3, "a(/c{v})", &stats);
+  EXPECT_EQ(stats.rewrite_cache_hits, 0u);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(RewriteCacheUnit, EvictionClearsWhenFull) {
+  RewriteCache cache;
+  cache.max_entries = 2;
+  std::vector<Rewriting> empty;
+  cache.Insert("q1", empty);
+  cache.Insert("q2", empty);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert("q3", empty);  // full: table dropped, then q3 inserted
+  EXPECT_EQ(cache.size(), 1u);
+  std::vector<Rewriting> out;
+  EXPECT_TRUE(cache.Lookup("q3", &out));
+  EXPECT_FALSE(cache.Lookup("q1", &out));
+}
+
+}  // namespace
+}  // namespace svx

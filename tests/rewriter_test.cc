@@ -267,6 +267,101 @@ TEST(Rewriter, StatsPopulated) {
   EXPECT_EQ(stats.results, out.size());
 }
 
+// The ViewIndex fast paths (signature Prop 3.4, coverage early-out, join
+// pruning) and the containment memo must not change what is found: run
+// several worlds both ways and compare the ranked compact forms.
+TEST(Rewriter, FastPathsPreserveResults) {
+  struct World {
+    std::string summary;
+    std::vector<std::pair<std::string, std::string>> views;
+    std::vector<std::string> queries;
+  };
+  std::vector<World> worlds = {
+      {"r(b a(b(c)) e(f))",
+       {{"P1", "r(//b{id})"}, {"P2", "r(//a{id})"}, {"P4", "r(/e{id}(/f))"}},
+       {"r(/a(/b{id}))", "r(//b{id})", "r(/e{id})"}},
+      {"r(a(c(b)) c(a(b)) b)",
+       {{"P1", "r(//a(//b{id}))"},
+        {"P2", "r(//c(//b{id}))"},
+        {"P3", "r(/b{id})"}},
+       {"r(//b{id})", "r(//a(//c(//b{id})))"}},
+      {"site(item(name description))",
+       {{"V1", "site(//item{id}(/description{c}))"},
+        {"V2", "site(//item{id}(/name{v}))"}},
+       {"site(//item(/name{v} /description{c}))", "site(//item{id})"}},
+      {"a(b(c!))",
+       {{"V", "a(//c{id,v})"}},
+       {"a(//b{id})", "a(//c{v}[v>2])", "a(/b{id}(/c{v}))"}},
+      {"a(i(x))",
+       {{"V", "a(/i{id}(?/x{id}))"}},
+       {"a(/i{id}(/x{id}))", "a(/i{id}(?/x{id}))"}},
+      // Regression: the wildcard node's associated paths on the STRICT
+      // pattern exclude r/a (no b below), but the base expansion variant
+      // erases the optional subtree and pins the wildcard at r/a too — the
+      // view signature must not narrow serviceability to strict-pattern
+      // paths, or the a{id} rewriting is wrongly pruned away.
+      {"r(a e(b))",
+       {{"V", "r(/*{id,l}(?/b{id}))"}},
+       {"r(/a{id})", "r(/e{id})"}},
+  };
+  for (const World& w : worlds) {
+    std::unique_ptr<Summary> s = Sum(w.summary);
+    RewriterOptions slow;
+    slow.use_view_index = false;
+    slow.memoize_containment = false;
+    RewriterOptions fast;
+    fast.use_view_index = true;
+    fast.memoize_containment = true;
+    Rewriter rw_slow(*s, slow);
+    Rewriter rw_fast(*s, fast);
+    for (const auto& [name, pattern] : w.views) {
+      rw_slow.AddView({name, MustParsePattern(pattern)});
+      rw_fast.AddView({name, MustParsePattern(pattern)});
+    }
+    for (const std::string& q : w.queries) {
+      std::vector<Rewriting> a = RunRewrite(&rw_slow, q);
+      std::vector<Rewriting> b = RunRewrite(&rw_fast, q);
+      ASSERT_EQ(a.size(), b.size()) << w.summary << " | " << q;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].compact, b[i].compact) << w.summary << " | " << q;
+      }
+    }
+  }
+}
+
+TEST(Rewriter, CoverageEarlyOutOnUnservableColumn) {
+  std::unique_ptr<Summary> s = Sum("a(b)");
+  Rewriter rw(*s);  // use_view_index defaults to true
+  rw.AddView({"V", MustParsePattern("a(/b{id})")});
+  // The view is Prop 3.4-related but stores no V column: the signature
+  // proves no view combination can serve the value, so the rewriter
+  // answers empty without expanding or testing anything.
+  RewriteStats stats;
+  std::vector<Rewriting> out = RunRewrite(&rw, "a(/b{v})", &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.views_kept, 1u);
+  EXPECT_EQ(stats.candidates_pruned, 1u);  // the kept view, never expanded
+  EXPECT_EQ(stats.candidates_built, 0u);
+  EXPECT_EQ(stats.equivalence_tests, 0u);
+}
+
+TEST(Rewriter, MemoStatsPopulated) {
+  std::unique_ptr<Summary> s = Sum("a(b)");
+  ContainmentMemo memo;
+  RewriterOptions opts;
+  opts.memo = &memo;
+  Rewriter rw(*s, opts);
+  rw.AddView({"V", MustParsePattern("a(/b{id})")});
+  RewriteStats first;
+  RunRewrite(&rw, "a(/b{id})", &first);
+  EXPECT_GT(first.containment_memo_misses, 0u);
+  // The same query again reuses the pinned memo's decisions.
+  RewriteStats second;
+  RunRewrite(&rw, "a(/b{id})", &second);
+  EXPECT_GT(second.containment_memo_hits, 0u);
+  EXPECT_EQ(second.containment_memo_misses, 0u);
+}
+
 TEST(Rewriter, StopAtFirst) {
   std::unique_ptr<Summary> s = Sum("a(b)");
   RewriterOptions opts;
