@@ -1,0 +1,382 @@
+// Concurrent serving benchmark: N reader threads rewrite (through the
+// snapshot's rewrite cache and shared view index) and execute XMark query
+// patterns against catalog snapshots, first over an idle store, then while
+// one writer thread applies a stream of subtree updates through
+// ApplyUpdate (each publishing a successor epoch). Reports per-phase reader
+// latency percentiles and throughput plus writer progress, and writes
+// machine-readable BENCH_concurrent.json into the working directory.
+//
+// The acceptance gate (--max-ratio, default 2.0) fails the run when the
+// contended median reader latency exceeds max-ratio × the idle median.
+//
+//   $ ./build/bench_concurrent [scale] [phase-ms] [readers]
+//         [--writer-interval-ms N] [--max-ratio R]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/algebra/executor.h"
+#include "src/pattern/pattern_parser.h"
+#include "src/rewriting/rewriter.h"
+#include "src/summary/summary_builder.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/workload/xmark.h"
+#include "src/workload/xmark_queries.h"
+#include "src/xml/builder.h"
+#include "src/xml/update.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Document> MustParseTree(const char* text) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bad tree: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// The stored view set: the maintenance bench's five views — small enough
+/// that a maintenance pass is bounded, expressive enough that the XMark
+/// queries find rewritings.
+struct ViewSpec {
+  const char* name;
+  const char* pattern;
+};
+const ViewSpec kViews[] = {
+    {"item_names", "site(//item{id}(/name{id,v}))"},
+    {"item_keywords_opt", "site(//item{id}(?//keyword{v}))"},
+    {"item_keywords_nested", "site(//item{id}(n//keyword{id,v}))"},
+    {"person_names", "site(//person{id}(/name{id,v}))"},
+    {"auction_bidders", "site(//open_auction{id}(//bidder{id}(/increase{v})))"},
+};
+
+/// The reader workload: query patterns served by the view set above.
+const char* kQueries[] = {
+    "site(//item{id}(/name{v}))",
+    "site(//item{id}(/name{id,v} ?//keyword{v}))",
+    "site(//person{id}(/name{v}))",
+    "site(//open_auction{id}(//bidder{id}(/increase{v})))",
+    "site(//item{id}(n//keyword{id,v}))",
+};
+
+struct PhaseStats {
+  std::vector<double> latencies_ms;  // per reader op, merged
+  double wall_ms = 0;
+  long long ops = 0;
+  long long rewrite_cache_hits = 0;
+  long long failures = 0;
+};
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  size_t i = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  return (*v)[i];
+}
+
+/// One reader loop: acquire a snapshot per op, rewrite through its caches,
+/// execute the cheapest plan against its extents.
+void ReaderLoop(const ViewCatalog& catalog,
+                const std::vector<Pattern>& queries,
+                const std::atomic<bool>& stop, size_t reader_id,
+                PhaseStats* out) {
+  size_t at = reader_id;  // stagger the query mix across readers
+  while (!stop.load(std::memory_order_relaxed)) {
+    Timer op_timer;
+    std::shared_ptr<const CatalogSnapshot> snap = catalog.Snapshot();
+    RewriterOptions opts;
+    opts.max_results = 1;
+    opts.cost_model = &snap->cost_model();
+    opts.memo = snap->containment_memo();
+    std::shared_ptr<const ViewIndex> index =
+        snap->ViewIndexFor(*snap->summary(), opts.expansion);
+    opts.shared_view_index = index.get();
+    Rewriter rewriter(*snap->summary(), opts);
+    for (const auto& v : snap->views()) rewriter.AddView(v->def);
+    const Pattern& q = queries[at++ % queries.size()];
+    RewriteStats stats;
+    Result<std::vector<Rewriting>> rws =
+        CachedRewrite(snap->rewrite_cache(), &rewriter, q, &stats);
+    bool ok = rws.ok() && !rws->empty();
+    if (!ok) {
+      std::fprintf(stderr, "reader: epoch %llu query %zu: %s\n",
+                   static_cast<unsigned long long>(snap->epoch()),
+                   (at - 1) % queries.size(),
+                   rws.ok() ? "no rewriting" : rws.status().ToString().c_str());
+    }
+    if (ok) {
+      Result<Table> rows =
+          Execute(*rws->front().plan, snap->ExecutorCatalog());
+      ok = rows.ok();
+      if (!ok) {
+        std::fprintf(stderr, "reader: epoch %llu query %zu exec: %s\n",
+                     static_cast<unsigned long long>(snap->epoch()),
+                     (at - 1) % queries.size(),
+                     rows.status().ToString().c_str());
+      }
+    }
+    out->latencies_ms.push_back(op_timer.ElapsedMillis());
+    ++out->ops;
+    if (stats.rewrite_cache_hits > 0) ++out->rewrite_cache_hits;
+    if (!ok) ++out->failures;
+  }
+}
+
+/// The writer loop: a shape-stable randomized update stream — new items
+/// inserted among the existing items (half careted mid-sibling, half
+/// appended), item subtrees deleted to keep the document bounded — one
+/// successor epoch per update, `interval_ms` idle between updates
+/// (0 = continuous). Shape stability keeps the summary serving the same
+/// rewritings while extents churn, which is the read-mostly regime this
+/// bench measures; it is not a correctness requirement.
+void WriterLoop(ViewCatalog* catalog, std::shared_ptr<Document> doc,
+                const std::atomic<bool>& stop, double interval_ms,
+                long long* updates, MaintenanceStats* total) {
+  Rng rng(4242);
+  const int32_t initial_size = doc->size();
+  while (!stop.load(std::memory_order_relaxed)) {
+    Result<UpdateResult> up = [&]() -> Result<UpdateResult> {
+      std::vector<NodeIndex> items;
+      for (NodeIndex n = 0; n < doc->size(); ++n) {
+        if (doc->label(n) == "item") items.push_back(n);
+      }
+      if (items.empty()) return Status::NotFound("no items to anchor on");
+      NodeIndex anchor = items[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(items.size()) - 1))];
+      if (doc->size() > initial_size && rng.Bernoulli(0.5)) {
+        return DeleteSubtree(*doc, doc->ord_path(anchor));
+      }
+      std::unique_ptr<Document> sub = MustParseTree(
+          "item(name=fresh description(text=t keyword=new) payment=cash)");
+      // Half the inserts land mid-sibling through careted ids, half append.
+      OrdPath parent = doc->ord_path(doc->parent(anchor));
+      if (rng.Bernoulli(0.5)) {
+        OrdPath before = doc->ord_path(anchor);
+        return InsertSubtree(*doc, parent, *sub, &before);
+      }
+      return InsertSubtree(*doc, parent, *sub);
+    }();
+    if (!up.ok()) continue;
+    std::shared_ptr<Document> next_doc(std::move(up->doc));
+    std::shared_ptr<Summary> next_summary(
+        SummaryBuilder::Build(next_doc.get()));
+    MaintenanceStats ms;
+    Status s = catalog->ApplyUpdate(up->delta, next_doc, next_summary, &ms);
+    if (!s.ok()) {
+      std::fprintf(stderr, "writer: %s\n", s.ToString().c_str());
+      return;
+    }
+    doc = std::move(next_doc);
+    ++*updates;
+    total->views_touched += ms.views_touched;
+    total->views_rebuilt += ms.views_rebuilt;
+    total->tuples_inserted += ms.tuples_inserted;
+    total->tuples_deleted += ms.tuples_deleted;
+    if (interval_ms > 0) {
+      Timer t;
+      while (!stop.load(std::memory_order_relaxed) &&
+             t.ElapsedMillis() < interval_ms) {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+PhaseStats RunPhase(const ViewCatalog& catalog,
+                    const std::vector<Pattern>& queries, int readers,
+                    double phase_ms, ViewCatalog* writer_catalog,
+                    std::shared_ptr<Document> writer_doc,
+                    double writer_interval_ms, long long* writer_updates,
+                    MaintenanceStats* writer_totals) {
+  std::atomic<bool> stop{false};
+  std::vector<PhaseStats> per_reader(static_cast<size_t>(readers));
+  std::vector<std::thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back(ReaderLoop, std::cref(catalog), std::cref(queries),
+                         std::cref(stop), static_cast<size_t>(r),
+                         &per_reader[static_cast<size_t>(r)]);
+  }
+  std::thread writer;
+  if (writer_catalog != nullptr) {
+    writer = std::thread(WriterLoop, writer_catalog, std::move(writer_doc),
+                         std::cref(stop), writer_interval_ms, writer_updates,
+                         writer_totals);
+  }
+  Timer wall;
+  while (wall.ElapsedMillis() < phase_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  if (writer.joinable()) writer.join();
+
+  PhaseStats merged;
+  merged.wall_ms = wall.ElapsedMillis();
+  for (PhaseStats& r : per_reader) {
+    merged.ops += r.ops;
+    merged.failures += r.failures;
+    merged.rewrite_cache_hits += r.rewrite_cache_hits;
+    merged.latencies_ms.insert(merged.latencies_ms.end(),
+                               r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  return merged;
+}
+
+int Run(double scale, double phase_ms, int readers,
+        double writer_interval_ms, double max_ratio) {
+  std::printf("=== Concurrent serving: readers vs maintenance writer ===\n");
+  XmarkOptions opts;
+  opts.scale = scale;
+  std::shared_ptr<Document> doc(GenerateXmark(opts));
+  std::shared_ptr<Summary> summary(SummaryBuilder::Build(doc.get()));
+
+  ViewCatalog catalog;  // in-memory: serving, not persistence, is measured
+  for (const ViewSpec& v : kViews) {
+    Result<Pattern> p = ParsePattern(v.pattern);
+    if (!p.ok()) {
+      std::fprintf(stderr, "bad view: %s\n", v.pattern);
+      return 1;
+    }
+    Status s = catalog.Materialize({v.name, std::move(*p)}, *doc);
+    if (!s.ok()) {
+      std::fprintf(stderr, "materialize: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  catalog.BindDocument(doc, summary);
+  std::vector<Pattern> queries;
+  for (const char* q : kQueries) {
+    Result<Pattern> p = ParsePattern(q);
+    if (!p.ok()) {
+      std::fprintf(stderr, "bad query: %s\n", q);
+      return 1;
+    }
+    queries.push_back(std::move(*p));
+  }
+  std::printf(
+      "scale %.2f: %d nodes, %zu views, %d readers, %.0f ms/phase, "
+      "writer interval %.0f ms\n",
+      scale, doc->size(), std::size(kViews), readers, phase_ms,
+      writer_interval_ms);
+
+  // ---- Phase 1: idle store. ----
+  PhaseStats idle = RunPhase(catalog, queries, readers, phase_ms, nullptr,
+                             nullptr, 0, nullptr, nullptr);
+
+  // ---- Phase 2: same readers under a live maintenance writer. ----
+  long long writer_updates = 0;
+  MaintenanceStats writer_totals;
+  uint64_t epoch_before = catalog.Snapshot()->epoch();
+  PhaseStats contended =
+      RunPhase(catalog, queries, readers, phase_ms, &catalog, doc,
+               writer_interval_ms, &writer_updates, &writer_totals);
+  uint64_t epoch_after = catalog.Snapshot()->epoch();
+
+  double idle_p50 = Percentile(&idle.latencies_ms, 0.5);
+  double idle_p95 = Percentile(&idle.latencies_ms, 0.95);
+  double cont_p50 = Percentile(&contended.latencies_ms, 0.5);
+  double cont_p95 = Percentile(&contended.latencies_ms, 0.95);
+  double ratio = idle_p50 > 0 ? cont_p50 / idle_p50 : 0;
+
+  std::printf("\n%-12s %10s %10s %10s %12s %10s\n", "phase", "ops", "p50(ms)",
+              "p95(ms)", "ops/sec", "cache-hit%");
+  auto report = [](const char* name, const PhaseStats& ph, double p50,
+                   double p95) {
+    std::printf("%-12s %10lld %10.3f %10.3f %12.1f %9.1f%%\n", name, ph.ops,
+                p50, p95, ph.ops / (ph.wall_ms / 1000.0),
+                ph.ops > 0 ? 100.0 * static_cast<double>(ph.rewrite_cache_hits)
+                               / static_cast<double>(ph.ops)
+                           : 0.0);
+  };
+  report("idle", idle, idle_p50, idle_p95);
+  report("contended", contended, cont_p50, cont_p95);
+  std::printf(
+      "writer: %lld updates (%llu epochs), %d extents touched, "
+      "%d rebuilt, +%lld/-%lld tuples\n",
+      writer_updates,
+      static_cast<unsigned long long>(epoch_after - epoch_before),
+      writer_totals.views_touched, writer_totals.views_rebuilt,
+      writer_totals.tuples_inserted, writer_totals.tuples_deleted);
+  std::printf("contended/idle p50 ratio: %.2f (gate %.2f)\n", ratio,
+              max_ratio);
+
+  // ---- BENCH_concurrent.json ----
+  std::string json = "{\n";
+  json += StrFormat("  \"scale\": %.2f,\n", scale);
+  json += StrFormat("  \"readers\": %d,\n", readers);
+  json += StrFormat("  \"phase_ms\": %.0f,\n", phase_ms);
+  json += StrFormat("  \"writer_interval_ms\": %.0f,\n", writer_interval_ms);
+  json += StrFormat("  \"idle\": {\"ops\": %lld, \"p50_ms\": %.4f, "
+                    "\"p95_ms\": %.4f, \"cache_hits\": %lld},\n",
+                    idle.ops, idle_p50, idle_p95, idle.rewrite_cache_hits);
+  json += StrFormat("  \"contended\": {\"ops\": %lld, \"p50_ms\": %.4f, "
+                    "\"p95_ms\": %.4f, \"cache_hits\": %lld},\n",
+                    contended.ops, cont_p50, cont_p95,
+                    contended.rewrite_cache_hits);
+  json += StrFormat("  \"writer_updates\": %lld,\n", writer_updates);
+  json += StrFormat("  \"p50_ratio\": %.4f,\n", ratio);
+  json += StrFormat("  \"reader_failures\": %lld\n",
+                    idle.failures + contended.failures);
+  json += "}\n";
+  std::ofstream out("BENCH_concurrent.json", std::ios::trunc);
+  out << json;
+  out.close();
+  std::printf("\nwrote BENCH_concurrent.json\n");
+
+  if (idle.failures + contended.failures > 0) {
+    std::fprintf(stderr, "FAIL: %lld reader ops failed\n",
+                 idle.failures + contended.failures);
+    return 1;
+  }
+  if (writer_updates == 0) {
+    std::fprintf(stderr, "FAIL: writer made no progress\n");
+    return 1;
+  }
+  if (max_ratio > 0 && ratio > max_ratio) {
+    std::fprintf(stderr, "FAIL: p50 ratio %.2f exceeds %.2f\n", ratio,
+                 max_ratio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace svx
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  double phase_ms = 3000;
+  int readers = 2;
+  double writer_interval_ms = 100;
+  double max_ratio = 2.0;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--writer-interval-ms") == 0 && i + 1 < argc) {
+      writer_interval_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-ratio") == 0 && i + 1 < argc) {
+      max_ratio = std::atof(argv[++i]);
+    } else if (pos == 0) {
+      scale = std::atof(argv[i]);
+      ++pos;
+    } else if (pos == 1) {
+      phase_ms = std::atof(argv[i]);
+      ++pos;
+    } else {
+      readers = std::atoi(argv[i]);
+    }
+  }
+  return svx::Run(scale, phase_ms, readers, writer_interval_ms, max_ratio);
+}

@@ -21,14 +21,20 @@ std::string OptionsFingerprint(const ContainmentOptions& o) {
 
 Result<bool> ContainmentMemo::LookupOrCompute(
     std::string key, const std::function<Result<bool>()>& compute) {
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    ++hits_;
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
   }
-  ++misses_;
+  // Compute outside the lock: containment tests are the expensive part, and
+  // a duplicate computation by a racing thread is just a wasted lookup.
   Result<bool> r = compute();
   if (r.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (table_.size() >= max_entries) table_.clear();
     table_.emplace(std::move(key), *r);
   }
@@ -61,6 +67,24 @@ Result<bool> ContainmentMemo::ContainedInUnion(
   });
 }
 
-void ContainmentMemo::Clear() { table_.clear(); }
+void ContainmentMemo::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  table_.clear();
+}
+
+size_t ContainmentMemo::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t ContainmentMemo::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ContainmentMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
 
 }  // namespace svx

@@ -14,9 +14,15 @@
 //
 // A memo is bound to ONE summary: the key deliberately omits it, so share a
 // memo only across calls that use the same summary, and Clear() it whenever
-// the underlying document (and hence the summary) changes. ViewCatalog owns
-// a memo with exactly this lifecycle, pinned across Rewrite() calls and
-// cleared by ApplyUpdate.
+// the underlying document (and hence the summary) changes. Each
+// CatalogSnapshot pins a memo with exactly this lifecycle: shared across
+// Rewrite() calls against that snapshot, replaced when a maintenance pass
+// publishes a snapshot with a new document.
+//
+// Thread-safe: the table is guarded by an internal mutex so concurrent
+// readers of one snapshot can share the memo. Lookups and inserts lock;
+// containment itself is computed outside the lock (two threads may race to
+// compute the same miss — both get the right answer, one insert wins).
 //
 // Only ok() results are memoized; resource-exhausted decisions are retried.
 #ifndef SVX_CONTAINMENT_MEMO_H_
@@ -24,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,19 +61,21 @@ class ContainmentMemo {
   /// Drops every entry (call when the summary changes).
   void Clear();
 
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-  size_t size() const { return table_.size(); }
+  size_t hits() const;
+  size_t misses() const;
+  size_t size() const;
 
   /// When the table is full a new insert drops it whole (constant-time
   /// eviction, like RewriteCache) — bounds memory for long-lived
-  /// catalog-pinned memos serving unbounded ad-hoc query streams.
+  /// snapshot-pinned memos serving unbounded ad-hoc query streams. Set
+  /// before the memo is shared across threads.
   size_t max_entries = 1u << 16;
 
  private:
   Result<bool> LookupOrCompute(std::string key,
                                const std::function<Result<bool>()>& compute);
 
+  mutable std::mutex mu_;
   std::unordered_map<std::string, bool> table_;
   size_t hits_ = 0;
   size_t misses_ = 0;

@@ -1139,12 +1139,20 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   // ---- Setup: Prop 3.4 pruning + view expansion. ----
   if (stats != nullptr) stats->views_total = views_.size();
   const bool use_index = options_.use_view_index;
+  const ViewIndex* index = nullptr;
   if (use_index) {
-    if (index_ == nullptr) {
-      index_ = std::make_unique<ViewIndex>(summary_, options_.expansion);
-    }
-    while (index_->size() < static_cast<int32_t>(views_.size())) {
-      index_->AddView(views_[static_cast<size_t>(index_->size())]);
+    if (options_.shared_view_index != nullptr &&
+        options_.shared_view_index->size() ==
+            static_cast<int32_t>(views_.size())) {
+      index = options_.shared_view_index;
+    } else {
+      if (index_ == nullptr) {
+        index_ = std::make_unique<ViewIndex>(summary_, options_.expansion);
+      }
+      while (index_->size() < static_cast<int32_t>(views_.size())) {
+        index_->AddView(views_[static_cast<size_t>(index_->size())]);
+      }
+      index = index_.get();
     }
   }
   PathBitset related_bits;
@@ -1160,7 +1168,7 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   std::vector<size_t> kept_idx;  // positions in views_
   for (size_t vi = 0; vi < views_.size(); ++vi) {
     bool keep = !options_.prune_views ||
-                (use_index ? index_->Related(vi, related_bits)
+                (use_index ? index->Related(vi, related_bits)
                            : ViewRelated(views_[vi], qi, summary_));
     if (keep) {
       kept.push_back(&views_[vi]);
@@ -1173,7 +1181,7 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   std::unique_ptr<CoverageAnalysis> cover;
   if (use_index) {
     cover =
-        std::make_unique<CoverageAnalysis>(qi, summary_, *index_, kept_idx);
+        std::make_unique<CoverageAnalysis>(qi, summary_, *index, kept_idx);
     if (!cover->enabled()) cover.reset();
   }
   if (cover != nullptr && !cover->Extendable(0, 0, options_.max_plan_views)) {

@@ -57,11 +57,19 @@ struct RewriterOptions {
   /// Memoize containment decisions within (and, via `memo`, across)
   /// Rewrite() calls.
   bool memoize_containment = true;
-  /// Optional cross-call memo (e.g. ViewCatalog::containment_memo()),
+  /// Optional cross-call memo (e.g. CatalogSnapshot::containment_memo()),
   /// pinned by the caller. Borrowed; must outlive the rewriter and must be
   /// cleared when the summary changes. When null and memoize_containment is
   /// set, a per-call memo is used instead.
   ContainmentMemo* memo = nullptr;
+  /// Optional prebuilt snapshot-owned view index
+  /// (CatalogSnapshot::ViewIndexFor), shared by concurrent readers so each
+  /// per-query Rewriter skips the per-view signature computation.
+  /// Borrowed; must outlive the rewriter, and must have been built over
+  /// the same summary and expansion options with exactly this rewriter's
+  /// AddView sequence (signatures are addressed by registration order —
+  /// on a view-count mismatch the rewriter falls back to its own index).
+  const ViewIndex* shared_view_index = nullptr;
   /// When set, found rewritings are ranked by estimated cost (cheapest
   /// first, ties broken by compact form) instead of discovery order.
   /// Borrowed; must outlive the rewriter.

@@ -1,0 +1,54 @@
+#include "src/viewstore/catalog_snapshot.h"
+
+#include "src/util/strings.h"
+
+namespace svx {
+
+const StoredView* CatalogSnapshot::Find(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (v->def.name == name) return v.get();
+  }
+  return nullptr;
+}
+
+int64_t CatalogSnapshot::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& v : views_) total += v->extent_bytes;
+  return total;
+}
+
+Catalog CatalogSnapshot::ExecutorCatalog() const {
+  Catalog catalog;
+  for (const auto& v : views_) catalog.Register(v->def.name, &v->extent);
+  return catalog;
+}
+
+std::shared_ptr<const ViewIndex> CatalogSnapshot::ViewIndexFor(
+    const Summary& summary, const ExpansionOptions& e) const {
+  auto build = [&]() {
+    auto index = std::make_shared<ViewIndex>(summary, e);
+    for (const auto& v : views_) index->AddView(v->def);
+    return index;
+  };
+  // Only the snapshot's own summary can key the cache: its lifetime is
+  // pinned by the snapshot, so the identity can never be recycled. A
+  // caller-owned summary could be freed and its address reused by a
+  // different summary while this snapshot lives (ABA), which would serve
+  // an index over the wrong path-id space — build those fresh, uncached.
+  if (&summary != summary_.get()) return build();
+  std::string key = StrFormat(
+      "%zu.%zu.%d.%d.%d.%d", e.max_embeddings, e.max_pieces,
+      e.max_strengthen_edges, e.unfold_content ? 1 : 0,
+      e.add_virtual_ids ? 1 : 0, e.max_virtual_depth);
+  std::lock_guard<std::mutex> lock(index_mu_);
+  for (const auto& [k, index] : indexes_) {
+    if (k == key) return index;
+  }
+  // Built under the lock: concurrent first readers wait instead of
+  // duplicating the per-view signature computation.
+  auto index = build();
+  indexes_.emplace_back(std::move(key), index);
+  return index;
+}
+
+}  // namespace svx

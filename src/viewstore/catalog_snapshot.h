@@ -1,0 +1,136 @@
+// One immutable epoch of the view store, shared between concurrent readers.
+//
+// The read-mostly serving model (cf. LiquidXML-style redistribution while
+// serving): readers acquire the current CatalogSnapshot with one lock-free
+// atomic load (ViewCatalog::Snapshot()) and then work entirely against its
+// immutable world — view definitions, extents, statistics, a prebuilt cost
+// model, a lazily built shared ViewIndex, plus the snapshot's pinned
+// containment memo and rewrite cache (both internally synchronized).
+// Writers (Materialize / Add / Drop / ApplyUpdate / Load) never mutate a
+// published snapshot: they build a successor off the read path under the
+// catalog's writer mutex and publish it with a single pointer swap. An old
+// epoch is retired automatically when its last reader drops the
+// shared_ptr; extents the maintenance pass did not touch are shared
+// between epochs (copy-on-maintenance), so a snapshot swap is cheap.
+#ifndef SVX_VIEWSTORE_CATALOG_SNAPSHOT_H_
+#define SVX_VIEWSTORE_CATALOG_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/algebra/executor.h"
+#include "src/containment/memo.h"
+#include "src/rewriting/view.h"
+#include "src/rewriting/view_index.h"
+#include "src/summary/summary.h"
+#include "src/viewstore/cost_model.h"
+#include "src/viewstore/rewrite_cache.h"
+#include "src/viewstore/statistics.h"
+#include "src/xml/document.h"
+
+namespace svx {
+
+/// One catalog entry: definition, extent, statistics, serialized size.
+/// Immutable once published in a snapshot — maintenance replaces the whole
+/// object (copy-on-maintenance) instead of editing it in place, so readers
+/// of older epochs keep a consistent extent.
+struct StoredView {
+  ViewDef def;
+  Table extent;
+  ViewStats stats;
+  int64_t extent_bytes = 0;  // serialized extent size
+
+  /// Persistence generation of this extent's on-disk files
+  /// ("<name>.<generation>.extent"/".stats"); 0 = not persisted yet.
+  /// Writer-private: assigned under the catalog's writer mutex when the
+  /// view is saved, never read on the read path.
+  mutable uint64_t generation = 0;
+
+  /// Per-column value counts for O(|delta|) statistics refresh
+  /// (statistics.h). Writer-private like `generation`: built on first
+  /// maintenance, handed to the successor StoredView on every ApplyUpdate,
+  /// never read on the read path.
+  mutable std::shared_ptr<ValueCountCache> value_counts;
+};
+
+/// An immutable epoch of the catalog (see file comment). Construction and
+/// publication are the ViewCatalog's business; readers only consume.
+class CatalogSnapshot {
+ public:
+  /// Monotonically increasing epoch number (1 = the catalog's initial
+  /// empty snapshot).
+  uint64_t epoch() const { return epoch_; }
+
+  const std::vector<std::shared_ptr<const StoredView>>& views() const {
+    return views_;
+  }
+  int32_t size() const { return static_cast<int32_t>(views_.size()); }
+
+  const StoredView* Find(const std::string& name) const;
+
+  /// Total serialized size of all extents.
+  int64_t TotalBytes() const;
+
+  /// The document this epoch's extents reference, when the catalog serves
+  /// with shared ownership (ViewCatalog::BindDocument / the shared-pointer
+  /// ApplyUpdate overload); nullptr when document lifetime is managed by
+  /// the caller. Holding the snapshot keeps the document alive — what lets
+  /// a maintenance pass retire the old document while old-epoch readers
+  /// still resolve content references into it.
+  const Document* document() const { return doc_.get(); }
+
+  /// The summary of document(), when bound; nullptr otherwise.
+  const Summary* summary() const { return summary_.get(); }
+
+  /// Executor bindings for this epoch's extents. Borrowed pointers into the
+  /// snapshot: valid while the caller holds the snapshot shared_ptr.
+  Catalog ExecutorCatalog() const;
+
+  /// Cost model over this epoch's statistics, prebuilt at publication.
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// This epoch's rewrite cache. Fresh per epoch (the successor of a
+  /// mutation starts empty — that is the invalidation), thread-safe, and
+  /// shared by every reader of the epoch.
+  RewriteCache* rewrite_cache() const { return rewrite_cache_.get(); }
+
+  /// This epoch's pinned containment memo (pass as RewriterOptions::memo).
+  /// Thread-safe; replaced whenever a published document change makes the
+  /// summary stale, shared across view-set-only mutations.
+  ContainmentMemo* containment_memo() const { return memo_.get(); }
+
+  /// The shared, snapshot-owned ViewIndex over this epoch's views for
+  /// (summary, expansion) — pass as RewriterOptions::shared_view_index to a
+  /// Rewriter whose views were added in views() order. When `summary` is
+  /// this snapshot's own summary() (the serving path), the index is built
+  /// once per expansion fingerprint under an internal mutex and shared by
+  /// all readers of the epoch, living as long as the snapshot; for any
+  /// other summary (whose lifetime the snapshot cannot pin) a fresh
+  /// uncached index is returned, owned by the caller's shared_ptr.
+  std::shared_ptr<const ViewIndex> ViewIndexFor(
+      const Summary& summary, const ExpansionOptions& expansion) const;
+
+ private:
+  friend class ViewCatalog;
+  CatalogSnapshot() = default;
+
+  uint64_t epoch_ = 0;
+  std::vector<std::shared_ptr<const StoredView>> views_;
+  std::shared_ptr<const Document> doc_;
+  std::shared_ptr<const Summary> summary_;
+  std::shared_ptr<RewriteCache> rewrite_cache_;
+  std::shared_ptr<ContainmentMemo> memo_;
+  CostModel cost_model_;
+
+  mutable std::mutex index_mu_;
+  mutable std::vector<std::pair<std::string, std::shared_ptr<const ViewIndex>>>
+      indexes_;  // over summary_, keyed by expansion fingerprint
+};
+
+}  // namespace svx
+
+#endif  // SVX_VIEWSTORE_CATALOG_SNAPSHOT_H_

@@ -5,9 +5,14 @@
 // rewriting list can be cached under the query's canonical pattern text
 // (salted by CachedRewrite with the rewriter's configuration) and served in
 // microseconds.
-// The cache is owned by the ViewCatalog, which invalidates it on every
-// mutation of the view set or the document (Materialize / Add / Drop /
-// ApplyUpdate / Load), so a hit is always as fresh as a recomputation.
+// Each CatalogSnapshot owns one cache: a catalog mutation (Materialize /
+// Add / Drop / ApplyUpdate / Load) publishes a successor snapshot with a
+// fresh cache (carrying the cumulative hit/miss/invalidation counters), so
+// a hit is always as fresh as a recomputation against that snapshot's view
+// set and document.
+//
+// Thread-safe: an internal mutex guards the table, so concurrent readers
+// of one snapshot share warm entries.
 //
 // Entries store plans by value; Lookup returns deep clones, so callers own
 // their plans and cache entries stay immutable.
@@ -15,6 +20,7 @@
 #define SVX_VIEWSTORE_REWRITE_CACHE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,18 +48,25 @@ class RewriteCache {
   void Insert(const std::string& key,
               const std::vector<Rewriting>& rewritings);
 
-  /// Drops every entry. Called by the catalog on any view-set or document
-  /// mutation.
+  /// Drops every entry. Called when the snapshot's world is replaced (the
+  /// catalog normally swaps in a fresh cache instead).
   void Invalidate();
 
-  size_t size() const { return entries_.size(); }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-  size_t invalidations() const { return invalidations_; }
+  /// Seeds the cumulative counters from a predecessor cache, counting one
+  /// invalidation when the predecessor held entries — how a successor
+  /// snapshot's fresh cache keeps hit/miss observability continuous.
+  void CarryCountersFrom(const RewriteCache& prior);
 
+  size_t size() const;
+  size_t hits() const;
+  size_t misses() const;
+  size_t invalidations() const;
+
+  /// Set before the cache is shared across threads.
   size_t max_entries = 4096;
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<Rewriting>> entries_;
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;

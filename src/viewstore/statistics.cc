@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
-#include "src/viewstore/extent_io.h"
+#include "src/util/check.h"
 #include "src/util/strings.h"
+#include "src/viewstore/extent_io.h"
 
 namespace svx {
 
@@ -190,6 +191,93 @@ ViewStats RefreshViewStats(const ViewStats& stats, const Table& extent,
   FoldRowsIntoColumns(extent.schema(), rows, &cursor, &out);
   cursor = 0;
   RecomputeDistinct(extent.schema(), {&extent}, &cursor, &out);
+  return out;
+}
+
+namespace {
+
+/// Folds `rows` into the cache (and, when `stats` is given, its additive
+/// counters) with multiplicity `sign`, mirroring the ComputeColumns
+/// traversal; `cursor` walks the flattened stats/cache columns.
+void FoldRowsIntoCounts(const Schema& schema,
+                        const std::vector<const Tuple*>& rows, size_t* cursor,
+                        ValueCountCache* cache, int64_t sign,
+                        ViewStats* stats) {
+  for (int32_t c = 0; c < schema.size(); ++c) {
+    size_t at = (*cursor)++;
+    ValueCountCache::Column& col = cache->columns[at];
+    ColumnStats* cs = stats != nullptr ? &stats->columns[at] : nullptr;
+    for (const Tuple* row : rows) {
+      const Value& v = (*row)[static_cast<size_t>(c)];
+      if (v.IsNull()) continue;
+      std::string key;
+      EncodeValue(v, &key);
+      auto vit = col.values.try_emplace(std::move(key), 0).first;
+      vit->second += sign;
+      SVX_CHECK_MSG(vit->second >= 0, "value count underflow in stats cache");
+      if (vit->second == 0) col.values.erase(vit);
+      int64_t len = ValueLength(v);
+      auto lit = col.lengths.try_emplace(len, 0).first;
+      lit->second += sign;
+      if (lit->second == 0) col.lengths.erase(lit);
+      if (cs != nullptr) {
+        cs->non_null += sign;
+        if (v.IsTable()) cs->nested_rows += sign * v.AsTable().NumRows();
+      }
+    }
+    if (cs != nullptr) {
+      cs->distinct = static_cast<int64_t>(col.values.size());
+      cs->min_len = col.lengths.empty() ? 0 : col.lengths.begin()->first;
+      cs->max_len = col.lengths.empty() ? 0 : col.lengths.rbegin()->first;
+    }
+    if (schema.column(c).nested != nullptr) {
+      std::vector<const Tuple*> inner;
+      for (const Tuple* row : rows) {
+        const Value& v = (*row)[static_cast<size_t>(c)];
+        if (!v.IsTable()) continue;
+        for (const Tuple& r : v.AsTable().rows()) inner.push_back(&r);
+      }
+      FoldRowsIntoCounts(*schema.column(c).nested, inner, cursor, cache, sign,
+                         stats);
+    }
+  }
+}
+
+std::vector<const Tuple*> RowPointers(const std::vector<Tuple>& rows) {
+  std::vector<const Tuple*> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) out.push_back(&t);
+  return out;
+}
+
+}  // namespace
+
+ValueCountCache BuildValueCounts(const Table& extent) {
+  ValueCountCache cache;
+  cache.columns.resize(
+      static_cast<size_t>(CountStatsColumns(extent.schema())));
+  std::vector<const Tuple*> rows = RowPointers(extent.rows());
+  size_t cursor = 0;
+  FoldRowsIntoCounts(extent.schema(), rows, &cursor, &cache, +1, nullptr);
+  return cache;
+}
+
+ViewStats RefreshViewStatsCached(const ViewStats& stats, const Schema& schema,
+                                 ValueCountCache* cache,
+                                 const std::vector<Tuple>& deleted,
+                                 const std::vector<Tuple>& inserted) {
+  SVX_CHECK_MSG(
+      static_cast<int64_t>(cache->columns.size()) ==
+              CountStatsColumns(schema) &&
+          cache->columns.size() == stats.columns.size(),
+      "value-count cache does not line up with the extent schema");
+  ViewStats out = stats;
+  out.num_rows += static_cast<int64_t>(inserted.size()) -
+                  static_cast<int64_t>(deleted.size());
+  size_t cursor = 0;
+  FoldRowsIntoCounts(schema, RowPointers(deleted), &cursor, cache, -1, &out);
+  cursor = 0;
+  FoldRowsIntoCounts(schema, RowPointers(inserted), &cursor, cache, +1, &out);
   return out;
 }
 

@@ -6,8 +6,10 @@
 #ifndef SVX_VIEWSTORE_STATISTICS_H_
 #define SVX_VIEWSTORE_STATISTICS_H_
 
+#include <map>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/algebra/relation.h"
@@ -55,6 +57,40 @@ ViewStats ComputeViewStats(const Table& extent);
 ViewStats RefreshViewStats(const ViewStats& stats, const Table& extent,
                            int64_t deleted_rows,
                            const std::vector<Tuple>& inserted);
+
+/// Per-column multiset indexes over one extent: for every stats column
+/// (ComputeViewStats emission order, nested columns flattened) the exact
+/// count of each distinct encoded value and of each value length. They make
+/// every ViewStats counter — including distinct counts and length bounds,
+/// which are not incrementally maintainable from the stats alone —
+/// refreshable in O(|delta| log) per tuple delta, where RefreshViewStats
+/// has to rescan whole columns.
+struct ValueCountCache {
+  struct Column {
+    /// Encoded value (extent_io EncodeValue) → multiplicity. Its size is
+    /// the column's exact distinct count.
+    std::unordered_map<std::string, int64_t> values;
+    /// Value length (ValueLength measure of statistics.cc) → multiplicity.
+    /// Ordered, so min/max length are the first/last key.
+    std::map<int64_t, int64_t> lengths;
+  };
+  std::vector<Column> columns;
+};
+
+/// Scans `extent` once and builds its value-count cache (same cost class as
+/// ComputeViewStats).
+ValueCountCache BuildValueCounts(const Table& extent);
+
+/// Refreshes `stats` through `cache` after incremental maintenance removed
+/// the tuples `deleted` and appended the tuples `inserted`: both the cache
+/// and the returned stats are updated in O((|deleted|+|inserted|) log)
+/// without touching the extent. `schema` is the extent's schema; `stats`
+/// and `cache` must describe the pre-delta extent. Afterwards both equal a
+/// full recomputation over the post-delta extent.
+ViewStats RefreshViewStatsCached(const ViewStats& stats, const Schema& schema,
+                                 ValueCountCache* cache,
+                                 const std::vector<Tuple>& deleted,
+                                 const std::vector<Tuple>& inserted);
 
 /// Line-based text serialization, round-trippable:
 ///   rows <n>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <unordered_set>
+#include <utility>
 
 #include "src/maintenance/delta_evaluator.h"
 #include "src/pattern/pattern_parser.h"
@@ -17,7 +18,8 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr std::string_view kManifestHeader = "svx-viewstore 1";
+constexpr std::string_view kManifestHeaderV1 = "svx-viewstore 1";
+constexpr std::string_view kManifestHeaderV2 = "svx-viewstore 2";
 
 bool SafeName(const std::string& name) {
   if (name.empty() || name.size() > 128) return false;
@@ -56,7 +58,98 @@ Status WriteFileAtomic(const fs::path& path, std::string_view bytes) {
   return Status::OK();
 }
 
+std::string ExtentFileName(const StoredView& v) {
+  return StrFormat("%s.%llu.extent", v.def.name.c_str(),
+                   static_cast<unsigned long long>(v.generation));
+}
+
+std::string StatsFileName(const StoredView& v) {
+  return StrFormat("%s.%llu.stats", v.def.name.c_str(),
+                   static_cast<unsigned long long>(v.generation));
+}
+
+/// Removes every *.extent / *.stats / *.tmp file under `dir` that `live`
+/// does not reference (replaced generations, dropped views, interrupted
+/// temps). Best-effort.
+void SweepUnreferenced(const std::string& dir,
+                       const std::unordered_set<std::string>& live) {
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    std::string ext = entry.path().extension().string();
+    if (ext != ".extent" && ext != ".stats" && ext != ".tmp") continue;
+    if (live.count(name) != 0) continue;
+    std::error_code remove_ec;
+    fs::remove(entry.path(), remove_ec);
+  }
+}
+
+std::unordered_set<std::string> LiveFileSet(
+    const std::vector<std::shared_ptr<const StoredView>>& views) {
+  std::unordered_set<std::string> live{"manifest.txt"};
+  for (const auto& v : views) {
+    live.insert(ExtentFileName(*v));
+    live.insert(StatsFileName(*v));
+  }
+  return live;
+}
+
 }  // namespace
+
+ViewCatalog::ViewCatalog() : ViewCatalog(std::string()) {}
+
+ViewCatalog::ViewCatalog(std::string dir) : dir_(std::move(dir)) {
+  auto initial = std::shared_ptr<CatalogSnapshot>(new CatalogSnapshot());
+  initial->epoch_ = next_epoch_++;
+  initial->rewrite_cache_ = std::make_shared<RewriteCache>();
+  initial->memo_ = std::make_shared<ContainmentMemo>();
+  snapshot_ = std::move(initial);
+}
+
+void ViewCatalog::PublishLocked(
+    std::vector<std::shared_ptr<const StoredView>> views,
+    std::shared_ptr<const Document> doc,
+    std::shared_ptr<const Summary> summary, bool doc_changed) {
+  std::shared_ptr<const CatalogSnapshot> old = Current();
+  auto snap = std::shared_ptr<CatalogSnapshot>(new CatalogSnapshot());
+  snap->epoch_ = next_epoch_++;
+  snap->views_ = std::move(views);
+  // A document change rebinds (even to null: the caller owns lifetimes
+  // then); view-set-only mutations keep serving the same document.
+  snap->doc_ = doc_changed ? std::move(doc) : old->doc_;
+  snap->summary_ = doc_changed ? std::move(summary) : old->summary_;
+  // A fresh cache per epoch is the invalidation: the successor can never
+  // serve a plan ranked against the old view set or document.
+  snap->rewrite_cache_ = std::make_shared<RewriteCache>();
+  snap->rewrite_cache_->CarryCountersFrom(*old->rewrite_cache_);
+  // Containment only depends on the summary: view-set mutations share the
+  // memo, document changes replace it.
+  snap->memo_ =
+      doc_changed ? std::make_shared<ContainmentMemo>() : old->memo_;
+  for (const auto& v : snap->views_) {
+    snap->cost_model_.AddViewStats(v->def.name, v->stats);
+  }
+  // The successor is complete; the exclusive side of the epoch lock is
+  // held only for this swap. The displaced epoch is released outside the
+  // lock — when the writer holds its last reference, retiring it tears
+  // down extents (possibly a whole document), which must not block
+  // readers.
+  std::shared_ptr<const CatalogSnapshot> retired;
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    retired = std::move(snapshot_);
+    snapshot_ = std::move(snap);
+  }
+}
+
+void ViewCatalog::BindDocument(std::shared_ptr<const Document> doc,
+                               std::shared_ptr<const Summary> summary) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PublishLocked(Current()->views(), std::move(doc), std::move(summary),
+                /*doc_changed=*/true);
+}
 
 Status ViewCatalog::Materialize(const ViewDef& def, const Document& doc) {
   return Add(def, MaterializeView(def.pattern, def.name, doc));
@@ -66,10 +159,6 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
   if (!SafeName(def.name)) {
     return Status::InvalidArgument("view name not storable: " + def.name);
   }
-  // The view set changes: cached rewrite plans may miss (or wrongly keep
-  // using) this view. The containment memo only depends on the summary and
-  // stays valid.
-  rewrite_cache_.Invalidate();
   // The extent format cannot represent rows without columns; reject them
   // here so Save()/Load() round-trips everything this catalog accepts.
   if (extent.schema().size() == 0 && extent.NumRows() > 0) {
@@ -77,46 +166,46 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
         "zero-column extent with rows is not storable: " + def.name);
   }
   extent.SortRowsCanonical();
-  auto stored = std::make_unique<StoredView>();
+  auto stored = std::make_shared<StoredView>();
   stored->stats = ComputeViewStats(extent);
   stored->extent_bytes = ExtentByteSize(extent);
   stored->def = std::move(def);
   stored->extent = std::move(extent);
-  for (auto& v : views_) {
+
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::vector<std::shared_ptr<const StoredView>> next = Current()->views();
+  bool replaced = false;
+  for (auto& v : next) {
     if (v->def.name == stored->def.name) {
       v = std::move(stored);
-      return Status::OK();
+      replaced = true;
+      break;
     }
   }
-  views_.push_back(std::move(stored));
+  if (!replaced) next.push_back(std::move(stored));
+  PublishLocked(std::move(next), nullptr, nullptr, /*doc_changed=*/false);
   return Status::OK();
 }
 
 Status ViewCatalog::Drop(const std::string& name) {
-  for (auto it = views_.begin(); it != views_.end(); ++it) {
-    if ((*it)->def.name == name) {
-      views_.erase(it);
-      rewrite_cache_.Invalidate();
-      return Status::OK();
-    }
-  }
-  return Status::NotFound("no such view: " + name);
-}
-
-const StoredView* ViewCatalog::Find(const std::string& name) const {
-  for (const auto& v : views_) {
-    if (v->def.name == name) return v.get();
-  }
-  return nullptr;
-}
-
-int64_t ViewCatalog::TotalBytes() const {
-  int64_t total = 0;
-  for (const auto& v : views_) total += v->extent_bytes;
-  return total;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::vector<std::shared_ptr<const StoredView>> next = Current()->views();
+  auto it = std::find_if(next.begin(), next.end(),
+                         [&](const auto& v) { return v->def.name == name; });
+  if (it == next.end()) return Status::NotFound("no such view: " + name);
+  next.erase(it);
+  PublishLocked(std::move(next), nullptr, nullptr, /*doc_changed=*/false);
+  return Status::OK();
 }
 
 Status ViewCatalog::Save() const {
+  if (dir_.empty()) return Status::InvalidArgument("catalog has no store dir");
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return PersistLocked(Current()->views());
+}
+
+Status ViewCatalog::PersistLocked(
+    const std::vector<std::shared_ptr<const StoredView>>& views) const {
   if (dir_.empty()) return Status::InvalidArgument("catalog has no store dir");
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -124,66 +213,100 @@ Status ViewCatalog::Save() const {
     return Status::Internal("cannot create store dir " + dir_ + ": " +
                             ec.message());
   }
-  // Extents and stats first (each atomically), the manifest last: a crash
-  // anywhere mid-save leaves the previous manifest referencing only files
-  // that are still fully present.
-  std::string manifest(kManifestHeader);
+  // Never-reuse is a cross-process property: a fresh catalog saving into a
+  // directory another instance populated (without Load()ing it) must not
+  // re-mint generations already on disk — overwriting "<name>.<gen>.extent"
+  // in place would reopen the crash window the generations close. Seed the
+  // counter past everything present, once per catalog.
+  if (!generation_seeded_) {
+    uint64_t max_gen = 0;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+      if (ec) break;
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      if (ext != ".extent" && ext != ".stats") continue;
+      std::string stem = entry.path().stem().string();  // "<name>.<gen>"
+      size_t dot = stem.rfind('.');
+      if (dot == std::string::npos) continue;  // version-1 unsuffixed file
+      std::optional<int64_t> gen = ParseInt64(stem.substr(dot + 1));
+      if (gen && *gen > 0) {
+        max_gen = std::max(max_gen, static_cast<uint64_t>(*gen));
+      }
+    }
+    next_generation_ = std::max(next_generation_, max_gen + 1);
+    generation_seeded_ = true;
+  }
+  // Extents and stats first, each under a generation-suffixed name that no
+  // previous save ever used (plus a temp + rename per file), the manifest
+  // last: a crash anywhere mid-save leaves the previous manifest
+  // referencing only complete files of the previous generations — file
+  // names are never reused, so versions cannot mix.
+  std::string manifest(kManifestHeaderV2);
   manifest.push_back('\n');
-  for (const auto& v : views_) {
-    manifest += StrFormat("view %s %s\n", v->def.name.c_str(),
+  for (const auto& v : views) {
+    if (v->generation == 0 ||
+        !fs::exists(fs::path(dir_) / ExtentFileName(*v)) ||
+        !fs::exists(fs::path(dir_) / StatsFileName(*v))) {
+      v->generation = next_generation_++;
+      Status s = WriteFileAtomic(fs::path(dir_) / ExtentFileName(*v),
+                                 SerializeExtent(v->extent));
+      if (!s.ok()) return s;
+      s = WriteFileAtomic(fs::path(dir_) / StatsFileName(*v),
+                          ViewStatsToString(v->stats));
+      if (!s.ok()) return s;
+    }
+    manifest += StrFormat("view %s %llu %s\n", v->def.name.c_str(),
+                          static_cast<unsigned long long>(v->generation),
                           PatternToString(v->def.pattern).c_str());
-    Status s = WriteFileAtomic(fs::path(dir_) / (v->def.name + ".extent"),
-                               SerializeExtent(v->extent));
-    if (!s.ok()) return s;
-    s = WriteFileAtomic(fs::path(dir_) / (v->def.name + ".stats"),
-                        ViewStatsToString(v->stats));
-    if (!s.ok()) return s;
   }
   Status s = WriteFileAtomic(fs::path(dir_) / "manifest.txt", manifest);
   if (!s.ok()) return s;
-
-  // Sweep files the new manifest does not reference: extents/stats of
-  // replaced or dropped views and temp files of interrupted saves.
-  std::unordered_set<std::string> live{"manifest.txt"};
-  for (const auto& v : views_) {
-    live.insert(v->def.name + ".extent");
-    live.insert(v->def.name + ".stats");
-  }
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
-    if (ec) break;  // best-effort
-    if (!entry.is_regular_file()) continue;
-    std::string name = entry.path().filename().string();
-    std::string ext = entry.path().extension().string();
-    if (ext != ".extent" && ext != ".stats" && ext != ".tmp") continue;
-    if (live.count(name) != 0) continue;
-    std::error_code remove_ec;
-    fs::remove(entry.path(), remove_ec);
-  }
+  SweepUnreferenced(dir_, LiveFileSet(views));
   return Status::OK();
 }
 
 Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
                                 MaintenanceStats* out_stats) {
+  return ApplyUpdateImpl(delta, nullptr, nullptr, out_stats);
+}
+
+Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
+                                std::shared_ptr<const Document> new_doc,
+                                std::shared_ptr<const Summary> new_summary,
+                                MaintenanceStats* out_stats) {
+  if (new_doc == nullptr || new_doc.get() != delta.new_doc) {
+    return Status::InvalidArgument(
+        "shared document must be the delta's new_doc");
+  }
+  return ApplyUpdateImpl(delta, std::move(new_doc), std::move(new_summary),
+                         out_stats);
+}
+
+Status ViewCatalog::ApplyUpdateImpl(const DocumentDelta& delta,
+                                    std::shared_ptr<const Document> new_doc,
+                                    std::shared_ptr<const Summary> new_summary,
+                                    MaintenanceStats* out_stats) {
   if (delta.old_doc == nullptr || delta.new_doc == nullptr) {
     return Status::InvalidArgument("document delta without documents");
   }
-  // The document changes: cached plans were ranked against stale statistics
-  // and the memo's decisions were made against the old summary.
-  rewrite_cache_.Invalidate();
-  containment_memo_.Clear();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const CatalogSnapshot> cur = Current();
   MaintenanceStats ms;
-  std::vector<const StoredView*> dirty;
-  for (auto& v : views_) {
+  std::vector<std::shared_ptr<const StoredView>> next;
+  next.reserve(cur->views().size());
+  for (const std::shared_ptr<const StoredView>& v : cur->views()) {
     auto rebuild = [&]() {
+      auto nv = std::make_shared<StoredView>();
+      nv->def = v->def;
       Table extent =
           MaterializeView(v->def.pattern, v->def.name, *delta.new_doc);
       extent.SortRowsCanonical();
-      v->stats = ComputeViewStats(extent);
-      v->extent = std::move(extent);
-      v->extent_bytes = ExtentByteSize(v->extent);
+      nv->stats = ComputeViewStats(extent);
+      nv->extent = std::move(extent);
+      nv->extent_bytes = ExtentByteSize(nv->extent);
       ++ms.views_rebuilt;
       ++ms.views_touched;
-      dirty.push_back(v.get());
+      next.push_back(std::move(nv));  // generation 0: persisted fresh
     };
     TableDelta td =
         ComputeViewDelta(v->def.pattern, v->def.name, v->extent, delta);
@@ -191,14 +314,27 @@ Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
       rebuild();
       continue;
     }
-    // Apply the delta in place: remove by key, rebind survivors' content
-    // references to the new document (ORDPATH stability makes this a pure
-    // re-lookup — and it is needed even with an empty delta, since the old
-    // document may be destroyed after this call), append inserts, restore
-    // the canonical order. Byte sizes track per-tuple cell sizes (rows
-    // carry no per-row header), so the recorded size stays exact without a
-    // full recount.
-    std::vector<Tuple>& rows = v->extent.mutable_rows();
+    bool has_content = SchemaHasContent(v->extent.schema());
+    if (td.Empty() && !has_content) {
+      // Nothing in the extent references either document version: the
+      // stored view — and its on-disk generation — carries into the new
+      // epoch as-is, shared with readers of older epochs.
+      next.push_back(v);
+      ++ms.views_shared;
+      continue;
+    }
+    // Copy-on-maintenance: apply the delta to a private copy, so readers
+    // of the current epoch keep the pre-update extent. Remove by row
+    // index, rebind survivors' content references to the new document
+    // (ORDPATH stability makes this a pure re-lookup — needed even with an
+    // empty tuple delta, since the old document may be destroyed after
+    // this call), append inserts, restore the canonical order.
+    auto nv = std::make_shared<StoredView>();
+    nv->def = v->def;
+    nv->extent = v->extent;
+    nv->extent_bytes = v->extent_bytes;
+    nv->stats = v->stats;
+    std::vector<Tuple>& rows = nv->extent.mutable_rows();
     int64_t deleted = 0;
     if (!td.delete_rows.empty()) {
       // The delta was computed against this very extent, so dropping by
@@ -208,7 +344,7 @@ Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
       for (size_t i = 0; i < rows.size(); ++i) {
         if (next_delete < td.delete_rows.size() &&
             static_cast<int64_t>(i) == td.delete_rows[next_delete]) {
-          v->extent_bytes -= TupleByteSize(rows[i]);
+          nv->extent_bytes -= TupleByteSize(rows[i]);
           ++deleted;
           ++next_delete;
           continue;
@@ -218,7 +354,7 @@ Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
       }
       rows.resize(out);
     }
-    if (SchemaHasContent(v->extent.schema())) {
+    if (has_content) {
       bool rebound = true;
       for (Tuple& row : rows) {
         if (!RebindTupleContent(&row, *delta.new_doc).ok()) {
@@ -234,70 +370,81 @@ Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
         continue;
       }
     }
+    // Byte sizes track per-tuple cell sizes (rows carry no per-row
+    // header), so the recorded size stays exact without a full recount.
     for (const Tuple& t : td.inserts) {
-      v->extent_bytes += TupleByteSize(t);
+      nv->extent_bytes += TupleByteSize(t);
       rows.push_back(t);
     }
     if (deleted > 0 || !td.inserts.empty()) {
-      v->stats = RefreshViewStats(v->stats, v->extent, deleted, td.inserts);
-      v->extent.SortRowsCanonical();
+      // O(|delta|) statistics refresh through the view's value-count
+      // cache, built from the pre-delta extent on first maintenance and
+      // handed from epoch to epoch (writer-private, see StoredView).
+      std::shared_ptr<ValueCountCache> cache = std::move(v->value_counts);
+      if (cache == nullptr) {
+        cache = std::make_shared<ValueCountCache>(BuildValueCounts(v->extent));
+      }
+      nv->stats = RefreshViewStatsCached(v->stats, nv->extent.schema(),
+                                         cache.get(), td.deletes, td.inserts);
+      nv->value_counts = std::move(cache);
+      nv->extent.SortRowsCanonical();
       ++ms.views_touched;
-      dirty.push_back(v.get());
+      // generation stays 0: the changed extent is persisted fresh.
+    } else {
+      // Rebind-only: content references serialize as ORDPATHs, so the
+      // on-disk bytes are unchanged — keep the generation (and skip the
+      // rewrite), and carry the maintenance cache forward.
+      nv->generation = v->generation;
+      nv->value_counts = std::move(v->value_counts);
+      ++ms.views_shared;
     }
     ms.tuples_deleted += deleted;
     ms.tuples_inserted += static_cast<int64_t>(td.inserts.size());
+    next.push_back(std::move(nv));
   }
   if (out_stats != nullptr) *out_stats = ms;
-  if (dir_.empty()) return Status::OK();
-
-  // Persist incrementally: the views whose extent changed — plus any view
-  // whose files are not on disk yet (the catalog may never have been
-  // saved) — then the manifest, which must reference only present files.
-  // No sweep needed: file names are unchanged.
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) {
-    return Status::Internal("cannot create store dir " + dir_ + ": " +
-                            ec.message());
-  }
-  std::unordered_set<const StoredView*> dirty_set(dirty.begin(), dirty.end());
-  for (const auto& v : views_) {
-    fs::path extent_path = fs::path(dir_) / (v->def.name + ".extent");
-    fs::path stats_path = fs::path(dir_) / (v->def.name + ".stats");
-    if (dirty_set.count(v.get()) == 0 && fs::exists(extent_path) &&
-        fs::exists(stats_path)) {
-      continue;
-    }
-    Status s = WriteFileAtomic(extent_path, SerializeExtent(v->extent));
-    if (!s.ok()) return s;
-    s = WriteFileAtomic(stats_path, ViewStatsToString(v->stats));
+  if (!dir_.empty()) {
+    Status s = PersistLocked(next);
     if (!s.ok()) return s;
   }
-  std::string manifest(kManifestHeader);
-  manifest.push_back('\n');
-  for (const auto& v : views_) {
-    manifest += StrFormat("view %s %s\n", v->def.name.c_str(),
-                          PatternToString(v->def.pattern).c_str());
-  }
-  return WriteFileAtomic(fs::path(dir_) / "manifest.txt", manifest);
+  PublishLocked(std::move(next), std::move(new_doc), std::move(new_summary),
+                /*doc_changed=*/true);
+  return Status::OK();
 }
 
 Status ViewCatalog::Load(const Document* doc) {
+  return LoadImpl(doc, nullptr, nullptr);
+}
+
+Status ViewCatalog::Load(std::shared_ptr<const Document> doc,
+                         std::shared_ptr<const Summary> summary) {
+  const Document* raw = doc.get();
+  return LoadImpl(raw, std::move(doc), std::move(summary));
+}
+
+Status ViewCatalog::LoadImpl(const Document* doc,
+                             std::shared_ptr<const Document> shared,
+                             std::shared_ptr<const Summary> summary) {
   if (dir_.empty()) return Status::InvalidArgument("catalog has no store dir");
   Result<std::string> manifest =
       ReadFileBytes((fs::path(dir_) / "manifest.txt").string());
   if (!manifest.ok()) return manifest.status();
 
-  std::vector<std::unique_ptr<StoredView>> loaded;
-  bool saw_header = false;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::vector<std::shared_ptr<const StoredView>> loaded;
+  uint64_t max_generation = 0;
+  int version = 0;
   for (const std::string& raw : Split(*manifest, '\n')) {
     std::string_view line = Trim(raw);
     if (line.empty()) continue;
-    if (!saw_header) {
-      if (line != kManifestHeader) {
+    if (version == 0) {
+      if (line == kManifestHeaderV1) {
+        version = 1;
+      } else if (line == kManifestHeaderV2) {
+        version = 2;
+      } else {
         return Status::ParseError("bad manifest header: " + raw);
       }
-      saw_header = true;
       continue;
     }
     if (!StartsWith(line, "view ")) {
@@ -308,16 +455,34 @@ Status ViewCatalog::Load(const Document* doc) {
     if (space == std::string_view::npos) {
       return Status::ParseError("bad manifest line: " + raw);
     }
-    auto stored = std::make_unique<StoredView>();
+    auto stored = std::make_shared<StoredView>();
     stored->def.name = std::string(rest.substr(0, space));
     if (!SafeName(stored->def.name)) {
       return Status::ParseError("unsafe view name in manifest: " + raw);
     }
-    Result<Pattern> pattern = ParsePattern(rest.substr(space + 1));
+    rest = rest.substr(space + 1);
+    if (version >= 2) {
+      space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        return Status::ParseError("bad manifest line: " + raw);
+      }
+      std::optional<int64_t> gen = ParseInt64(rest.substr(0, space));
+      if (!gen || *gen <= 0) {
+        return Status::ParseError("bad generation in manifest: " + raw);
+      }
+      stored->generation = static_cast<uint64_t>(*gen);
+      max_generation = std::max(max_generation, stored->generation);
+      rest = rest.substr(space + 1);
+    }
+    Result<Pattern> pattern = ParsePattern(rest);
     if (!pattern.ok()) return pattern.status();
     stored->def.pattern = std::move(*pattern);
 
-    fs::path extent_path = fs::path(dir_) / (stored->def.name + ".extent");
+    // Version-1 stores used unsuffixed file names (generation 0 here, so a
+    // later Save migrates them to suffixed generations).
+    fs::path extent_path =
+        fs::path(dir_) / (version >= 2 ? ExtentFileName(*stored)
+                                       : stored->def.name + ".extent");
     Result<Table> extent = ReadExtentFile(extent_path.string(), doc);
     if (!extent.ok()) return extent.status();
     stored->extent = std::move(*extent);
@@ -328,8 +493,10 @@ Status ViewCatalog::Load(const Document* doc) {
     stored->extent_bytes = size_ec ? ExtentByteSize(stored->extent)
                                    : static_cast<int64_t>(file_size);
 
-    Result<std::string> stats_text =
-        ReadFileBytes((fs::path(dir_) / (stored->def.name + ".stats")).string());
+    fs::path stats_path =
+        fs::path(dir_) / (version >= 2 ? StatsFileName(*stored)
+                                       : stored->def.name + ".stats");
+    Result<std::string> stats_text = ReadFileBytes(stats_path.string());
     if (!stats_text.ok()) return stats_text.status();
     Result<ViewStats> stats = ParseViewStats(*stats_text);
     if (!stats.ok()) return stats.status();
@@ -337,23 +504,20 @@ Status ViewCatalog::Load(const Document* doc) {
 
     loaded.push_back(std::move(stored));
   }
-  if (!saw_header) return Status::ParseError("empty manifest");
-  views_ = std::move(loaded);
-  rewrite_cache_.Invalidate();
-  containment_memo_.Clear();
+  if (version == 0) return Status::ParseError("empty manifest");
+  next_generation_ = std::max(next_generation_, max_generation + 1);
+  // Sweep generations an interrupted save (or a pre-crash manifest flip)
+  // left behind — everything the manifest we just loaded does not name.
+  // After the sweep the manifest's max generation is the directory's, so
+  // the counter is fully seeded (a v1 store keeps the lazy directory scan
+  // in PersistLocked, since it never swept suffixed orphans).
+  if (version >= 2) {
+    SweepUnreferenced(dir_, LiveFileSet(loaded));
+    generation_seeded_ = true;
+  }
+  PublishLocked(std::move(loaded), std::move(shared), std::move(summary),
+                /*doc_changed=*/true);
   return Status::OK();
-}
-
-Catalog ViewCatalog::ExecutorCatalog() const {
-  Catalog catalog;
-  for (const auto& v : views_) catalog.Register(v->def.name, &v->extent);
-  return catalog;
-}
-
-CostModel ViewCatalog::BuildCostModel() const {
-  CostModel model;
-  for (const auto& v : views_) model.AddViewStats(v->def.name, v->stats);
-  return model;
 }
 
 }  // namespace svx

@@ -2,15 +2,40 @@
 // catalog of view definitions with their materialized extents and
 // statistics, serialized to a store directory and reloaded on startup.
 //
+// Concurrency model: the catalog publishes immutable CatalogSnapshot epochs
+// behind one swap-only pointer (catalog_snapshot.h). Readers call
+// Snapshot() — a constant-time shared-locked pointer copy — and never
+// block on maintenance work; every mutator serializes on an internal
+// writer mutex, builds the successor epoch off the read path, and
+// publishes it by swapping the pointer (the only instant the exclusive
+// side of the epoch lock is held). std::atomic<std::shared_ptr> would make
+// the read side lock-free outright, but libstdc++ 12's implementation is
+// not ThreadSanitizer-clean (its lock-bit protocol trips TSan even on a
+// minimal load/store loop), and a race-checkable store beats shaving one
+// uncontended rwlock off a path that then rewrites and executes a query.
+// The single-threaded convenience accessors (views(), Find(),
+// rewrite_cache(), ExecutorCatalog(), ...) read the current epoch and
+// return borrowed pointers that stay valid until the next mutation —
+// concurrent readers must hold a Snapshot() instead.
+//
 // On-disk layout under the store directory:
-//   manifest.txt          "svx-viewstore 1", then one "view <name> <pattern>"
-//                         line per view (ParsePattern syntax)
-//   <name>.extent         binary extent (see extent_io.h)
-//   <name>.stats          text statistics (see statistics.h)
+//   manifest.txt            "svx-viewstore 2", then one
+//                           "view <name> <generation> <pattern>" line per
+//                           view (ParsePattern syntax)
+//   <name>.<gen>.extent     binary extent (see extent_io.h)
+//   <name>.<gen>.stats      text statistics (see statistics.h)
+// Extent/stats files are immutable once written: every changed extent is
+// saved under a fresh generation and the manifest is flipped last, so a
+// crash at any point leaves the previous manifest referencing complete,
+// unmixed files of the previous generations. Unreferenced generations are
+// swept after a successful save and on Load(). Version-1 manifests
+// ("view <name> <pattern>" over unsuffixed files) still load.
 #ifndef SVX_VIEWSTORE_VIEW_CATALOG_H_
 #define SVX_VIEWSTORE_VIEW_CATALOG_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +43,7 @@
 #include "src/containment/memo.h"
 #include "src/rewriting/view.h"
 #include "src/util/status.h"
+#include "src/viewstore/catalog_snapshot.h"
 #include "src/viewstore/cost_model.h"
 #include "src/viewstore/rewrite_cache.h"
 #include "src/viewstore/statistics.h"
@@ -29,30 +55,44 @@ namespace svx {
 struct MaintenanceStats {
   int32_t views_touched = 0;    // views whose extent changed
   int32_t views_rebuilt = 0;    // fell back to full rematerialization
+  int32_t views_shared = 0;     // carried into the new epoch untouched
   int64_t tuples_inserted = 0;  // across all incremental deltas
   int64_t tuples_deleted = 0;
-};
-
-/// One catalog entry: definition, extent, statistics, serialized size.
-struct StoredView {
-  ViewDef def;
-  Table extent;
-  ViewStats stats;
-  int64_t extent_bytes = 0;  // serialized extent size
 };
 
 /// A set of materialized views backed by a store directory.
 class ViewCatalog {
  public:
-  ViewCatalog() = default;
+  ViewCatalog();
   /// `dir` is created on Save() if missing.
-  explicit ViewCatalog(std::string dir) : dir_(std::move(dir)) {}
+  explicit ViewCatalog(std::string dir);
 
   const std::string& dir() const { return dir_; }
-  int32_t size() const { return static_cast<int32_t>(views_.size()); }
-  const std::vector<std::unique_ptr<StoredView>>& views() const {
-    return views_;
+  int32_t size() const { return Current()->size(); }
+
+  /// The current epoch's views (single-threaded convenience; see file
+  /// comment for the borrowing rules).
+  const std::vector<std::shared_ptr<const StoredView>>& views() const {
+    return Current()->views();
   }
+
+  /// The current epoch: a constant-time pointer copy under the shared side
+  /// of the epoch lock (writers hold the exclusive side only for their
+  /// final pointer swap — never while computing the successor). Readers
+  /// hold the returned shared_ptr for as long as they use anything reached
+  /// through it; the epoch (and the document it pins, if bound) stays
+  /// alive until the last holder drops it.
+  std::shared_ptr<const CatalogSnapshot> Snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// Publishes a successor epoch that pins `doc` (and its `summary`) with
+  /// shared ownership, so readers of that epoch keep the document alive.
+  /// Use once at startup; afterwards the shared-pointer ApplyUpdate
+  /// overload keeps successive epochs bound to successive documents.
+  void BindDocument(std::shared_ptr<const Document> doc,
+                    std::shared_ptr<const Summary> summary);
 
   /// Evaluates `def` over `doc` and registers the result (replacing any
   /// same-named view). Statistics are computed at materialization time.
@@ -64,58 +104,121 @@ class ViewCatalog {
   Status Add(ViewDef def, Table extent);
 
   /// Maintains every stored extent under a document update: computes a
-  /// tuple-level delta per view (src/maintenance/), applies it — falling
-  /// back to rematerialization when incremental evaluation does not
-  /// apply — rebinds stored content references to delta.new_doc, refreshes
-  /// statistics incrementally, and, when the catalog has a store
-  /// directory, persists the result. Afterwards every extent is
-  /// byte-identical to a fresh materialization over delta.new_doc.
+  /// tuple-level delta per view (src/maintenance/), builds a successor
+  /// epoch applying it — sharing untouched extents with the current epoch,
+  /// falling back to rematerialization when incremental evaluation does
+  /// not apply — rebinds stored content references to delta.new_doc,
+  /// refreshes statistics in O(|delta|) through per-view value-count
+  /// caches, persists changed extents under fresh generations when the
+  /// catalog has a store directory, and publishes the successor with one
+  /// pointer swap. Afterwards every extent is byte-identical to a fresh
+  /// materialization over delta.new_doc. Readers of older epochs are
+  /// undisturbed (but with this overload the caller owns both documents'
+  /// lifetimes, as with delta itself).
   Status ApplyUpdate(const DocumentDelta& delta,
+                     MaintenanceStats* out_stats = nullptr);
+
+  /// ApplyUpdate for concurrent serving: the successor epoch takes shared
+  /// ownership of `new_doc` (which must be delta.new_doc) and
+  /// `new_summary`, so the writer may drop the old document right after —
+  /// old-epoch readers keep it alive through their snapshot.
+  Status ApplyUpdate(const DocumentDelta& delta,
+                     std::shared_ptr<const Document> new_doc,
+                     std::shared_ptr<const Summary> new_summary,
                      MaintenanceStats* out_stats = nullptr);
 
   /// Removes the named view from the catalog (files are swept on the next
   /// Save()). NotFound when no such view is registered.
   Status Drop(const std::string& name);
 
-  const StoredView* Find(const std::string& name) const;
+  const StoredView* Find(const std::string& name) const {
+    return Current()->Find(name);
+  }
 
   /// Total serialized size of all extents — the advisor's budget currency.
-  int64_t TotalBytes() const;
+  int64_t TotalBytes() const { return Current()->TotalBytes(); }
 
-  /// Cache of ranked rewrite results keyed by canonical query text
-  /// (src/viewstore/rewrite_cache.h). Invalidated by every catalog
-  /// mutation: Materialize / Add / Drop / ApplyUpdate / Load.
-  RewriteCache* rewrite_cache() const { return &rewrite_cache_; }
+  /// The current epoch's rewrite cache (src/viewstore/rewrite_cache.h).
+  /// Every catalog mutation publishes a successor epoch with a fresh cache
+  /// — the successor serves no stale plans — carrying the cumulative
+  /// hit/miss/invalidation counters.
+  RewriteCache* rewrite_cache() const { return Current()->rewrite_cache(); }
 
-  /// Containment memo pinned across Rewrite() calls against this catalog's
-  /// document (pass as RewriterOptions::memo). Cleared whenever the
-  /// document — and hence the summary — may change (ApplyUpdate / Load).
-  ContainmentMemo* containment_memo() const { return &containment_memo_; }
+  /// The current epoch's pinned containment memo (pass as
+  /// RewriterOptions::memo). Replaced whenever the document — and hence
+  /// the summary — may change (ApplyUpdate / Load / BindDocument); shared
+  /// across view-set-only mutations, whose decisions it does not affect.
+  ContainmentMemo* containment_memo() const {
+    return Current()->containment_memo();
+  }
 
   /// Writes manifest, extents and statistics under dir(). Crash-safe:
-  /// every file is written to a temp name and renamed into place, with the
-  /// manifest renamed last — an interrupted save leaves the previous
-  /// manifest pointing at the previous (still present) files. Extent/stats
-  /// files no longer referenced by the manifest (replaced or dropped
-  /// views, stale temps) are swept afterwards.
+  /// changed extents are written under fresh generation-suffixed names
+  /// (plus a temp-file + rename per file), the manifest is renamed into
+  /// place last, and only then are unreferenced generations swept — an
+  /// interrupted save leaves the previous manifest pointing at the
+  /// previous, still complete files.
   Status Save() const;
 
   /// Replaces the catalog contents with the store at dir(). `doc` rebinds
   /// content references (may be nullptr when no view stores content).
   Status Load(const Document* doc);
 
-  /// Executor bindings for the stored extents (borrowed pointers; valid
-  /// while the catalog outlives the returned object and is not mutated).
-  Catalog ExecutorCatalog() const;
+  /// Load for concurrent serving: the loaded epoch pins `doc`/`summary`.
+  Status Load(std::shared_ptr<const Document> doc,
+              std::shared_ptr<const Summary> summary);
 
-  /// Cost model over all registered views' statistics.
-  CostModel BuildCostModel() const;
+  /// Executor bindings for the current epoch's extents (borrowed pointers;
+  /// valid until the next mutation — concurrent readers use
+  /// Snapshot()->ExecutorCatalog()).
+  Catalog ExecutorCatalog() const { return Current()->ExecutorCatalog(); }
+
+  /// Cost model over all registered views' statistics (by value; prefer
+  /// Snapshot()->cost_model() to avoid the copy).
+  CostModel BuildCostModel() const { return Current()->cost_model(); }
 
  private:
+  /// The current epoch for the single-threaded convenience accessors. The
+  /// returned shared_ptr keeps the epoch alive for the full expression;
+  /// borrowed pointers derived from it stay valid while the catalog still
+  /// holds that epoch (i.e. until the next mutation).
+  std::shared_ptr<const CatalogSnapshot> Current() const { return Snapshot(); }
+
+  /// Builds and publishes the successor epoch (writer mutex held).
+  /// `doc_changed` replaces the containment memo and rebinds the epoch's
+  /// document/summary to the given values (possibly null — the caller
+  /// manages lifetimes then); otherwise the current bindings carry over
+  /// and doc/summary must be null.
+  void PublishLocked(std::vector<std::shared_ptr<const StoredView>> views,
+                     std::shared_ptr<const Document> doc,
+                     std::shared_ptr<const Summary> summary,
+                     bool doc_changed);
+
+  /// Writes every not-yet-persisted view under a fresh generation, flips
+  /// the manifest, sweeps unreferenced files (writer mutex held).
+  Status PersistLocked(
+      const std::vector<std::shared_ptr<const StoredView>>& views) const;
+
+  Status ApplyUpdateImpl(const DocumentDelta& delta,
+                         std::shared_ptr<const Document> new_doc,
+                         std::shared_ptr<const Summary> new_summary,
+                         MaintenanceStats* out_stats);
+  Status LoadImpl(const Document* doc, std::shared_ptr<const Document> shared,
+                  std::shared_ptr<const Summary> summary);
+
   std::string dir_;
-  std::vector<std::unique_ptr<StoredView>> views_;  // stable addresses
-  mutable RewriteCache rewrite_cache_;
-  mutable ContainmentMemo containment_memo_;
+  /// Serializes every mutator (and Save). Readers never take it.
+  mutable std::mutex writer_mu_;
+  /// Guards only snapshot_ itself: shared for the reader pointer copy,
+  /// exclusive for the writer's publish swap.
+  mutable std::shared_mutex snapshot_mu_;
+  std::shared_ptr<const CatalogSnapshot> snapshot_;
+  uint64_t next_epoch_ = 1;
+  mutable uint64_t next_generation_ = 1;
+  /// True once next_generation_ is known to exceed every generation in
+  /// dir_ (set by a v2 Load or by PersistLocked's directory scan) — the
+  /// cross-process never-reuse guard.
+  mutable bool generation_seeded_ = false;
 };
 
 }  // namespace svx

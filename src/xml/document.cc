@@ -6,30 +6,14 @@ namespace svx {
 
 NodeIndex Document::FindByOrdPath(const OrdPath& id) const {
   if (size() == 0 || !id.IsValid()) return kInvalidNode;
-  // Walk down from the root comparing stored child ordinals. Ordinals are
-  // not positional: after a subtree delete the siblings keep their original
-  // ordinals (gaps are legal), and appends use max(ordinal) + 1.
-  const auto& comps = id.components();
-  if (comps.empty() || comps[0] != 1) return kInvalidNode;
-  NodeIndex cur = root();
-  for (size_t i = 1; i < comps.size(); ++i) {
-    int32_t ordinal = comps[i];
-    NodeIndex found = kInvalidNode;
-    for (NodeIndex child = first_child(cur); child != kInvalidNode;
-         child = next_sibling(child)) {
-      const auto& child_comps = ord_paths_[static_cast<size_t>(child)]
-                                    .components();
-      if (child_comps.back() == ordinal) {
-        found = child;
-        break;
-      }
-      // Children are stored in ordinal order; stop early once past it.
-      if (child_comps.back() > ordinal) break;
-    }
-    if (found == kInvalidNode) return kInvalidNode;
-    cur = found;
-  }
-  return cur;
+  // Preorder is document order is OrdPath order, so the id array is sorted:
+  // binary search. (Ordinals are not positional — deletes leave gaps and
+  // careted inserts extend component counts — so a per-level child walk
+  // would have to decode keys; the order-based lookup is exact and O(log n)
+  // regardless of id shape.)
+  auto it = std::lower_bound(ord_paths_.begin(), ord_paths_.end(), id);
+  if (it == ord_paths_.end() || *it != id) return kInvalidNode;
+  return static_cast<NodeIndex>(it - ord_paths_.begin());
 }
 
 std::vector<NodeIndex> Document::children(NodeIndex n) const {

@@ -8,10 +8,16 @@ namespace svx {
 OrdPath OrdPath::FromString(const std::string& s) {
   std::vector<int32_t> comps;
   for (const std::string& piece : Split(s, '.')) {
+    if (piece == "^") {
+      comps.push_back(kCaretHigh);
+      continue;
+    }
     auto v = ParseInt64(piece);
-    if (!v.has_value() || *v <= 0) return OrdPath();
+    if (!v.has_value() || *v < 0 || *v >= kCaretHigh) return OrdPath();
     comps.push_back(static_cast<int32_t>(*v));
   }
+  // A valid id ends each caret run with a real ordinal.
+  if (!comps.empty() && IsCaret(comps.back())) return OrdPath();
   return OrdPath(std::move(comps));
 }
 
@@ -22,27 +28,123 @@ OrdPath OrdPath::Child(int32_t ordinal) const {
   return OrdPath(std::move(comps));
 }
 
-OrdPath OrdPath::Parent() const {
-  if (components_.size() <= 1) return OrdPath();
-  std::vector<int32_t> comps(components_.begin(), components_.end() - 1);
+namespace {
+
+/// True iff `prefix` is a (non-strict) component prefix of `comps`.
+bool ComponentPrefix(const std::vector<int32_t>& prefix,
+                     const std::vector<int32_t>& comps) {
+  if (prefix.size() > comps.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (prefix[i] != comps[i]) return false;
+  }
+  return true;
+}
+
+/// Appends to `out` a key sorting just below the first key of
+/// `tail[start..]` — the run of low carets plus its real ordinal m becomes
+/// (0^z, m-1), or (0^(z+1), 1) when m == 1.
+void AppendKeyBefore(const std::vector<int32_t>& tail, size_t start,
+                     std::vector<int32_t>* out) {
+  size_t z = start;
+  while (z < tail.size() && tail[z] == OrdPath::kCaretLow) {
+    out->push_back(OrdPath::kCaretLow);
+    ++z;
+  }
+  SVX_CHECK_MSG(z < tail.size() && !OrdPath::IsCaret(tail[z]),
+                "malformed ordpath key");
+  if (tail[z] > 1) {
+    out->push_back(tail[z] - 1);
+  } else {
+    out->push_back(OrdPath::kCaretLow);
+    out->push_back(1);
+  }
+}
+
+}  // namespace
+
+OrdPath OrdPath::CaretBefore(const OrdPath& parent, const OrdPath& left,
+                             const OrdPath& right) {
+  SVX_CHECK(parent.IsValid() && right.IsValid());
+  if (!left.IsValid()) {
+    // New first child: descend from the parent just below `right`'s first
+    // suffix key (which starts with a low caret or a real ordinal — a high
+    // caret would make `right` a sibling of the parent, not a child).
+    SVX_CHECK(ComponentPrefix(parent.components_, right.components_));
+    std::vector<int32_t> comps = parent.components_;
+    SVX_CHECK(right.components_[comps.size()] != kCaretHigh);
+    AppendKeyBefore(right.components_, comps.size(), &comps);
+    return OrdPath(std::move(comps));
+  }
+  SVX_CHECK(left.Compare(right) < 0);
+  std::vector<int32_t> comps = left.components_;
+  if (ComponentPrefix(left.components_, right.components_)) {
+    // `right` is caret-anchored at `left`: squeeze below its anchor key,
+    // which must start with a high caret (a sibling, not a descendant).
+    SVX_CHECK(right.components_[comps.size()] == kCaretHigh);
+    comps.push_back(kCaretHigh);
+    AppendKeyBefore(right.components_, comps.size(), &comps);
+  } else {
+    // Anything extending `left` with a high-caret key sorts after `left`'s
+    // subtree and (diverging from `right` inside `left`'s own components)
+    // before `right`.
+    comps.push_back(kCaretHigh);
+    comps.push_back(1);
+  }
   return OrdPath(std::move(comps));
+}
+
+int32_t OrdPath::Depth() const {
+  int32_t depth = 0;
+  size_t i = 0;
+  size_t n = components_.size();
+  while (i < n) {
+    // One key: a (possibly empty) caret run, then its real ordinal. Keys
+    // anchored by a high caret name later siblings and add no depth.
+    if (components_[i] != kCaretHigh) ++depth;
+    while (i < n && IsCaret(components_[i])) ++i;
+    if (i < n) ++i;  // the key's real ordinal
+  }
+  return depth;
+}
+
+OrdPath OrdPath::Parent() const {
+  // Drop trailing keys until exactly one depth-contributing key is gone.
+  size_t end = components_.size();
+  while (end > 0) {
+    size_t key_start = end - 1;  // position of the key's real ordinal
+    while (key_start > 0 && IsCaret(components_[key_start - 1])) --key_start;
+    bool contributes = components_[key_start] != kCaretHigh;
+    end = key_start;
+    if (contributes) break;
+  }
+  if (end == 0) return OrdPath();
+  return OrdPath(
+      std::vector<int32_t>(components_.begin(), components_.begin() + end));
 }
 
 OrdPath OrdPath::Ancestor(int32_t steps) const {
   SVX_CHECK(steps >= 0);
-  if (steps >= static_cast<int32_t>(components_.size())) return OrdPath();
-  std::vector<int32_t> comps(components_.begin(),
-                             components_.end() - steps);
-  return OrdPath(std::move(comps));
+  if (steps == 0) return *this;
+  // Parent() generalized to N levels in one backward pass (this runs per
+  // tuple in the executor's navfID derivation — one allocation, not one
+  // per level).
+  size_t end = components_.size();
+  int32_t dropped = 0;
+  while (end > 0 && dropped < steps) {
+    size_t key_start = end - 1;
+    while (key_start > 0 && IsCaret(components_[key_start - 1])) --key_start;
+    if (components_[key_start] != kCaretHigh) ++dropped;
+    end = key_start;
+  }
+  if (end == 0) return OrdPath();
+  return OrdPath(
+      std::vector<int32_t>(components_.begin(), components_.begin() + end));
 }
 
 bool OrdPath::IsParentOf(const OrdPath& other) const {
   if (!IsValid() || !other.IsValid()) return false;
-  if (other.components_.size() != components_.size() + 1) return false;
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (components_[i] != other.components_[i]) return false;
-  }
-  return true;
+  if (other.components_.size() <= components_.size()) return false;
+  return other.Parent() == *this;
 }
 
 bool OrdPath::IsAncestorOf(const OrdPath& other) const {
@@ -51,7 +153,10 @@ bool OrdPath::IsAncestorOf(const OrdPath& other) const {
   for (size_t i = 0; i < components_.size(); ++i) {
     if (components_[i] != other.components_[i]) return false;
   }
-  return true;
+  // A proper component prefix. If the extension starts with a high caret it
+  // names a later *sibling* of this node (or a node hanging under one), not
+  // a descendant.
+  return other.components_[components_.size()] != kCaretHigh;
 }
 
 bool OrdPath::IsAncestorOrSelf(const OrdPath& other) const {
@@ -73,7 +178,11 @@ std::string OrdPath::ToString() const {
   std::string out;
   for (size_t i = 0; i < components_.size(); ++i) {
     if (i > 0) out += '.';
-    out += std::to_string(components_[i]);
+    if (components_[i] == kCaretHigh) {
+      out += '^';
+    } else {
+      out += std::to_string(components_[i]);
+    }
   }
   return out;
 }

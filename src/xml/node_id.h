@@ -8,6 +8,7 @@
 #define SVX_XML_NODE_ID_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -16,13 +17,41 @@ namespace svx {
 /// A Dewey-style structural identifier: the sequence of 1-based ordinals on
 /// the path from the root ("1") to the node, e.g. "1.3.3.1" in the paper's
 /// Figure 2. Total order = document order.
+///
+/// Careting (ORDPATH §"insertion between siblings", adapted to consecutive
+/// ordinals): besides real ordinals (≥ 1), a component may be a *caret* —
+/// kCaretLow (0, printed "0") or kCaretHigh (INT32_MAX, printed "^").
+/// Components decompose into *keys*, each a run of carets followed by one
+/// real ordinal; a key starting with kCaretHigh anchors the node AFTER the
+/// subtree of the id it extends (a later sibling), any other key descends
+/// one level. Examples (children of "1"):
+///
+///   1.0.1      before the first child "1.1"        (depth 2, parent "1")
+///   1.3.^.1    between "1.3"'s subtree and "1.4"   (depth 2, parent "1")
+///   1.3.^.0.1  between "1.3"'s subtree and 1.3.^.1 (depth 2, parent "1")
+///
+/// Plain numeric lexicographic comparison remains document order, existing
+/// ids never change, and Parent()/Depth()/ancestor tests are caret-aware —
+/// which is what lets InsertSubtree place a subtree before an arbitrary
+/// sibling without renumbering (src/xml/update.h).
 class OrdPath {
  public:
+  /// Caret component values (see class comment). Real ordinals are
+  /// 1..kCaretHigh-1.
+  static constexpr int32_t kCaretLow = 0;
+  static constexpr int32_t kCaretHigh =
+      std::numeric_limits<int32_t>::max();
+
+  static constexpr bool IsCaret(int32_t c) {
+    return c == kCaretLow || c == kCaretHigh;
+  }
+
   OrdPath() = default;
   explicit OrdPath(std::vector<int32_t> components)
       : components_(std::move(components)) {}
 
-  /// Parses "1.3.3.1"; returns an empty (invalid) id on malformed input.
+  /// Parses "1.3.3.1" (carets: "0" and "^"); returns an empty (invalid) id
+  /// on malformed input.
   static OrdPath FromString(const std::string& s);
 
   /// The root identifier "1".
@@ -31,8 +60,21 @@ class OrdPath {
   /// Id of this node's `i`-th child (1-based).
   OrdPath Child(int32_t ordinal) const;
 
+  /// Id for a fresh node placed immediately before sibling `right` in
+  /// document order, leaving every existing id unchanged. `left` is
+  /// `right`'s immediate preceding sibling, or invalid when `right` is its
+  /// parent's first child (then `parent` anchors the caret). The result is
+  /// a sibling of `right` (child of `parent`, same depth) that sorts after
+  /// `left`'s entire subtree and before `right`. Requires that no existing
+  /// node sorts strictly between `left`'s subtree (resp. `parent`) and
+  /// `right` — i.e. that `left`/`parent` really is the immediate
+  /// predecessor context.
+  static OrdPath CaretBefore(const OrdPath& parent, const OrdPath& left,
+                             const OrdPath& right);
+
   /// Id of the parent; invalid (empty) for the root. This is the paper's
-  /// parent-ID derivation used by the navfID operator.
+  /// parent-ID derivation used by the navfID operator. Caret-aware: the
+  /// parent of "1.3.^.1" is "1" (the id is a sibling of "1.3").
   OrdPath Parent() const;
 
   /// Id of the ancestor `steps` levels up (Parent applied `steps` times).
@@ -41,8 +83,10 @@ class OrdPath {
   /// True for default-constructed / root-parent results.
   bool IsValid() const { return !components_.empty(); }
 
-  /// Depth of the node; the root has depth 1.
-  int32_t Depth() const { return static_cast<int32_t>(components_.size()); }
+  /// Depth of the node; the root has depth 1. Caret keys starting with
+  /// kCaretHigh contribute no depth (they denote later siblings, not
+  /// descendants).
+  int32_t Depth() const;
 
   /// True iff this node is the parent of `other`.
   bool IsParentOf(const OrdPath& other) const;

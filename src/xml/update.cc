@@ -100,7 +100,8 @@ NodeSpec SpecOf(const Document& doc, NodeIndex n, OrdPath id) {
 }  // namespace
 
 Result<UpdateResult> InsertSubtree(const Document& doc, const OrdPath& parent,
-                                   const Document& subtree) {
+                                   const Document& subtree,
+                                   const OrdPath* insert_before) {
   NodeIndex parent_idx = doc.FindByOrdPath(parent);
   if (parent_idx == kInvalidNode) {
     return Status::NotFound("insert parent " + parent.ToString() +
@@ -110,18 +111,44 @@ Result<UpdateResult> InsertSubtree(const Document& doc, const OrdPath& parent,
     return Status::InvalidArgument("cannot insert an empty subtree");
   }
 
-  // New child ordinal: one past the largest existing ordinal (never reuses
-  // the ordinal of a previously deleted sibling).
-  int32_t max_ordinal = 0;
-  for (NodeIndex c = doc.first_child(parent_idx); c != kInvalidNode;
-       c = doc.next_sibling(c)) {
-    max_ordinal = std::max(max_ordinal, doc.ord_path(c).components().back());
+  OrdPath region;
+  NodeIndex splice_at = kInvalidNode;  // preorder position of the new root
+  if (insert_before != nullptr) {
+    NodeIndex before_idx = doc.FindByOrdPath(*insert_before);
+    if (before_idx == kInvalidNode ||
+        doc.parent(before_idx) != parent_idx) {
+      return Status::NotFound("insert_before " + insert_before->ToString() +
+                              " is not a child of " + parent.ToString());
+    }
+    // The caret id needs `before`'s immediate preceding sibling (invalid
+    // when `before` is the first child).
+    OrdPath left;
+    for (NodeIndex c = doc.first_child(parent_idx); c != before_idx;
+         c = doc.next_sibling(c)) {
+      left = doc.ord_path(c);
+    }
+    region = OrdPath::CaretBefore(parent, left, doc.ord_path(before_idx));
+    splice_at = before_idx;
+  } else {
+    // Append: one past the largest *surviving* child ordinal. A child id
+    // extends the parent's components, so the child's ordering key at this
+    // level is its first component past the parent prefix — carets
+    // included, `back()` would misread careted children. Note ids are
+    // unique per document version, not across history: if the
+    // largest-ordinal child was deleted earlier, its ordinal (like a
+    // caret slot vacated by a delete) can be minted again.
+    int32_t max_ordinal = 0;
+    size_t level = parent.components().size();
+    for (NodeIndex c = doc.first_child(parent_idx); c != kInvalidNode;
+         c = doc.next_sibling(c)) {
+      max_ordinal = std::max(max_ordinal, doc.ord_path(c).components()[level]);
+    }
+    region = parent.Child(max_ordinal + 1);
+    splice_at = doc.subtree_end(parent_idx);
   }
-  OrdPath region = parent.Child(max_ordinal + 1);
 
   std::vector<NodeSpec> nodes;
   nodes.reserve(static_cast<size_t>(doc.size() + subtree.size()));
-  NodeIndex splice_at = doc.subtree_end(parent_idx);
   for (NodeIndex n = 0; n < splice_at; ++n) {
     nodes.push_back(SpecOf(doc, n, doc.ord_path(n)));
   }

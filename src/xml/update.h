@@ -4,10 +4,21 @@
 // ORDPATH region. Surviving nodes keep their ORDPATH ids bit-for-bit:
 //   * DeleteSubtree leaves sibling ordinals untouched (ordinal gaps are
 //     legal Dewey ids, document order is preserved),
-//   * InsertSubtree appends the new subtree as the last child of its parent
-//     with ordinal max(existing child ordinals) + 1.
+//   * InsertSubtree without an `insert_before` sibling appends the new
+//     subtree as the last child of its parent with ordinal
+//     max(existing child ordinals) + 1,
+//   * InsertSubtree before a given sibling carets the new subtree's root id
+//     between its neighbors (OrdPath::CaretBefore), so the insert lands in
+//     document order without renumbering anything.
 // Stability is what makes incremental view maintenance possible: extents
 // key tuples by ORDPATH, so tuples of unaffected nodes never change.
+// Ids are unique within each document version but not across history: a
+// slot vacated by a delete (the max ordinal for appends, a caret position
+// for insert-before) may be minted again by a later insert. Maintenance
+// is per-delta — every delta is evaluated against one (old, new) version
+// pair — so re-minted ids are indistinguishable from fresh ones there;
+// consumers correlating ids across many versions (e.g. a future delta
+// log) must pair them with a version number.
 #ifndef SVX_XML_UPDATE_H_
 #define SVX_XML_UPDATE_H_
 
@@ -46,11 +57,15 @@ struct UpdateResult {
 };
 
 /// Inserts a copy of `subtree` (a standalone document; its root becomes the
-/// new node) as the last child of the node identified by `parent`.
-/// Fails if `parent` is not in `doc`. Summary path annotation is not
-/// carried over — re-annotate with SummaryBuilder if needed.
+/// new node) as a child of the node identified by `parent`: immediately
+/// before the sibling identified by `*insert_before` when given (the new
+/// root's id is careted between its neighbors), as the last child
+/// otherwise. Fails if `parent` is not in `doc`, or if `insert_before` does
+/// not name a child of `parent`. Summary path annotation is not carried
+/// over — re-annotate with SummaryBuilder if needed.
 Result<UpdateResult> InsertSubtree(const Document& doc, const OrdPath& parent,
-                                   const Document& subtree);
+                                   const Document& subtree,
+                                   const OrdPath* insert_before = nullptr);
 
 /// Removes the subtree rooted at the node identified by `target`. Fails if
 /// `target` is not in `doc` or is the document root.

@@ -1,0 +1,266 @@
+// Concurrent serving stress test: N reader threads rewrite and execute
+// against catalog snapshots while one writer loops ApplyUpdate. Every read
+// must observe a consistent epoch — verified two ways:
+//   * externally, against a single-threaded replay of the same
+//     (deterministic) update sequence: a reader-observed (epoch, extent
+//     checksum) pair must match what the replay recorded for that epoch;
+//   * internally, by executing a rewriting against the snapshot's extents
+//     and comparing with direct pattern evaluation over the snapshot's
+//     document — extents and document of one epoch must agree even while
+//     the writer publishes successors.
+// Run under TSan in CI (the .github workflow's `tsan` job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/algebra/executor.h"
+#include "src/pattern/pattern_parser.h"
+#include "src/rewriting/rewriter.h"
+#include "src/summary/summary_builder.h"
+#include "src/util/rng.h"
+#include "src/viewstore/extent_io.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/xml/builder.h"
+#include "src/xml/update.h"
+
+namespace svx {
+namespace {
+
+std::shared_ptr<Document> Doc(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::shared_ptr<Document>(std::move(r).value());
+}
+
+const char* kSeedTree =
+    "site(item(name=alpha keyword=k1) item(name=beta keyword=k2) "
+    "person(name=ann) person(name=bob))";
+
+const char* kInsertPool[] = {
+    "item(name=gamma keyword=k3)",
+    "item(name=delta)",
+    "person(name=carl)",
+    "keyword=k9",
+};
+
+std::vector<ViewDef> StressViews() {
+  return {
+      {"items", MustParsePattern("site(/item{id}(/name{id,v}))")},
+      {"keywords", MustParsePattern("site(//keyword{id,v})")},
+      {"people", MustParsePattern("site(/person{id}(/name{v}))")},
+  };
+}
+
+/// Stable fingerprint of every extent in the snapshot.
+std::string ChecksumExtents(const CatalogSnapshot& snap) {
+  std::string all;
+  for (const auto& v : snap.views()) {
+    all += v->def.name;
+    all += SerializeExtent(v->extent);
+  }
+  return all;
+}
+
+/// One deterministic update against `doc`; returns the update result.
+Result<UpdateResult> NextUpdate(const Document& doc, Rng* rng) {
+  if (doc.size() > 24 && rng->Bernoulli(0.5)) {
+    NodeIndex n = static_cast<NodeIndex>(
+        rng->Uniform(1, static_cast<int64_t>(doc.size()) - 1));
+    return DeleteSubtree(doc, doc.ord_path(n));
+  }
+  NodeIndex n = static_cast<NodeIndex>(
+      rng->Uniform(0, static_cast<int64_t>(doc.size()) - 1));
+  std::shared_ptr<Document> sub = Doc(kInsertPool[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(std::size(kInsertPool)) - 1))]);
+  // Mix careted mid-sibling inserts into the stream.
+  std::vector<NodeIndex> kids = doc.children(n);
+  if (!kids.empty() && rng->Bernoulli(0.4)) {
+    OrdPath before = doc.ord_path(kids[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(kids.size()) - 1))]);
+    return InsertSubtree(doc, doc.ord_path(n), *sub, &before);
+  }
+  return InsertSubtree(doc, doc.ord_path(n), *sub);
+}
+
+constexpr int kUpdates = 25;
+constexpr uint64_t kSeed = 1234;
+
+/// Applies the deterministic update stream to `catalog`, returning the
+/// expected (epoch → checksum) map including the starting epoch. When
+/// `running` is given, the updates run against live readers.
+std::map<uint64_t, std::string> DriveWriter(ViewCatalog* catalog,
+                                            std::shared_ptr<Document> doc,
+                                            std::shared_ptr<Summary> summary) {
+  std::map<uint64_t, std::string> expected;
+  {
+    std::shared_ptr<const CatalogSnapshot> snap = catalog->Snapshot();
+    expected[snap->epoch()] = ChecksumExtents(*snap);
+  }
+  Rng rng(kSeed);
+  for (int i = 0; i < kUpdates; ++i) {
+    Result<UpdateResult> up = NextUpdate(*doc, &rng);
+    EXPECT_TRUE(up.ok()) << up.status().ToString();
+    if (!up.ok()) break;
+    std::shared_ptr<Document> next_doc(std::move(up->doc));
+    std::shared_ptr<Summary> next_summary(
+        SummaryBuilder::Build(next_doc.get()));
+    Status s = catalog->ApplyUpdate(up->delta, next_doc, next_summary);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (!s.ok()) break;
+    doc = std::move(next_doc);
+    summary = std::move(next_summary);
+    std::shared_ptr<const CatalogSnapshot> snap = catalog->Snapshot();
+    expected[snap->epoch()] = ChecksumExtents(*snap);
+  }
+  return expected;
+}
+
+TEST(ConcurrentServing, ReadersAlwaysSeeAConsistentEpoch) {
+  // ---- Single-threaded replay: the per-epoch ground truth. ----
+  std::map<uint64_t, std::string> expected;
+  {
+    std::shared_ptr<Document> doc = Doc(kSeedTree);
+    std::shared_ptr<Summary> summary(SummaryBuilder::Build(doc.get()));
+    ViewCatalog replay;
+    for (const ViewDef& def : StressViews()) {
+      ASSERT_TRUE(replay.Materialize(def, *doc).ok());
+    }
+    replay.BindDocument(doc, summary);
+    expected = DriveWriter(&replay, doc, summary);
+    ASSERT_EQ(expected.size(), static_cast<size_t>(kUpdates) + 1);
+  }
+
+  // ---- Concurrent run: same stream, with readers hammering. ----
+  std::shared_ptr<Document> doc = Doc(kSeedTree);
+  std::shared_ptr<Summary> summary(SummaryBuilder::Build(doc.get()));
+  ViewCatalog catalog;
+  for (const ViewDef& def : StressViews()) {
+    ASSERT_TRUE(catalog.Materialize(def, *doc).ok());
+  }
+  catalog.BindDocument(doc, summary);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> consistency_checks{0};
+  std::vector<std::string> reader_errors(4);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < reader_errors.size(); ++r) {
+    readers.emplace_back([&, r]() {
+      Pattern q = MustParsePattern("site(/item{id}(/name{v}))");
+      uint64_t last_epoch = 0;
+      int iter = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const CatalogSnapshot> snap = catalog.Snapshot();
+        if (snap->epoch() < last_epoch) {
+          reader_errors[r] = "epoch went backwards";
+          return;
+        }
+        last_epoch = snap->epoch();
+        // External consistency: extents must be exactly one replay state.
+        std::string sum = ChecksumExtents(*snap);
+        auto it = expected.find(snap->epoch());
+        if (it == expected.end() || it->second != sum) {
+          reader_errors[r] =
+              "epoch " + std::to_string(snap->epoch()) +
+              (it == expected.end() ? " unknown" : " has mixed extents");
+          return;
+        }
+        // Internal consistency: a rewriting executed against this epoch's
+        // extents equals direct evaluation over this epoch's document.
+        if (iter++ % 4 == 0) {
+          RewriterOptions opts;
+          opts.memo = snap->containment_memo();
+          opts.cost_model = &snap->cost_model();
+          std::shared_ptr<const ViewIndex> index =
+              snap->ViewIndexFor(*snap->summary(), opts.expansion);
+          opts.shared_view_index = index.get();
+          Rewriter rw(*snap->summary(), opts);
+          for (const auto& v : snap->views()) rw.AddView(v->def);
+          Result<std::vector<Rewriting>> rws =
+              CachedRewrite(snap->rewrite_cache(), &rw, q);
+          if (!rws.ok()) {
+            reader_errors[r] = rws.status().ToString();
+            return;
+          }
+          if (!rws->empty()) {
+            Result<Table> got =
+                Execute(*rws->front().plan, snap->ExecutorCatalog());
+            Table want = MaterializeView(q, "q", *snap->document());
+            if (!got.ok() ||
+                !got->EqualsIgnoringOrder(want)) {
+              reader_errors[r] = "epoch " +
+                                 std::to_string(snap->epoch()) +
+                                 ": rewriting disagrees with direct "
+                                 "evaluation inside one epoch";
+              return;
+            }
+            consistency_checks.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  std::map<uint64_t, std::string> live = DriveWriter(&catalog, doc, summary);
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(live, expected) << "concurrent run diverged from replay";
+  for (const std::string& err : reader_errors) EXPECT_EQ(err, "");
+  EXPECT_GT(consistency_checks.load(), 0);
+}
+
+TEST(ConcurrentServing, SharedCachesStaySaneUnderContention) {
+  // Hammer one snapshot's rewrite cache + memo + lazily built view index
+  // from many threads (the single-epoch hot path): every thread must see
+  // identical plans, and hits+misses must add up.
+  std::shared_ptr<Document> doc = Doc(kSeedTree);
+  std::shared_ptr<Summary> summary(SummaryBuilder::Build(doc.get()));
+  ViewCatalog catalog;
+  for (const ViewDef& def : StressViews()) {
+    ASSERT_TRUE(catalog.Materialize(def, *doc).ok());
+  }
+  catalog.BindDocument(doc, summary);
+  std::shared_ptr<const CatalogSnapshot> snap = catalog.Snapshot();
+
+  const char* queries[] = {"site(/item{id}(/name{v}))",
+                           "site(//keyword{v})",
+                           "site(/person{id}(/name{v}))"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 40; ++i) {
+        Pattern q = MustParsePattern(queries[i % std::size(queries)]);
+        RewriterOptions opts;
+        opts.memo = snap->containment_memo();
+        std::shared_ptr<const ViewIndex> index =
+            snap->ViewIndexFor(*snap->summary(), opts.expansion);
+        opts.shared_view_index = index.get();
+        Rewriter rw(*snap->summary(), opts);
+        for (const auto& v : snap->views()) rw.AddView(v->def);
+        Result<std::vector<Rewriting>> rws =
+            CachedRewrite(snap->rewrite_cache(), &rw, q);
+        if (!rws.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (const Rewriting& rw_result : *rws) {
+          if (rw_result.plan == nullptr) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(snap->rewrite_cache()->hits(), 0u);
+  EXPECT_EQ(snap->rewrite_cache()->hits() + snap->rewrite_cache()->misses(),
+            4u * 40u);
+}
+
+}  // namespace
+}  // namespace svx

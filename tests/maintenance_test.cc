@@ -87,6 +87,79 @@ TEST(DocumentUpdate, DeleteRootRejected) {
   EXPECT_FALSE(InsertSubtree(*d, OrdPath::FromString("1.7"), *Doc("x")).ok());
 }
 
+TEST(DocumentUpdate, InsertBeforeSiblingLandsInDocumentOrder) {
+  std::unique_ptr<Document> d = Doc("a(b=1 c=2 d=3)");
+  OrdPath before = OrdPath::FromString("1.2");  // before c
+  Result<UpdateResult> r =
+      InsertSubtree(*d, OrdPath::Root(), *Doc("x(y=9)"), &before);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& nd = *r->doc;
+  // The new root's id carets between b's subtree and c.
+  EXPECT_EQ(r->delta.region.ToString(), "1.1.^.1");
+  EXPECT_EQ(r->delta.region_size, 2);
+  std::vector<std::string> labels;
+  for (NodeIndex c : nd.children(nd.root())) labels.push_back(nd.label(c));
+  EXPECT_EQ(labels, (std::vector<std::string>{"b", "x", "c", "d"}));
+  // Every existing id is unchanged; the insert introduced no renumbering.
+  for (const char* id : {"1.1", "1.2", "1.3"}) {
+    EXPECT_NE(nd.FindByOrdPath(OrdPath::FromString(id)), kInvalidNode) << id;
+  }
+  NodeIndex x = nd.FindByOrdPath(r->delta.region);
+  ASSERT_NE(x, kInvalidNode);
+  EXPECT_EQ(nd.label(x), "x");
+  EXPECT_EQ(nd.parent(x), nd.root());
+  EXPECT_EQ(nd.depth(x), 2);
+  NodeIndex y = nd.FindByOrdPath(r->delta.region.Child(1));
+  ASSERT_NE(y, kInvalidNode);
+  EXPECT_EQ(nd.label(y), "y");
+  EXPECT_EQ(nd.parent(y), x);
+}
+
+TEST(DocumentUpdate, InsertBeforeFirstChildUsesLowCaret) {
+  std::unique_ptr<Document> d = Doc("a(b=1 c=2)");
+  OrdPath before = OrdPath::FromString("1.1");
+  Result<UpdateResult> r =
+      InsertSubtree(*d, OrdPath::Root(), *Doc("x"), &before);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->delta.region.ToString(), "1.0.1");
+  const Document& nd = *r->doc;
+  EXPECT_EQ(nd.label(nd.first_child(nd.root())), "x");
+  EXPECT_EQ(nd.depth(nd.FindByOrdPath(r->delta.region)), 2);
+}
+
+TEST(DocumentUpdate, InsertBeforeRejectsNonChildren) {
+  std::unique_ptr<Document> d = Doc("a(b(e=1) c)");
+  OrdPath not_a_child = OrdPath::FromString("1.1.1");  // grandchild
+  EXPECT_FALSE(
+      InsertSubtree(*d, OrdPath::Root(), *Doc("x"), &not_a_child).ok());
+  OrdPath absent = OrdPath::FromString("1.9");
+  EXPECT_FALSE(InsertSubtree(*d, OrdPath::Root(), *Doc("x"), &absent).ok());
+}
+
+TEST(DocumentUpdate, RepeatedMidSiblingInsertsKeepOrderAndIds) {
+  // Chains of careted inserts at the same slot: every insert lands exactly
+  // where asked and never disturbs an existing id.
+  std::unique_ptr<Document> d = Doc("a(b=0 e=9)");
+  OrdPath before = OrdPath::FromString("1.2");  // always before e
+  std::vector<OrdPath> inserted;
+  for (int i = 0; i < 6; ++i) {
+    Result<UpdateResult> r =
+        InsertSubtree(*d, OrdPath::Root(), *Doc("m"), &before);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    inserted.push_back(r->delta.region);
+    d = std::move(r->doc);
+  }
+  // Order: b, m m m m m m (in insertion order), e.
+  std::vector<NodeIndex> kids = d->children(d->root());
+  ASSERT_EQ(kids.size(), 8u);
+  EXPECT_EQ(d->label(kids.front()), "b");
+  EXPECT_EQ(d->label(kids.back()), "e");
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    EXPECT_EQ(d->ord_path(kids[i + 1]), inserted[i]) << i;
+    EXPECT_EQ(d->depth(kids[i + 1]), 2);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Maintenance vs rematerialization — targeted cases
 // ---------------------------------------------------------------------------
@@ -294,6 +367,34 @@ TEST(Maintenance, InvalidDeltaFallsBackToRebuild) {
   ExpectMaintainedEqualsRemat(catalog, *d2);
 }
 
+TEST(Maintenance, MidSiblingInsertMaintainsInDocumentOrder) {
+  // Regression: inserts used to append as the last child even when a
+  // sibling position was requested; careted region ids must flow through
+  // delta evaluation exactly like appended ones.
+  std::unique_ptr<Document> doc = Doc("a(b(x=1) b(x=2) b(x=3))");
+  ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Materialize({"V", MustParsePattern("a(/b{id}(/x{id,v}))")}, *doc)
+          .ok());
+  ASSERT_TRUE(
+      catalog.Materialize({"N", MustParsePattern("a{id}(n//x{id,v})")}, *doc)
+          .ok());
+  OrdPath before = OrdPath::FromString("1.2");
+  Result<UpdateResult> r =
+      InsertSubtree(*doc, OrdPath::Root(), *Doc("b(x=9)"), &before);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  MaintenanceStats ms;
+  ASSERT_TRUE(catalog.ApplyUpdate(r->delta, &ms).ok());
+  EXPECT_GT(ms.tuples_inserted, 0);
+  ExpectMaintainedEqualsRemat(catalog, *r->doc);
+
+  // And deleting the careted subtree maintains cleanly too.
+  Result<UpdateResult> del = DeleteSubtree(*r->doc, r->delta.region);
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  ASSERT_TRUE(catalog.ApplyUpdate(del->delta).ok());
+  ExpectMaintainedEqualsRemat(catalog, *del->doc);
+}
+
 // ---------------------------------------------------------------------------
 // Randomized property: maintained extents == rematerialized extents
 // ---------------------------------------------------------------------------
@@ -337,12 +438,19 @@ void RunRandomizedMaintenance(uint64_t seed, int ops, int* performed) {
             rng.Uniform(1, static_cast<int64_t>(doc->size()) - 1));
         return DeleteSubtree(*doc, doc->ord_path(n));
       }
-      // Insert a pool subtree under a random node.
+      // Insert a pool subtree under a random node — half the time careted
+      // before a random existing child instead of appended.
       NodeIndex n = static_cast<NodeIndex>(
           rng.Uniform(0, static_cast<int64_t>(doc->size()) - 1));
       std::unique_ptr<Document> sub = Doc(
           kInsertPool[static_cast<size_t>(rng.Uniform(
               0, static_cast<int64_t>(std::size(kInsertPool)) - 1))]);
+      std::vector<NodeIndex> kids = doc->children(n);
+      if (!kids.empty() && rng.Bernoulli(0.5)) {
+        OrdPath before = doc->ord_path(kids[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(kids.size()) - 1))]);
+        return InsertSubtree(*doc, doc->ord_path(n), *sub, &before);
+      }
       return InsertSubtree(*doc, doc->ord_path(n), *sub);
     }();
     ASSERT_TRUE(r.ok()) << r.status().ToString();

@@ -90,5 +90,104 @@ TEST(OrdPath, HashAndEquality) {
   EXPECT_NE(a, a.Parent());
 }
 
+// ---------------------------------------------------------------------------
+// Careting (mid-sibling insertion ids)
+// ---------------------------------------------------------------------------
+
+TEST(OrdPathCaret, FromStringRoundTripsCarets) {
+  OrdPath p = OrdPath::FromString("1.3.^.1");
+  ASSERT_TRUE(p.IsValid());
+  EXPECT_EQ(p.ToString(), "1.3.^.1");
+  OrdPath q = OrdPath::FromString("1.0.1");
+  ASSERT_TRUE(q.IsValid());
+  EXPECT_EQ(q.ToString(), "1.0.1");
+  // Trailing carets never end a valid id.
+  EXPECT_FALSE(OrdPath::FromString("1.3.^").IsValid());
+  EXPECT_FALSE(OrdPath::FromString("1.0").IsValid());
+}
+
+TEST(OrdPathCaret, HighCaretKeysAddNoDepth) {
+  // "1.3.^.1" names a sibling squeezed in after "1.3"'s subtree.
+  OrdPath p = OrdPath::FromString("1.3.^.1");
+  EXPECT_EQ(p.Depth(), 2);
+  EXPECT_EQ(p.Parent().ToString(), "1");
+  // Its own children go one level down as usual.
+  EXPECT_EQ(p.Child(2).Depth(), 3);
+  EXPECT_EQ(p.Child(2).Parent(), p);
+  // "1.0.1" is a child before the first child.
+  OrdPath q = OrdPath::FromString("1.0.1");
+  EXPECT_EQ(q.Depth(), 2);
+  EXPECT_EQ(q.Parent().ToString(), "1");
+  // Ancestor steps through caret keys.
+  EXPECT_EQ(p.Child(2).Ancestor(2).ToString(), "1");
+}
+
+TEST(OrdPathCaret, StructuralRelationshipsAreCaretAware) {
+  OrdPath anchor = OrdPath::FromString("1.3");
+  OrdPath caret = OrdPath::FromString("1.3.^.1");
+  OrdPath caret_child = OrdPath::FromString("1.3.^.1.1");
+  // The caret node extends "1.3"'s components but is its sibling.
+  EXPECT_FALSE(anchor.IsAncestorOf(caret));
+  EXPECT_FALSE(anchor.IsParentOf(caret));
+  EXPECT_FALSE(anchor.IsAncestorOf(caret_child));
+  EXPECT_TRUE(OrdPath::Root().IsParentOf(caret));
+  EXPECT_TRUE(caret.IsParentOf(caret_child));
+  EXPECT_TRUE(OrdPath::Root().IsAncestorOf(caret_child));
+  // Low-caret first children are ordinary descendants.
+  EXPECT_TRUE(OrdPath::Root().IsParentOf(OrdPath::FromString("1.0.1")));
+}
+
+TEST(OrdPathCaret, CaretBeforeSortsBetweenNeighbors) {
+  OrdPath parent = OrdPath::Root();
+  OrdPath left = OrdPath::FromString("1.3");
+  OrdPath left_desc = OrdPath::FromString("1.3.7.2");
+  OrdPath right = OrdPath::FromString("1.4");
+  OrdPath x = OrdPath::CaretBefore(parent, left, right);
+  EXPECT_EQ(x.ToString(), "1.3.^.1");
+  EXPECT_TRUE(left < x && x < right);
+  EXPECT_TRUE(left_desc < x) << "must follow the left subtree";
+  EXPECT_EQ(x.Depth(), 2);
+
+  // Before a first child: descend with a low caret.
+  OrdPath first = OrdPath::CaretBefore(parent, OrdPath(), right);
+  EXPECT_EQ(first.ToString(), "1.3");  // ordinal room before "1.4"
+  OrdPath before_one =
+      OrdPath::CaretBefore(parent, OrdPath(), OrdPath::FromString("1.1"));
+  EXPECT_EQ(before_one.ToString(), "1.0.1");
+  EXPECT_TRUE(parent < before_one &&
+              before_one < OrdPath::FromString("1.1"));
+}
+
+TEST(OrdPathCaret, RepeatedInsertsAtTheSameSlotStayOrdered) {
+  // Keep inserting before the same right sibling; every new id must fall
+  // strictly between the (previous) left neighbor's subtree and `right`.
+  OrdPath parent = OrdPath::Root();
+  OrdPath left = OrdPath::FromString("1.1");
+  OrdPath right = OrdPath::FromString("1.2");
+  std::vector<OrdPath> all = {left, right};
+  OrdPath cur_left = left;
+  for (int i = 0; i < 8; ++i) {
+    OrdPath x = OrdPath::CaretBefore(parent, cur_left, right);
+    EXPECT_TRUE(cur_left < x && x < right) << x.ToString();
+    EXPECT_EQ(x.Depth(), 2) << x.ToString();
+    EXPECT_EQ(x.Parent(), parent) << x.ToString();
+    all.push_back(x);
+    cur_left = x;  // next insert goes between x and right
+  }
+  // And inserting always-first keeps descending below `left`'s slot.
+  OrdPath cur_right = right;
+  for (int i = 0; i < 8; ++i) {
+    OrdPath x = OrdPath::CaretBefore(parent, left, cur_right);
+    EXPECT_TRUE(left < x && x < cur_right) << x.ToString();
+    EXPECT_EQ(x.Depth(), 2) << x.ToString();
+    EXPECT_EQ(x.Parent(), parent) << x.ToString();
+    all.push_back(x);
+    cur_right = x;
+  }
+  for (const OrdPath& p : all) {
+    EXPECT_FALSE(left.IsAncestorOf(p)) << p.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace svx

@@ -197,6 +197,57 @@ TEST(Statistics, TextRoundTrip) {
 // Cost model
 // ---------------------------------------------------------------------------
 
+TEST(Statistics, ValueCountCacheMatchesFullRecount) {
+  // Randomized delta streams: the O(|delta|) cached refresh must stay
+  // bit-identical to a full recount — stats AND cache — including distinct
+  // counts and length bounds shrinking back after deletes, nulls, and
+  // nested groups.
+  std::unique_ptr<Document> d =
+      Doc("a(b(x=11 x=222) b(x=11) b(x=3333 y=z) b)");
+  Pattern p = MustParsePattern("a(/b{id}(n/x{id,v} ?/y{v}))");
+  Table base = MaterializeView(p, "V", *d);
+  base.SortRowsCanonical();
+  ASSERT_GE(base.NumRows(), 4);
+
+  uint64_t state = 42;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  Table cur = base;
+  ViewStats stats = ComputeViewStats(cur);
+  ValueCountCache cache = BuildValueCounts(cur);
+  for (int round = 0; round < 20; ++round) {
+    // Delete a random subset of rows, re-insert a random subset of the
+    // original rows (duplicates across rounds exercise multiplicity).
+    std::vector<Tuple> deleted, inserted;
+    std::vector<Tuple>& rows = cur.mutable_rows();
+    for (size_t i = rows.size(); i-- > 0;) {
+      if (next() % 3 == 0) {
+        deleted.push_back(rows[i]);
+        rows.erase(rows.begin() + static_cast<int64_t>(i));
+      }
+    }
+    for (const Tuple& t : base.rows()) {
+      if (next() % 3 == 0) {
+        inserted.push_back(t);
+        rows.push_back(t);
+      }
+    }
+    stats = RefreshViewStatsCached(stats, cur.schema(), &cache, deleted,
+                                   inserted);
+    ASSERT_TRUE(stats == ComputeViewStats(cur)) << "round " << round;
+    ValueCountCache want = BuildValueCounts(cur);
+    ASSERT_EQ(cache.columns.size(), want.columns.size());
+    for (size_t c = 0; c < want.columns.size(); ++c) {
+      EXPECT_EQ(cache.columns[c].values, want.columns[c].values)
+          << "round " << round << " column " << c;
+      EXPECT_EQ(cache.columns[c].lengths, want.columns[c].lengths)
+          << "round " << round << " column " << c;
+    }
+  }
+}
+
 TEST(CostModel, SmallerViewScansCheaper) {
   std::unique_ptr<Document> d = Doc("a(b=1 b=2 b=3 c=1)");
   ViewCatalog catalog;
@@ -396,15 +447,23 @@ TEST(ViewCatalog, ResaveSweepsOrphanedFilesAndSizesMatch) {
       replaced.Materialize({"V1", MustParsePattern("a(/b{id,v})")}, *d2).ok());
   ASSERT_TRUE(replaced.Save().ok());
 
-  // Dropped/stale files are gone; what remains matches the manifest.
-  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "V2.extent"));
-  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "V2.stats"));
-  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "V9.extent.tmp"));
-  EXPECT_TRUE(fs::exists(fs::path(dir.path) / "V1.extent"));
-  // The replaced extent file is the new one: its size equals the catalog's
-  // recorded byte size (no half-written or stale content).
-  EXPECT_EQ(static_cast<int64_t>(
-                fs::file_size(fs::path(dir.path) / "V1.extent")),
+  // Dropped/stale files are gone (files are generation-suffixed,
+  // "V1.<gen>.extent"); what remains matches the manifest.
+  std::vector<std::string> v1_extents, leftovers;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    std::string name = entry.path().filename().string();
+    if (name.starts_with("V1.") && name.ends_with(".extent")) {
+      v1_extents.push_back(entry.path().string());
+    }
+    if (name.starts_with("V2.") || name.ends_with(".tmp")) {
+      leftovers.push_back(name);
+    }
+  }
+  EXPECT_TRUE(leftovers.empty()) << leftovers.front();
+  // Exactly one V1 generation survives: the new one, whose size equals the
+  // catalog's recorded byte size (no half-written or stale content).
+  ASSERT_EQ(v1_extents.size(), 1u);
+  EXPECT_EQ(static_cast<int64_t>(fs::file_size(v1_extents.front())),
             replaced.Find("V1")->extent_bytes);
 
   ViewCatalog reloaded(dir.path);
@@ -423,13 +482,133 @@ TEST(ViewCatalog, LoadFailsOnManifestPointingAtMissingExtent) {
         catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
     ASSERT_TRUE(catalog.Save().ok());
   }
-  fs::remove(fs::path(dir.path) / "V.extent");
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    std::string name = entry.path().filename().string();
+    if (name.starts_with("V.") && name.ends_with(".extent")) {
+      fs::remove(entry.path());
+    }
+  }
   ViewCatalog reloaded(dir.path);
   Status s = reloaded.Load(d.get());
   EXPECT_FALSE(s.ok());
   // A failed load leaves the catalog reusable (no partial state observed
   // through the public API).
   EXPECT_EQ(reloaded.size(), 0);
+}
+
+TEST(ViewCatalog, InterruptedSaveLeavesPreviousStateLoadable) {
+  // The crash window the generation scheme closes: a save that wrote some
+  // new extent files but never flipped the manifest must leave the
+  // previous state fully loadable — file names are never reused, so a
+  // half-finished save cannot mix extent versions under the old manifest.
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2)");
+  TempDir dir;
+  ViewCatalog catalog(dir.path);
+  ASSERT_TRUE(
+      catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
+  ASSERT_TRUE(catalog.Save().ok());
+  const Table& saved_extent = catalog.Find("V")->extent;
+
+  // Simulate the crash: a newer generation of V exists on disk (with
+  // different content), manifest untouched.
+  std::unique_ptr<Document> d2 = Doc("a(b=9)");
+  Table other = MaterializeView(MustParsePattern("a(/b{id,v})"), "V", *d2);
+  ASSERT_TRUE(WriteExtentFile((fs::path(dir.path) / "V.99.extent").string(),
+                              other)
+                  .ok());
+  ASSERT_TRUE(WriteFileBytes((fs::path(dir.path) / "V.99.stats").string(),
+                             ViewStatsToString(ComputeViewStats(other)))
+                  .ok());
+
+  ViewCatalog reloaded(dir.path);
+  ASSERT_TRUE(reloaded.Load(d.get()).ok());
+  ASSERT_EQ(reloaded.size(), 1);
+  EXPECT_EQ(SerializeExtent(reloaded.Find("V")->extent),
+            SerializeExtent(saved_extent))
+      << "load mixed in a generation the manifest never referenced";
+  // The orphaned generation is swept, so later saves can never collide
+  // with it.
+  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "V.99.extent"));
+  EXPECT_FALSE(fs::exists(fs::path(dir.path) / "V.99.stats"));
+}
+
+TEST(ViewCatalog, SaveWithoutLoadNeverReusesGenerationNames) {
+  // A second process saving into an existing store without Load()ing it
+  // must not re-mint generations already on disk — overwriting
+  // "V.<gen>.extent" in place would reopen the crash window.
+  std::unique_ptr<Document> d = Doc("a(b=1 b=2)");
+  TempDir dir;
+  std::string first_extent;
+  {
+    ViewCatalog catalog(dir.path);
+    ASSERT_TRUE(
+        catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
+    ASSERT_TRUE(catalog.Save().ok());
+    for (const auto& entry : fs::directory_iterator(dir.path)) {
+      std::string name = entry.path().filename().string();
+      if (name.ends_with(".extent")) first_extent = name;
+    }
+    ASSERT_FALSE(first_extent.empty());
+  }
+  std::unique_ptr<Document> d2 = Doc("a(b=9)");
+  ViewCatalog fresh(dir.path);  // same dir, never Load()ed
+  ASSERT_TRUE(
+      fresh.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d2).ok());
+  ASSERT_TRUE(fresh.Save().ok());
+  std::string second_extent;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    std::string name = entry.path().filename().string();
+    if (name.ends_with(".extent")) second_extent = name;
+  }
+  ASSERT_FALSE(second_extent.empty());
+  EXPECT_NE(second_extent, first_extent)
+      << "generation-suffixed file name was re-minted across instances";
+}
+
+TEST(ViewCatalog, ApplyUpdatePersistsChangedViewsUnderFreshGenerations) {
+  std::unique_ptr<Document> d = Doc("a(b=1 c=2)");
+  TempDir dir;
+  ViewCatalog catalog(dir.path);
+  ASSERT_TRUE(
+      catalog.Materialize({"VB", MustParsePattern("a(/b{id,v})")}, *d).ok());
+  ASSERT_TRUE(
+      catalog.Materialize({"VC", MustParsePattern("a(/c{id,v})")}, *d).ok());
+  ASSERT_TRUE(catalog.Save().ok());
+  auto files = [&]() {
+    std::vector<std::string> out;
+    for (const auto& entry : fs::directory_iterator(dir.path)) {
+      out.push_back(entry.path().filename().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  std::vector<std::string> before = files();
+
+  // Update touching only b: VB gets a fresh generation, VC keeps its files.
+  Result<UpdateResult> up =
+      InsertSubtree(*d, OrdPath::Root(), *Doc("b=7"));
+  ASSERT_TRUE(up.ok());
+  MaintenanceStats ms;
+  ASSERT_TRUE(catalog.ApplyUpdate(up->delta, &ms).ok());
+  EXPECT_EQ(ms.views_touched, 1);
+  std::vector<std::string> after = files();
+  EXPECT_NE(before, after) << "changed extent reused its file name";
+  for (const std::string& f : before) {
+    if (f.starts_with("VC.")) {
+      EXPECT_TRUE(std::find(after.begin(), after.end(), f) != after.end())
+          << "untouched view's files were rewritten: " << f;
+    }
+  }
+
+  // The store reloads to exactly the maintained state.
+  ViewCatalog reloaded(dir.path);
+  ASSERT_TRUE(reloaded.Load(up->doc.get()).ok());
+  for (const char* name : {"VB", "VC"}) {
+    ASSERT_NE(reloaded.Find(name), nullptr);
+    EXPECT_EQ(SerializeExtent(reloaded.Find(name)->extent),
+              SerializeExtent(catalog.Find(name)->extent))
+        << name;
+  }
 }
 
 TEST(ViewCatalog, SaveLeavesNoTempFiles) {
