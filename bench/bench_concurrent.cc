@@ -309,7 +309,8 @@ int Run(double scale, double phase_ms, int readers,
       writer_updates,
       static_cast<unsigned long long>(epoch_after - epoch_before),
       writer_totals.views_touched, writer_totals.views_rebuilt,
-      writer_totals.tuples_inserted, writer_totals.tuples_deleted);
+      static_cast<long long>(writer_totals.tuples_inserted),
+      static_cast<long long>(writer_totals.tuples_deleted));
   std::printf("contended/idle p50 ratio: %.2f (gate %.2f)\n", ratio,
               max_ratio);
 
