@@ -19,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -364,20 +365,37 @@ int main(int argc, char** argv) {
   double writer_interval_ms = 100;
   double max_ratio = 2.0;
   int pos = 0;
+  auto parse = [](const char* arg, double* out) {
+    std::optional<double> v = svx::ParseDouble(arg);
+    if (!v.has_value()) {
+      std::fprintf(stderr, "bad numeric argument: %s\n", arg);
+      return false;
+    }
+    *out = *v;
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
+    bool ok = true;
     if (std::strcmp(argv[i], "--writer-interval-ms") == 0 && i + 1 < argc) {
-      writer_interval_ms = std::atof(argv[++i]);
+      ok = parse(argv[++i], &writer_interval_ms);
     } else if (std::strcmp(argv[i], "--max-ratio") == 0 && i + 1 < argc) {
-      max_ratio = std::atof(argv[++i]);
+      ok = parse(argv[++i], &max_ratio);
     } else if (pos == 0) {
-      scale = std::atof(argv[i]);
+      ok = parse(argv[i], &scale);
       ++pos;
     } else if (pos == 1) {
-      phase_ms = std::atof(argv[i]);
+      ok = parse(argv[i], &phase_ms);
       ++pos;
     } else {
-      readers = std::atoi(argv[i]);
+      std::optional<int64_t> v = svx::ParseInt64(argv[i]);
+      if (v.has_value()) {
+        readers = static_cast<int>(*v);
+      } else {
+        std::fprintf(stderr, "bad numeric argument: %s\n", argv[i]);
+        ok = false;
+      }
     }
+    if (!ok) return 2;
   }
   return svx::Run(scale, phase_ms, readers, writer_interval_ms, max_ratio);
 }

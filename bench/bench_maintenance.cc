@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -233,9 +234,23 @@ void Run(double scale, int updates) {
 
 int main(int argc, char** argv) {
   double scale = 1.0;
-  int updates = 20;
-  if (argc > 1) scale = std::atof(argv[1]);
-  if (argc > 2) updates = std::atoi(argv[2]);
-  svx::Run(scale, updates);
+  int64_t updates = 20;
+  if (argc > 1) {
+    std::optional<double> v = svx::ParseDouble(argv[1]);
+    if (!v.has_value()) {
+      std::fprintf(stderr, "bad scale: %s\n", argv[1]);
+      return 2;
+    }
+    scale = *v;
+  }
+  if (argc > 2) {
+    std::optional<int64_t> v = svx::ParseInt64(argv[2]);
+    if (!v.has_value()) {
+      std::fprintf(stderr, "bad update count: %s\n", argv[2]);
+      return 2;
+    }
+    updates = *v;
+  }
+  svx::Run(scale, static_cast<int>(updates));
   return 0;
 }

@@ -31,6 +31,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -252,17 +253,20 @@ int main(int argc, char** argv) {
   double ceiling_ms = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ceiling-ms") == 0) {
-      if (i + 1 >= argc || (ceiling_ms = std::atof(argv[++i])) <= 0) {
+      std::optional<double> v =
+          i + 1 < argc ? svx::ParseDouble(argv[++i]) : std::nullopt;
+      if (!v.has_value() || *v <= 0) {
         std::fprintf(stderr, "--ceiling-ms needs a positive value\n");
         return 2;
       }
+      ceiling_ms = *v;
     } else {
-      double scale = std::atof(argv[i]);
-      if (scale <= 0) {
+      std::optional<double> scale = svx::ParseDouble(argv[i]);
+      if (!scale.has_value() || *scale <= 0) {
         std::fprintf(stderr, "bad argument: %s\n", argv[i]);
         return 2;
       }
-      scales.push_back(scale);
+      scales.push_back(*scale);
     }
   }
   if (scales.empty()) scales = {0.5, 1.0};

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "bench/base_views.h"
@@ -180,7 +181,14 @@ void Run(double scale) {
 
 int main(int argc, char** argv) {
   double scale = 1.0;
-  if (argc > 1) scale = std::atof(argv[1]);
+  if (argc > 1) {
+    std::optional<double> v = svx::ParseDouble(argv[1]);
+    if (!v.has_value()) {
+      std::fprintf(stderr, "bad scale: %s\n", argv[1]);
+      return 2;
+    }
+    scale = *v;
+  }
   svx::Run(scale);
   return 0;
 }

@@ -1,9 +1,10 @@
 #include "src/util/strings.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <cerrno>
 
 namespace svx {
 
@@ -54,6 +55,17 @@ std::optional<int64_t> ParseInt64(std::string_view s) {
   long long v = std::strtoll(buf.c_str(), &end, 10);
   if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
   return static_cast<int64_t>(v);
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
 }
 
 bool StartsWith(std::string_view s, std::string_view prefix) {

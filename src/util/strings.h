@@ -23,6 +23,11 @@ std::string_view Trim(std::string_view s);
 /// Parses a signed 64-bit integer; nullopt if `s` is not exactly an integer.
 std::optional<int64_t> ParseInt64(std::string_view s);
 
+/// Parses a double; nullopt unless `s` is exactly a finite number. The
+/// checked replacement for atof in argument parsing (atof returns 0 on
+/// garbage, silently turning a typo into a valid-looking configuration).
+std::optional<double> ParseDouble(std::string_view s);
+
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
