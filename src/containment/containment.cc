@@ -1,4 +1,5 @@
 #include "src/containment/containment.h"
+#include "src/util/check.h"
 
 #include <algorithm>
 #include <limits>
@@ -339,8 +340,7 @@ Result<bool> IsContainedInUnion(const Pattern& p,
       if (!check_tree(te)) break;
     }
   } else {
-    Status st = ForEachCanonicalTree(p, summary, options.model, check_tree);
-    if (!st.ok()) return st;
+    SVX_RETURN_IF_ERROR(ForEachCanonicalTree(p, summary, options.model, check_tree));
   }
   if (!grid_status.ok()) return grid_status;
   return contained;

@@ -42,7 +42,7 @@ struct ContainmentStats {
 };
 
 /// Decides p ⊆S q.
-Result<bool> IsContained(const Pattern& p, const Pattern& q,
+[[nodiscard]] Result<bool> IsContained(const Pattern& p, const Pattern& q,
                          const Summary& summary,
                          const ContainmentOptions& options = {},
                          ContainmentStats* stats = nullptr);
@@ -53,7 +53,7 @@ Result<bool> IsContained(const Pattern& p, const Pattern& q,
 /// with the same summary and model options: the decision then iterates the
 /// precomputed trees instead of re-enumerating them — the rewriter tests
 /// one fixed query against many candidate unions and builds modS(q) once.
-Result<bool> IsContainedInUnion(const Pattern& p,
+[[nodiscard]] Result<bool> IsContainedInUnion(const Pattern& p,
                                 const std::vector<const Pattern*>& qs,
                                 const Summary& summary,
                                 const ContainmentOptions& options = {},
@@ -62,14 +62,14 @@ Result<bool> IsContainedInUnion(const Pattern& p,
                                     nullptr);
 
 /// Two-way containment (S-equivalence).
-Result<bool> AreEquivalent(const Pattern& p, const Pattern& q,
+[[nodiscard]] Result<bool> AreEquivalent(const Pattern& p, const Pattern& q,
                            const Summary& summary,
                            const ContainmentOptions& options = {},
                            ContainmentStats* stats = nullptr);
 
 /// Decides (p1 ∪ ... ∪ pn) ⊆S (q1 ∪ ... ∪ qm): every pi must be contained
 /// in the union.
-Result<bool> IsUnionContainedInUnion(const std::vector<const Pattern*>& ps,
+[[nodiscard]] Result<bool> IsUnionContainedInUnion(const std::vector<const Pattern*>& ps,
                                      const std::vector<const Pattern*>& qs,
                                      const Summary& summary,
                                      const ContainmentOptions& options = {},

@@ -22,7 +22,7 @@ std::string OptionsFingerprint(const ContainmentOptions& o) {
 Result<bool> ContainmentMemo::LookupOrCompute(
     std::string key, const std::function<Result<bool>()>& compute) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = table_.find(key);
     if (it != table_.end()) {
       ++hits_;
@@ -34,7 +34,7 @@ Result<bool> ContainmentMemo::LookupOrCompute(
   // a duplicate computation by a racing thread is just a wasted lookup.
   Result<bool> r = compute();
   if (r.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (table_.size() >= max_entries) table_.clear();
     table_.emplace(std::move(key), *r);
   }
@@ -68,22 +68,22 @@ Result<bool> ContainmentMemo::ContainedInUnion(
 }
 
 void ContainmentMemo::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   table_.clear();
 }
 
 size_t ContainmentMemo::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hits_;
 }
 
 size_t ContainmentMemo::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return misses_;
 }
 
 size_t ContainmentMemo::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return table_.size();
 }
 

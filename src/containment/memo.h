@@ -30,7 +30,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,32 +37,33 @@
 #include "src/containment/containment.h"
 #include "src/pattern/pattern.h"
 #include "src/summary/summary.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace svx {
 
 class ContainmentMemo {
  public:
   /// Memoized IsContained(p, q, summary, options).
-  Result<bool> Contained(const Pattern& p, const Pattern& q,
-                         const Summary& summary,
-                         const ContainmentOptions& options);
+  [[nodiscard]] Result<bool> Contained(const Pattern& p, const Pattern& q,
+                                       const Summary& summary,
+                                       const ContainmentOptions& options)
+      SVX_EXCLUDES(mu_);
 
   /// Memoized IsContainedInUnion(p, qs, summary, options). `p_model` is
   /// forwarded on a miss (see containment.h); it does not enter the key.
-  Result<bool> ContainedInUnion(const Pattern& p,
-                                const std::vector<const Pattern*>& qs,
-                                const Summary& summary,
-                                const ContainmentOptions& options,
-                                const std::vector<CanonicalTree>* p_model =
-                                    nullptr);
+  [[nodiscard]] Result<bool> ContainedInUnion(
+      const Pattern& p, const std::vector<const Pattern*>& qs,
+      const Summary& summary, const ContainmentOptions& options,
+      const std::vector<CanonicalTree>* p_model = nullptr) SVX_EXCLUDES(mu_);
 
   /// Drops every entry (call when the summary changes).
-  void Clear();
+  void Clear() SVX_EXCLUDES(mu_);
 
-  size_t hits() const;
-  size_t misses() const;
-  size_t size() const;
+  size_t hits() const SVX_EXCLUDES(mu_);
+  size_t misses() const SVX_EXCLUDES(mu_);
+  size_t size() const SVX_EXCLUDES(mu_);
 
   /// When the table is full a new insert drops it whole (constant-time
   /// eviction, like RewriteCache) — bounds memory for long-lived
@@ -73,12 +73,13 @@ class ContainmentMemo {
 
  private:
   Result<bool> LookupOrCompute(std::string key,
-                               const std::function<Result<bool>()>& compute);
+                               const std::function<Result<bool>()>& compute)
+      SVX_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, bool> table_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, bool> table_ SVX_GUARDED_BY(mu_);
+  size_t hits_ SVX_GUARDED_BY(mu_) = 0;
+  size_t misses_ SVX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace svx

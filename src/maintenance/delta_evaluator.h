@@ -58,7 +58,7 @@ struct TableDelta {
 /// extent over delta.new_doc. Exact: applying the result reproduces full
 /// rematerialization, for every pattern feature (predicates, optional
 /// edges, nested edges, all attribute kinds).
-TableDelta ComputeViewDelta(const Pattern& pattern,
+[[nodiscard]] TableDelta ComputeViewDelta(const Pattern& pattern,
                             const std::string& view_name,
                             const Table& old_extent,
                             const DocumentDelta& delta);
@@ -66,7 +66,8 @@ TableDelta ComputeViewDelta(const Pattern& pattern,
 /// True iff `tuple` is derivable as a result row of `pattern` over `doc`
 /// (the verification primitive behind delete emission). Cells are compared
 /// by encoding; nested cells must equal the canonically-ordered group.
-bool CanDeriveTuple(const Pattern& pattern, const std::string& view_name,
+[[nodiscard]] bool CanDeriveTuple(const Pattern& pattern,
+                                  const std::string& view_name,
                     const Document& doc, const Tuple& tuple);
 
 }  // namespace svx

@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "src/util/check.h"
 #include "src/util/strings.h"
 
 namespace svx {
@@ -165,8 +166,7 @@ class ModelBuilder {
       }
       if (!erased_sets_seen.insert(key).second) continue;
 
-      Status s = ProcessSubset(roots, mask != 0);
-      if (!s.ok()) return s;
+      SVX_RETURN_IF_ERROR(ProcessSubset(roots, mask != 0));
       if (stop_after_first_ && num_trees_ > 0) break;
       if (sink_stopped_) break;
     }

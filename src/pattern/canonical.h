@@ -107,12 +107,12 @@ Result<std::vector<CanonicalTree>> BuildCanonicalModel(
 /// Streams modS(p) tree by tree (deduplicated): `sink` may return false to
 /// stop early. This is what lets negative containment tests exit as soon as
 /// one tree contradicts the condition (§5: "the latter are faster").
-Status ForEachCanonicalTree(const Pattern& p, const Summary& summary,
+[[nodiscard]] Status ForEachCanonicalTree(const Pattern& p, const Summary& summary,
                             const CanonicalModelOptions& options,
                             const std::function<bool(const CanonicalTree&)>& sink);
 
 /// Satisfiability: p is S-satisfiable iff modS(p) is non-empty (§2.4).
-Result<bool> IsSatisfiable(const Pattern& p, const Summary& summary,
+[[nodiscard]] Result<bool> IsSatisfiable(const Pattern& p, const Summary& summary,
                            const CanonicalModelOptions& options = {});
 
 }  // namespace svx

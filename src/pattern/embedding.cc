@@ -1,4 +1,5 @@
 #include "src/pattern/embedding.h"
+#include "src/util/check.h"
 
 #include <algorithm>
 
@@ -100,8 +101,7 @@ class EmbeddingEnumerator {
     if (!paths_.AllNonEmpty()) return Status::OK();  // no embeddings
     assignment_.assign(static_cast<size_t>(p_.size()), kInvalidPath);
     stopped_ = false;
-    Status s = Assign(0);
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(Assign(0));
     return Status::OK();
   }
 
@@ -123,8 +123,7 @@ class EmbeddingEnumerator {
         if (!EdgeOkLocal(sp, s, pn.axis)) continue;
       }
       assignment_[static_cast<size_t>(n)] = s;
-      Status st = Assign(n + 1);
-      if (!st.ok()) return st;
+      SVX_RETURN_IF_ERROR(Assign(n + 1));
       if (stopped_) break;
     }
     assignment_[static_cast<size_t>(n)] = kInvalidPath;

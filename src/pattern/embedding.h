@@ -45,12 +45,12 @@ AssociatedPaths ComputeAssociatedPaths(const Pattern& p,
 /// embedding. Stops early (returning ResourceExhausted) after `limit`
 /// embeddings to bound the worst case |S|^|p| (§3.1). `emit` may return
 /// false to stop enumeration (returns OK).
-Status EnumerateEmbeddings(const Pattern& p, const Summary& summary,
+[[nodiscard]] Status EnumerateEmbeddings(const Pattern& p, const Summary& summary,
                            size_t limit,
                            const std::function<bool(const SummaryEmbedding&)>& emit);
 
 /// Counts embeddings up to `limit`.
-Result<size_t> CountEmbeddings(const Pattern& p, const Summary& summary,
+[[nodiscard]] Result<size_t> CountEmbeddings(const Pattern& p, const Summary& summary,
                                size_t limit);
 
 }  // namespace svx

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "src/util/check.h"
 #include "src/util/strings.h"
 
 namespace svx {
@@ -14,8 +15,7 @@ class PatternParserImpl {
 
   Result<Pattern> Parse() {
     SkipSpace();
-    Status s = ParseNode(-1, Axis::kChild, false, false);
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(ParseNode(-1, Axis::kChild, false, false));
     SkipSpace();
     if (pos_ != text_.size()) {
       return Status::ParseError(
@@ -127,8 +127,7 @@ class PatternParserImpl {
       SkipSpace();
       bool any = false;
       while (pos_ < text_.size() && text_[pos_] != ')') {
-        Status s = ParseEdge(id);
-        if (!s.ok()) return s;
+        SVX_RETURN_IF_ERROR(ParseEdge(id));
         any = true;
         SkipSpace();
       }

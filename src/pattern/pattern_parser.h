@@ -24,7 +24,7 @@
 namespace svx {
 
 /// Parses the pattern syntax above.
-Result<Pattern> ParsePattern(std::string_view text);
+[[nodiscard]] Result<Pattern> ParsePattern(std::string_view text);
 
 /// Parses or aborts — convenience for tests and static tables.
 Pattern MustParsePattern(std::string_view text);

@@ -131,8 +131,8 @@ class Rewriter {
 
   /// Finds equivalent rewritings of `q` (up to options.max_results).
   /// Returns an empty vector when none exists within the budgets.
-  Result<std::vector<Rewriting>> Rewrite(const Pattern& q,
-                                         RewriteStats* stats = nullptr);
+  [[nodiscard]] Result<std::vector<Rewriting>> Rewrite(
+      const Pattern& q, RewriteStats* stats = nullptr);
 
  private:
   const Summary& summary_;

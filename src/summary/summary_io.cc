@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "src/util/check.h"
 #include "src/util/strings.h"
 
 namespace svx {
@@ -15,8 +16,7 @@ class SummaryParser {
 
   Result<std::unique_ptr<Summary>> Parse() {
     SkipSpace();
-    Status s = ParseNode(kInvalidPath);
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(ParseNode(kInvalidPath));
     SkipSpace();
     if (pos_ != text_.size()) {
       return Status::ParseError(
@@ -83,8 +83,7 @@ class SummaryParser {
       ++pos_;
       SkipSpace();
       while (pos_ < text_.size() && text_[pos_] != ')') {
-        Status st = ParseNode(id);
-        if (!st.ok()) return st;
+        SVX_RETURN_IF_ERROR(ParseNode(id));
         SkipSpace();
       }
       if (pos_ >= text_.size()) return Status::ParseError("missing ')'");

@@ -1,7 +1,18 @@
-// Internal invariant checking. SVX_CHECK aborts with a message on violation;
-// it is active in all build types (database-style defensive checks on cheap
-// invariants, per the RocksDB/Arrow practice of never shipping silent
-// corruption).
+// Internal invariant checking and error-propagation macros.
+//
+// SVX_CHECK aborts with a message on violation; it is active in all build
+// types (database-style defensive checks on cheap invariants, per the
+// RocksDB/Arrow practice of never shipping silent corruption). SVX_DCHECK
+// is the debug-only variant for checks on per-row/per-node hot paths —
+// extent scans, delta evaluation, ORDPATH arithmetic — where the branch is
+// measurable at scale; it compiles to nothing under NDEBUG while still
+// type-checking its condition.
+//
+// SVX_RETURN_IF_ERROR / SVX_ASSIGN_OR_RETURN are the Status/Result
+// propagation idiom (util/status.h): they replace the hand-written
+//   Status s = Step(); if (!s.ok()) return s;
+// boilerplate, and together with [[nodiscard]] Status they make "call it
+// and forget it" impossible to write by accident.
 #ifndef SVX_UTIL_CHECK_H_
 #define SVX_UTIL_CHECK_H_
 
@@ -25,5 +36,54 @@
       std::abort();                                                        \
     }                                                                      \
   } while (0)
+
+// Debug-only checks: full SVX_CHECK behavior without NDEBUG, nothing in
+// optimized builds. The dead `if (false)` keeps the condition (and message)
+// compiled — so a DCHECK can never bit-rot into uncompilable code — while
+// every optimizer (and -O0, for the branch) discards it.
+#ifdef NDEBUG
+#define SVX_DCHECK(cond)         \
+  do {                           \
+    if (false) {                 \
+      (void)(cond);              \
+    }                            \
+  } while (0)
+#define SVX_DCHECK_MSG(cond, msg) \
+  do {                            \
+    if (false) {                  \
+      (void)(cond);               \
+      (void)(msg);                \
+    }                             \
+  } while (0)
+#else
+#define SVX_DCHECK(cond) SVX_CHECK(cond)
+#define SVX_DCHECK_MSG(cond, msg) SVX_CHECK_MSG(cond, msg)
+#endif
+
+// Token pasting for unique local names inside multi-use macros.
+#define SVX_MACRO_CONCAT_INNER_(a, b) a##b
+#define SVX_MACRO_CONCAT_(a, b) SVX_MACRO_CONCAT_INNER_(a, b)
+
+/// Evaluates a Status-returning expression; returns it from the enclosing
+/// function if it is an error. Usable in any function returning Status (or
+/// Result<T>, via its converting constructor).
+#define SVX_RETURN_IF_ERROR(expr)                                   \
+  do {                                                              \
+    auto svx_status_ = (expr);                                      \
+    if (!svx_status_.ok()) return svx_status_;                      \
+  } while (0)
+
+/// Evaluates a Result<T>-returning expression; on error returns its status
+/// from the enclosing function, otherwise assigns the value to `lhs` (which
+/// may declare a new variable or name an existing one):
+///   SVX_ASSIGN_OR_RETURN(Pattern p, ParsePattern(text));
+#define SVX_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SVX_ASSIGN_OR_RETURN_IMPL_(            \
+      SVX_MACRO_CONCAT_(svx_result_, __COUNTER__), lhs, rexpr)
+
+#define SVX_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
 
 #endif  // SVX_UTIL_CHECK_H_

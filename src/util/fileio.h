@@ -10,10 +10,11 @@
 namespace svx {
 
 /// Writes `bytes` to `path`, truncating. Binary-safe.
-Status WriteFileBytes(const std::string& path, std::string_view bytes);
+[[nodiscard]] Status WriteFileBytes(const std::string& path,
+                                    std::string_view bytes);
 
 /// Reads all of `path`. Binary-safe.
-Result<std::string> ReadFileBytes(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileBytes(const std::string& path);
 
 }  // namespace svx
 

@@ -26,8 +26,13 @@ enum class StatusCode {
 /// Returns a short human-readable name for a status code.
 const char* StatusCodeName(StatusCode code);
 
-/// A success-or-error result without a payload.
-class Status {
+/// A success-or-error result without a payload. [[nodiscard]] on the class
+/// makes silently dropping any Status-returning call a compile error
+/// (-Werror=unused-result): every swallowed error found this way was a
+/// latent bug — persistence failures vanishing, maintenance passes
+/// half-applied. Consume deliberately with SVX_RETURN_IF_ERROR (check.h) or
+/// an explicit ok() test.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -66,8 +71,10 @@ class Status {
 };
 
 /// A value-or-error result. The value is only accessible when ok().
+/// [[nodiscard]] for the same reason as Status: an ignored Result is an
+/// ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {                  // NOLINT

@@ -40,7 +40,7 @@ std::shared_ptr<const ViewIndex> CatalogSnapshot::ViewIndexFor(
       "%zu.%zu.%d.%d.%d.%d", e.max_embeddings, e.max_pieces,
       e.max_strengthen_edges, e.unfold_content ? 1 : 0,
       e.add_virtual_ids ? 1 : 0, e.max_virtual_depth);
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(&index_mu_);
   for (const auto& [k, index] : indexes_) {
     if (k == key) return index;
   }

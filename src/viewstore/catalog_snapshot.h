@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +26,8 @@
 #include "src/rewriting/view.h"
 #include "src/rewriting/view_index.h"
 #include "src/summary/summary.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/viewstore/cost_model.h"
 #include "src/viewstore/rewrite_cache.h"
 #include "src/viewstore/statistics.h"
@@ -112,7 +113,8 @@ class CatalogSnapshot {
   /// other summary (whose lifetime the snapshot cannot pin) a fresh
   /// uncached index is returned, owned by the caller's shared_ptr.
   std::shared_ptr<const ViewIndex> ViewIndexFor(
-      const Summary& summary, const ExpansionOptions& expansion) const;
+      const Summary& summary, const ExpansionOptions& expansion) const
+      SVX_EXCLUDES(index_mu_);
 
  private:
   friend class ViewCatalog;
@@ -126,9 +128,10 @@ class CatalogSnapshot {
   std::shared_ptr<ContainmentMemo> memo_;
   CostModel cost_model_;
 
-  mutable std::mutex index_mu_;
+  mutable Mutex index_mu_;
   mutable std::vector<std::pair<std::string, std::shared_ptr<const ViewIndex>>>
-      indexes_;  // over summary_, keyed by expansion fingerprint
+      indexes_ SVX_GUARDED_BY(index_mu_);  // over summary_, keyed by
+                                           // expansion fingerprint
 };
 
 }  // namespace svx

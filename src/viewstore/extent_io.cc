@@ -1,3 +1,4 @@
+#include "src/util/check.h"
 #include "src/viewstore/extent_io.h"
 
 #include <cstdint>
@@ -372,8 +373,7 @@ Status RebindTupleContent(Tuple* tuple, const Document& doc) {
       Table copy(nested.schema());
       for (const Tuple& row : nested.rows()) {
         Tuple r = row;
-        Status s = RebindTupleContent(&r, doc);
-        if (!s.ok()) return s;
+        SVX_RETURN_IF_ERROR(RebindTupleContent(&r, doc));
         copy.AddRow(std::move(r));
       }
       v = Value(TablePtr(std::make_shared<const Table>(std::move(copy))));

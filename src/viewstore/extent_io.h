@@ -39,11 +39,14 @@ int64_t TupleByteSize(const Tuple& tuple);
 /// Parses a serialized extent. Content cells are rebound against `doc` via
 /// their ORDPATH ids; a content cell with `doc == nullptr` or an id absent
 /// from `doc` is an error.
-Result<Table> DeserializeExtent(std::string_view bytes, const Document* doc);
+[[nodiscard]] Result<Table> DeserializeExtent(std::string_view bytes,
+                                              const Document* doc);
 
 /// File convenience wrappers around the two functions above.
-Status WriteExtentFile(const std::string& path, const Table& table);
-Result<Table> ReadExtentFile(const std::string& path, const Document* doc);
+[[nodiscard]] Status WriteExtentFile(const std::string& path,
+                                     const Table& table);
+[[nodiscard]] Result<Table> ReadExtentFile(const std::string& path,
+                                           const Document* doc);
 
 /// Serializes one cell value (the row encoding above, without the schema) —
 /// a stable deep encoding also used for exact distinct counting. Content
@@ -59,7 +62,7 @@ std::string EncodeTupleKey(const Tuple& tuple);
 /// tables) to `doc` via its ORDPATH — the in-memory analogue of the
 /// serialize-then-rebind round trip, used after a document update. Fails
 /// with NotFound if a referenced ORDPATH is absent from `doc`.
-Status RebindTupleContent(Tuple* tuple, const Document& doc);
+[[nodiscard]] Status RebindTupleContent(Tuple* tuple, const Document& doc);
 
 }  // namespace svx
 

@@ -25,7 +25,7 @@ std::string RewriteCache::KeyFor(const Pattern& q) {
 
 bool RewriteCache::Lookup(const std::string& key,
                           std::vector<Rewriting>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -39,7 +39,7 @@ bool RewriteCache::Lookup(const std::string& key,
 void RewriteCache::Insert(const std::string& key,
                           const std::vector<Rewriting>& rewritings) {
   std::vector<Rewriting> cloned = CloneRewritings(rewritings);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (entries_.size() >= max_entries && entries_.find(key) == entries_.end()) {
     entries_.clear();
   }
@@ -47,35 +47,35 @@ void RewriteCache::Insert(const std::string& key,
 }
 
 void RewriteCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!entries_.empty()) ++invalidations_;
   entries_.clear();
 }
 
 void RewriteCache::CarryCountersFrom(const RewriteCache& prior) {
-  std::scoped_lock lock(mu_, prior.mu_);
+  TwoMutexLock lock(&mu_, &prior.mu_);
   hits_ = prior.hits_;
   misses_ = prior.misses_;
   invalidations_ = prior.invalidations_ + (prior.entries_.empty() ? 0 : 1);
 }
 
 size_t RewriteCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 size_t RewriteCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hits_;
 }
 
 size_t RewriteCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return misses_;
 }
 
 size_t RewriteCache::invalidations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return invalidations_;
 }
 

@@ -20,14 +20,15 @@
 #define SVX_VIEWSTORE_REWRITE_CACHE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/pattern/pattern.h"
 #include "src/rewriting/rewriter.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace svx {
 
@@ -39,48 +40,49 @@ class RewriteCache {
   /// Returns true and fills `out` with cloned rewritings (ranked order
   /// preserved) when `key` is cached. An entry may hold zero rewritings —
   /// "no rewriting exists" is equally worth caching.
-  bool Lookup(const std::string& key, std::vector<Rewriting>* out) const;
+  bool Lookup(const std::string& key, std::vector<Rewriting>* out) const
+      SVX_EXCLUDES(mu_);
 
   /// Caches `rewritings` (cloned) under `key`, replacing any previous
   /// entry. When the cache is full, the whole table is dropped first — a
   /// crude but constant-time eviction; `max_entries` is high enough that
   /// this only guards against unbounded ad-hoc query streams.
-  void Insert(const std::string& key,
-              const std::vector<Rewriting>& rewritings);
+  void Insert(const std::string& key, const std::vector<Rewriting>& rewritings)
+      SVX_EXCLUDES(mu_);
 
   /// Drops every entry. Called when the snapshot's world is replaced (the
   /// catalog normally swaps in a fresh cache instead).
-  void Invalidate();
+  void Invalidate() SVX_EXCLUDES(mu_);
 
   /// Seeds the cumulative counters from a predecessor cache, counting one
   /// invalidation when the predecessor held entries — how a successor
   /// snapshot's fresh cache keeps hit/miss observability continuous.
-  void CarryCountersFrom(const RewriteCache& prior);
+  void CarryCountersFrom(const RewriteCache& prior) SVX_EXCLUDES(mu_);
 
-  size_t size() const;
-  size_t hits() const;
-  size_t misses() const;
-  size_t invalidations() const;
+  size_t size() const SVX_EXCLUDES(mu_);
+  size_t hits() const SVX_EXCLUDES(mu_);
+  size_t misses() const SVX_EXCLUDES(mu_);
+  size_t invalidations() const SVX_EXCLUDES(mu_);
 
   /// Set before the cache is shared across threads.
   size_t max_entries = 4096;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<Rewriting>> entries_;
-  mutable size_t hits_ = 0;
-  mutable size_t misses_ = 0;
-  size_t invalidations_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::vector<Rewriting>> entries_
+      SVX_GUARDED_BY(mu_);
+  mutable size_t hits_ SVX_GUARDED_BY(mu_) = 0;
+  mutable size_t misses_ SVX_GUARDED_BY(mu_) = 0;
+  size_t invalidations_ SVX_GUARDED_BY(mu_) = 0;
 };
 
 /// Rewrites `q` through `cache`: serves a hit (setting
 /// stats->rewrite_cache_hits and the timing fields), otherwise calls
 /// rewriter->Rewrite(q, stats) and caches the ok() result. With a null
 /// cache this is exactly rewriter->Rewrite.
-Result<std::vector<Rewriting>> CachedRewrite(RewriteCache* cache,
-                                             Rewriter* rewriter,
-                                             const Pattern& q,
-                                             RewriteStats* stats = nullptr);
+[[nodiscard]] Result<std::vector<Rewriting>> CachedRewrite(
+    RewriteCache* cache, Rewriter* rewriter, const Pattern& q,
+    RewriteStats* stats = nullptr);
 
 }  // namespace svx
 

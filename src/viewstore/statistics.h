@@ -96,7 +96,7 @@ ViewStats RefreshViewStatsCached(const ViewStats& stats, const Schema& schema,
 ///   rows <n>
 ///   col <name> <non_null> <distinct> <min_len> <max_len> <nested_rows>
 std::string ViewStatsToString(const ViewStats& stats);
-Result<ViewStats> ParseViewStats(std::string_view text);
+[[nodiscard]] Result<ViewStats> ParseViewStats(std::string_view text);
 
 }  // namespace svx
 

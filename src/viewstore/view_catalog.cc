@@ -8,6 +8,7 @@
 #include "src/maintenance/delta_evaluator.h"
 #include "src/pattern/pattern_parser.h"
 #include "src/pattern/pattern_printer.h"
+#include "src/util/check.h"
 #include "src/util/fileio.h"
 #include "src/util/strings.h"
 #include "src/viewstore/extent_io.h"
@@ -47,8 +48,7 @@ bool SchemaHasContent(const Schema& schema) {
 Status WriteFileAtomic(const fs::path& path, std::string_view bytes) {
   fs::path tmp = path;
   tmp += ".tmp";
-  Status s = WriteFileBytes(tmp.string(), bytes);
-  if (!s.ok()) return s;
+  SVX_RETURN_IF_ERROR(WriteFileBytes(tmp.string(), bytes));
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
@@ -101,6 +101,7 @@ std::unordered_set<std::string> LiveFileSet(
 ViewCatalog::ViewCatalog() : ViewCatalog(std::string()) {}
 
 ViewCatalog::ViewCatalog(std::string dir) : dir_(std::move(dir)) {
+  // NOLINTNEXTLINE(modernize-make-shared): private ctor, friend-only access.
   auto initial = std::shared_ptr<CatalogSnapshot>(new CatalogSnapshot());
   initial->epoch_ = next_epoch_++;
   initial->rewrite_cache_ = std::make_shared<RewriteCache>();
@@ -113,6 +114,7 @@ void ViewCatalog::PublishLocked(
     std::shared_ptr<const Document> doc,
     std::shared_ptr<const Summary> summary, bool doc_changed) {
   std::shared_ptr<const CatalogSnapshot> old = Current();
+  // NOLINTNEXTLINE(modernize-make-shared): private ctor, friend-only access.
   auto snap = std::shared_ptr<CatalogSnapshot>(new CatalogSnapshot());
   snap->epoch_ = next_epoch_++;
   snap->views_ = std::move(views);
@@ -138,7 +140,7 @@ void ViewCatalog::PublishLocked(
   // readers.
   std::shared_ptr<const CatalogSnapshot> retired;
   {
-    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    WriterMutexLock lock(&snapshot_mu_);
     retired = std::move(snapshot_);
     snapshot_ = std::move(snap);
   }
@@ -146,7 +148,7 @@ void ViewCatalog::PublishLocked(
 
 void ViewCatalog::BindDocument(std::shared_ptr<const Document> doc,
                                std::shared_ptr<const Summary> summary) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   PublishLocked(Current()->views(), std::move(doc), std::move(summary),
                 /*doc_changed=*/true);
 }
@@ -172,7 +174,7 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
   stored->def = std::move(def);
   stored->extent = std::move(extent);
 
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   std::vector<std::shared_ptr<const StoredView>> next = Current()->views();
   bool replaced = false;
   for (auto& v : next) {
@@ -188,7 +190,7 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
 }
 
 Status ViewCatalog::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   std::vector<std::shared_ptr<const StoredView>> next = Current()->views();
   auto it = std::find_if(next.begin(), next.end(),
                          [&](const auto& v) { return v->def.name == name; });
@@ -200,7 +202,7 @@ Status ViewCatalog::Drop(const std::string& name) {
 
 Status ViewCatalog::Save() const {
   if (dir_.empty()) return Status::InvalidArgument("catalog has no store dir");
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   return PersistLocked(Current()->views());
 }
 
@@ -248,19 +250,17 @@ Status ViewCatalog::PersistLocked(
         !fs::exists(fs::path(dir_) / ExtentFileName(*v)) ||
         !fs::exists(fs::path(dir_) / StatsFileName(*v))) {
       v->generation = next_generation_++;
-      Status s = WriteFileAtomic(fs::path(dir_) / ExtentFileName(*v),
-                                 SerializeExtent(v->extent));
-      if (!s.ok()) return s;
-      s = WriteFileAtomic(fs::path(dir_) / StatsFileName(*v),
-                          ViewStatsToString(v->stats));
-      if (!s.ok()) return s;
+      SVX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir_) / ExtentFileName(*v),
+                                          SerializeExtent(v->extent)));
+      SVX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir_) / StatsFileName(*v),
+                                          ViewStatsToString(v->stats)));
     }
     manifest += StrFormat("view %s %llu %s\n", v->def.name.c_str(),
                           static_cast<unsigned long long>(v->generation),
                           PatternToString(v->def.pattern).c_str());
   }
-  Status s = WriteFileAtomic(fs::path(dir_) / "manifest.txt", manifest);
-  if (!s.ok()) return s;
+  SVX_RETURN_IF_ERROR(
+      WriteFileAtomic(fs::path(dir_) / "manifest.txt", manifest));
   SweepUnreferenced(dir_, LiveFileSet(views));
   return Status::OK();
 }
@@ -289,7 +289,7 @@ Status ViewCatalog::ApplyUpdateImpl(const DocumentDelta& delta,
   if (delta.old_doc == nullptr || delta.new_doc == nullptr) {
     return Status::InvalidArgument("document delta without documents");
   }
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   std::shared_ptr<const CatalogSnapshot> cur = Current();
   MaintenanceStats ms;
   std::vector<std::shared_ptr<const StoredView>> next;
@@ -404,8 +404,7 @@ Status ViewCatalog::ApplyUpdateImpl(const DocumentDelta& delta,
   }
   if (out_stats != nullptr) *out_stats = ms;
   if (!dir_.empty()) {
-    Status s = PersistLocked(next);
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(PersistLocked(next));
   }
   PublishLocked(std::move(next), std::move(new_doc), std::move(new_summary),
                 /*doc_changed=*/true);
@@ -430,7 +429,7 @@ Status ViewCatalog::LoadImpl(const Document* doc,
       ReadFileBytes((fs::path(dir_) / "manifest.txt").string());
   if (!manifest.ok()) return manifest.status();
 
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   std::vector<std::shared_ptr<const StoredView>> loaded;
   uint64_t max_generation = 0;
   int version = 0;

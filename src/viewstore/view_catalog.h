@@ -34,15 +34,15 @@
 #define SVX_VIEWSTORE_VIEW_CATALOG_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/algebra/executor.h"
 #include "src/containment/memo.h"
 #include "src/rewriting/view.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 #include "src/viewstore/catalog_snapshot.h"
 #include "src/viewstore/cost_model.h"
 #include "src/viewstore/rewrite_cache.h"
@@ -82,8 +82,9 @@ class ViewCatalog {
   /// hold the returned shared_ptr for as long as they use anything reached
   /// through it; the epoch (and the document it pins, if bound) stays
   /// alive until the last holder drops it.
-  std::shared_ptr<const CatalogSnapshot> Snapshot() const {
-    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  std::shared_ptr<const CatalogSnapshot> Snapshot() const
+      SVX_EXCLUDES(snapshot_mu_) {
+    ReaderMutexLock lock(&snapshot_mu_);
     return snapshot_;
   }
 
@@ -92,16 +93,19 @@ class ViewCatalog {
   /// Use once at startup; afterwards the shared-pointer ApplyUpdate
   /// overload keeps successive epochs bound to successive documents.
   void BindDocument(std::shared_ptr<const Document> doc,
-                    std::shared_ptr<const Summary> summary);
+                    std::shared_ptr<const Summary> summary)
+      SVX_EXCLUDES(writer_mu_);
 
   /// Evaluates `def` over `doc` and registers the result (replacing any
   /// same-named view). Statistics are computed at materialization time.
-  Status Materialize(const ViewDef& def, const Document& doc);
+  [[nodiscard]] Status Materialize(const ViewDef& def, const Document& doc)
+      SVX_EXCLUDES(writer_mu_);
 
   /// Registers an externally produced extent. Rows are brought into the
   /// canonical extent order (Table::SortRowsCanonical), so equal extents
   /// are stored byte-identically however they were produced.
-  Status Add(ViewDef def, Table extent);
+  [[nodiscard]] Status Add(ViewDef def, Table extent)
+      SVX_EXCLUDES(writer_mu_);
 
   /// Maintains every stored extent under a document update: computes a
   /// tuple-level delta per view (src/maintenance/), builds a successor
@@ -115,21 +119,24 @@ class ViewCatalog {
   /// materialization over delta.new_doc. Readers of older epochs are
   /// undisturbed (but with this overload the caller owns both documents'
   /// lifetimes, as with delta itself).
-  Status ApplyUpdate(const DocumentDelta& delta,
-                     MaintenanceStats* out_stats = nullptr);
+  [[nodiscard]] Status ApplyUpdate(const DocumentDelta& delta,
+                                   MaintenanceStats* out_stats = nullptr)
+      SVX_EXCLUDES(writer_mu_);
 
   /// ApplyUpdate for concurrent serving: the successor epoch takes shared
   /// ownership of `new_doc` (which must be delta.new_doc) and
   /// `new_summary`, so the writer may drop the old document right after —
   /// old-epoch readers keep it alive through their snapshot.
-  Status ApplyUpdate(const DocumentDelta& delta,
-                     std::shared_ptr<const Document> new_doc,
-                     std::shared_ptr<const Summary> new_summary,
-                     MaintenanceStats* out_stats = nullptr);
+  [[nodiscard]] Status ApplyUpdate(const DocumentDelta& delta,
+                                   std::shared_ptr<const Document> new_doc,
+                                   std::shared_ptr<const Summary> new_summary,
+                                   MaintenanceStats* out_stats = nullptr)
+      SVX_EXCLUDES(writer_mu_);
 
   /// Removes the named view from the catalog (files are swept on the next
   /// Save()). NotFound when no such view is registered.
-  Status Drop(const std::string& name);
+  [[nodiscard]] Status Drop(const std::string& name)
+      SVX_EXCLUDES(writer_mu_);
 
   const StoredView* Find(const std::string& name) const {
     return Current()->Find(name);
@@ -158,15 +165,16 @@ class ViewCatalog {
   /// place last, and only then are unreferenced generations swept — an
   /// interrupted save leaves the previous manifest pointing at the
   /// previous, still complete files.
-  Status Save() const;
+  [[nodiscard]] Status Save() const SVX_EXCLUDES(writer_mu_);
 
   /// Replaces the catalog contents with the store at dir(). `doc` rebinds
   /// content references (may be nullptr when no view stores content).
-  Status Load(const Document* doc);
+  [[nodiscard]] Status Load(const Document* doc) SVX_EXCLUDES(writer_mu_);
 
   /// Load for concurrent serving: the loaded epoch pins `doc`/`summary`.
-  Status Load(std::shared_ptr<const Document> doc,
-              std::shared_ptr<const Summary> summary);
+  [[nodiscard]] Status Load(std::shared_ptr<const Document> doc,
+                            std::shared_ptr<const Summary> summary)
+      SVX_EXCLUDES(writer_mu_);
 
   /// Executor bindings for the current epoch's extents (borrowed pointers;
   /// valid until the next mutation — concurrent readers use
@@ -191,34 +199,37 @@ class ViewCatalog {
   /// and doc/summary must be null.
   void PublishLocked(std::vector<std::shared_ptr<const StoredView>> views,
                      std::shared_ptr<const Document> doc,
-                     std::shared_ptr<const Summary> summary,
-                     bool doc_changed);
+                     std::shared_ptr<const Summary> summary, bool doc_changed)
+      SVX_REQUIRES(writer_mu_);
 
   /// Writes every not-yet-persisted view under a fresh generation, flips
   /// the manifest, sweeps unreferenced files (writer mutex held).
   Status PersistLocked(
-      const std::vector<std::shared_ptr<const StoredView>>& views) const;
+      const std::vector<std::shared_ptr<const StoredView>>& views) const
+      SVX_REQUIRES(writer_mu_);
 
   Status ApplyUpdateImpl(const DocumentDelta& delta,
                          std::shared_ptr<const Document> new_doc,
                          std::shared_ptr<const Summary> new_summary,
-                         MaintenanceStats* out_stats);
+                         MaintenanceStats* out_stats)
+      SVX_EXCLUDES(writer_mu_);
   Status LoadImpl(const Document* doc, std::shared_ptr<const Document> shared,
-                  std::shared_ptr<const Summary> summary);
+                  std::shared_ptr<const Summary> summary)
+      SVX_EXCLUDES(writer_mu_);
 
   std::string dir_;
   /// Serializes every mutator (and Save). Readers never take it.
-  mutable std::mutex writer_mu_;
+  mutable Mutex writer_mu_;
   /// Guards only snapshot_ itself: shared for the reader pointer copy,
   /// exclusive for the writer's publish swap.
-  mutable std::shared_mutex snapshot_mu_;
-  std::shared_ptr<const CatalogSnapshot> snapshot_;
-  uint64_t next_epoch_ = 1;
-  mutable uint64_t next_generation_ = 1;
+  mutable SharedMutex snapshot_mu_;
+  std::shared_ptr<const CatalogSnapshot> snapshot_ SVX_GUARDED_BY(snapshot_mu_);
+  uint64_t next_epoch_ SVX_GUARDED_BY(writer_mu_) = 1;
+  mutable uint64_t next_generation_ SVX_GUARDED_BY(writer_mu_) = 1;
   /// True once next_generation_ is known to exceed every generation in
   /// dir_ (set by a v2 Load or by PersistLocked's directory scan) — the
   /// cross-process never-reuse guard.
-  mutable bool generation_seeded_ = false;
+  mutable bool generation_seeded_ SVX_GUARDED_BY(writer_mu_) = false;
 };
 
 }  // namespace svx

@@ -35,7 +35,7 @@ struct PatternGenOptions {
 /// Generates one satisfiable pattern over `summary`; NotFound when no
 /// pattern with the requested return labels could be built within
 /// max_attempts.
-Result<Pattern> GeneratePattern(const Summary& summary,
+[[nodiscard]] Result<Pattern> GeneratePattern(const Summary& summary,
                                 const PatternGenOptions& options, Rng* rng);
 
 }  // namespace svx

@@ -1,3 +1,4 @@
+#include "src/util/check.h"
 #include "src/xml/builder.h"
 
 #include <cctype>
@@ -78,8 +79,7 @@ class TreeNotationParser {
 
   Result<std::unique_ptr<Document>> Parse() {
     SkipSpace();
-    Status s = ParseNode();
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(ParseNode());
     SkipSpace();
     if (pos_ != text_.size()) {
       return Status::ParseError(
@@ -146,8 +146,7 @@ class TreeNotationParser {
       SkipSpace();
       bool any = false;
       while (pos_ < text_.size() && text_[pos_] != ')') {
-        Status s = ParseNode();
-        if (!s.ok()) return s;
+        SVX_RETURN_IF_ERROR(ParseNode());
         any = true;
         SkipSpace();
       }

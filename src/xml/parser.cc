@@ -1,3 +1,4 @@
+#include "src/util/check.h"
 #include "src/xml/parser.h"
 
 #include <cctype>
@@ -18,8 +19,7 @@ class XmlParserImpl {
   Result<std::unique_ptr<Document>> Parse() {
     SkipMisc();
     if (!AtChar('<')) return Err("expected root element");
-    Status s = ParseElement();
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(ParseElement());
     SkipMisc();
     if (pos_ != text_.size()) return Err("trailing content after root");
     return builder_.Finish();
@@ -223,8 +223,7 @@ class XmlParserImpl {
       }
       if (AtChar('<')) {
         flush_text();
-        Status s = ParseElement();
-        if (!s.ok()) return s;
+        SVX_RETURN_IF_ERROR(ParseElement());
         continue;
       }
       // Character data until the next markup.

@@ -63,13 +63,14 @@ struct UpdateResult {
 /// otherwise. Fails if `parent` is not in `doc`, or if `insert_before` does
 /// not name a child of `parent`. Summary path annotation is not carried
 /// over — re-annotate with SummaryBuilder if needed.
-Result<UpdateResult> InsertSubtree(const Document& doc, const OrdPath& parent,
-                                   const Document& subtree,
-                                   const OrdPath* insert_before = nullptr);
+[[nodiscard]] Result<UpdateResult> InsertSubtree(
+    const Document& doc, const OrdPath& parent, const Document& subtree,
+    const OrdPath* insert_before = nullptr);
 
 /// Removes the subtree rooted at the node identified by `target`. Fails if
 /// `target` is not in `doc` or is the document root.
-Result<UpdateResult> DeleteSubtree(const Document& doc, const OrdPath& target);
+[[nodiscard]] Result<UpdateResult> DeleteSubtree(const Document& doc,
+                                                 const OrdPath& target);
 
 }  // namespace svx
 

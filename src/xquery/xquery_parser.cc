@@ -1,3 +1,4 @@
+#include "src/util/check.h"
 #include "src/xquery/xquery_parser.h"
 
 #include <cctype>
@@ -134,8 +135,7 @@ class XQueryParser {
           first.label = bare;
           pred.path.push_back(std::move(first));
         }
-        Status s = ParseSteps(&pred.path, &pred.has_text);
-        if (!s.ok()) return s;
+        SVX_RETURN_IF_ERROR(ParseSteps(&pred.path, &pred.has_text));
         if (pred.path.empty() && !pred.has_text) {
           return ErrS("empty step predicate");
         }
@@ -190,8 +190,7 @@ class XQueryParser {
         return Err("expected doc(...) or a variable");
       }
     }
-    Status s = ParseSteps(&flwr->steps, nullptr);
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(ParseSteps(&flwr->steps, nullptr));
     if (flwr->steps.empty()) return Err("binding path must have steps");
 
     if (EatKeyword("where")) {
@@ -260,8 +259,7 @@ class XQueryParser {
     }
     expr.var = ParseVar();
     if (expr.var.empty()) return ErrS("expected variable or nested for");
-    Status s = ParseSteps(&expr.steps, &expr.text);
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(ParseSteps(&expr.steps, &expr.text));
     return expr;
   }
 

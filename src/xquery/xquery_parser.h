@@ -11,7 +11,8 @@
 namespace svx {
 
 /// Parses one (possibly nested) FLWR query.
-Result<std::unique_ptr<XqFlwr>> ParseXQuery(std::string_view text);
+[[nodiscard]] Result<std::unique_ptr<XqFlwr>> ParseXQuery(
+    std::string_view text);
 
 }  // namespace svx
 

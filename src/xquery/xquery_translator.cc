@@ -1,3 +1,4 @@
+#include "src/util/check.h"
 #include "src/xquery/xquery_translator.h"
 
 #include <map>
@@ -19,8 +20,7 @@ class Translator {
           "the outermost for must bind from doc(...)");
     }
     PatternNodeId root = pattern_.SetRoot(root_label_);
-    Status s = TranslateFlwr(flwr, root, /*nested=*/false);
-    if (!s.ok()) return s;
+    SVX_RETURN_IF_ERROR(TranslateFlwr(flwr, root, /*nested=*/false));
     return std::move(pattern_);
   }
 
@@ -126,8 +126,7 @@ class Translator {
           return Status::InvalidArgument(
               "nested for must bind from an outer variable");
         }
-        Status s = TranslateFlwr(inner, it->second, /*nested=*/true);
-        if (!s.ok()) return s;
+        SVX_RETURN_IF_ERROR(TranslateFlwr(inner, it->second, /*nested=*/true));
         continue;
       }
       auto it = vars_.find(expr.var);

@@ -27,11 +27,11 @@ namespace svx {
 
 /// Translates a parsed FLWR block. `root_label` overrides the pattern root
 /// ('*' by default — any document root).
-Result<Pattern> TranslateXQuery(const XqFlwr& flwr,
+[[nodiscard]] Result<Pattern> TranslateXQuery(const XqFlwr& flwr,
                                 const std::string& root_label = "*");
 
 /// Parses and translates in one step.
-Result<Pattern> XQueryToPattern(std::string_view query,
+[[nodiscard]] Result<Pattern> XQueryToPattern(std::string_view query,
                                 const std::string& root_label = "*");
 
 }  // namespace svx

@@ -1,0 +1,210 @@
+// Compile-and-behavior coverage for the annotated mutex wrappers
+// (src/util/mutex.h) and the thread-safety macro family
+// (src/util/thread_annotations.h).
+//
+// Two things are under test. First, that the macros expand cleanly on every
+// compiler: this file declares a class using the full annotation vocabulary
+// (capability members, SVX_GUARDED_BY, SVX_REQUIRES, SVX_EXCLUDES,
+// SVX_ACQUIRE/SVX_RELEASE, SVX_NO_THREAD_SAFETY_ANALYSIS) — on GCC the
+// macros must vanish without residue, on Clang the usage below must pass
+// -Werror=thread-safety. Second, that the wrappers actually lock: mutual
+// exclusion, reader sharing, writer exclusivity, and TwoMutexLock's
+// address-ordered acquisition are exercised with real threads.
+//
+// The negative direction (annotation violations failing to compile) cannot
+// be a runtime test; tools/lint.sh's annotation probe covers it by
+// compiling a deliberate violation and requiring the error.
+#include "src/util/thread_annotations.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/mutex.h"
+
+namespace svx {
+namespace {
+
+// Exercises the full macro vocabulary; must compile on GCC and Clang alike.
+class AnnotatedCounter {
+ public:
+  void Increment() SVX_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    IncrementLocked();
+  }
+
+  void IncrementLocked() SVX_REQUIRES(mu_) { ++value_; }
+
+  int value() const SVX_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+  void LockManually() SVX_ACQUIRE(mu_) { mu_.Lock(); }
+  void UnlockManually() SVX_RELEASE(mu_) { mu_.Unlock(); }
+
+  // Deliberately unchecked accessor (e.g. for single-threaded setup).
+  int value_unsafe() const SVX_NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+ private:
+  mutable Mutex mu_;
+  int value_ SVX_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotations, AnnotatedClassCountsUnderContention) {
+  AnnotatedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+  EXPECT_EQ(counter.value_unsafe(), kThreads * kIncrements);
+}
+
+TEST(ThreadAnnotations, ManualAcquireReleasePairWorks) {
+  AnnotatedCounter counter;
+  counter.LockManually();
+  counter.IncrementLocked();
+  counter.UnlockManually();
+  EXPECT_EQ(counter.value(), 1);
+}
+
+TEST(Mutex, TryLockReflectsHeldState) {
+  Mutex mu;
+  mu.Lock();
+  // A second claim must fail — probed from another thread, since retrying
+  // try_lock on the owning thread is undefined for std::mutex.
+  std::atomic<bool> second_claim{false};
+  std::thread probe([&] {
+    if (mu.TryLock()) {
+      second_claim = true;
+      mu.Unlock();
+    }
+  });
+  probe.join();
+  EXPECT_FALSE(second_claim);
+  mu.Unlock();
+  std::thread again([&] {
+    if (mu.TryLock()) {
+      second_claim = true;
+      mu.Unlock();
+    }
+  });
+  again.join();
+  EXPECT_TRUE(second_claim);
+}
+
+TEST(SharedMutex, ReadersShareWritersExclude) {
+  SharedMutex mu;
+
+  // Two readers hold the shared side at once.
+  mu.ReaderLock();
+  std::atomic<bool> reader_entered{false};
+  std::atomic<bool> writer_entered{false};
+  std::thread reader([&] {
+    ReaderMutexLock lock(&mu);
+    reader_entered = true;
+  });
+  reader.join();
+  EXPECT_TRUE(reader_entered);
+
+  // A writer cannot enter while a reader holds the lock.
+  std::thread writer_probe([&] {
+    if (mu.TryLock()) {
+      writer_entered = true;
+      mu.Unlock();
+    }
+  });
+  writer_probe.join();
+  EXPECT_FALSE(writer_entered);
+  mu.ReaderUnlock();
+
+  // With the reader gone the writer side is available, and excludes readers.
+  mu.Lock();
+  std::atomic<bool> reader_blocked{true};
+  std::thread reader_probe([&] {
+    if (mu.ReaderTryLock()) {
+      reader_blocked = false;
+      mu.ReaderUnlock();
+    }
+  });
+  reader_probe.join();
+  EXPECT_TRUE(reader_blocked);
+  mu.Unlock();
+}
+
+TEST(SharedMutex, WriterMutexLockIsExclusive) {
+  SharedMutex mu;
+  int value = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        WriterMutexLock lock(&mu);
+        ++value;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ReaderMutexLock lock(&mu);
+  EXPECT_EQ(value, kThreads * kIncrements);
+}
+
+TEST(TwoMutexLock, LocksBothWhicheverOrder) {
+  Mutex a;
+  Mutex b;
+  int value = 0;
+  constexpr int kIterations = 2000;
+  // One thread locks (a, b), the other (b, a): without the address-ordered
+  // acquisition this interleaving deadlocks quickly.
+  std::thread t1([&] {
+    for (int i = 0; i < kIterations; ++i) {
+      TwoMutexLock lock(&a, &b);
+      ++value;
+    }
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < kIterations; ++i) {
+      TwoMutexLock lock(&b, &a);
+      ++value;
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(value, 2 * kIterations);
+}
+
+// Outside the analysis: passing one mutex twice makes the SVX_ACQUIRE(a, b)
+// contract self-referential, which the analysis (rightly) flags, but the
+// aliased case is exactly what this test pins down at runtime.
+void LockAliased(Mutex* mu) SVX_NO_THREAD_SAFETY_ANALYSIS {
+  TwoMutexLock lock(mu, mu);  // must not self-deadlock or double-unlock
+}
+
+TEST(TwoMutexLock, AliasedArgumentsLockOnce) {
+  Mutex mu;
+  LockAliased(&mu);
+  std::atomic<bool> lockable{false};
+  std::thread probe([&] {
+    if (mu.TryLock()) {
+      lockable = true;
+      mu.Unlock();
+    }
+  });
+  probe.join();
+  EXPECT_TRUE(lockable);
+}
+
+}  // namespace
+}  // namespace svx
