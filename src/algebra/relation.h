@@ -44,7 +44,7 @@ class Schema {
 
   int32_t size() const { return static_cast<int32_t>(columns_.size()); }
   const ColumnSpec& column(int32_t i) const {
-    SVX_CHECK(i >= 0 && i < size());
+    SVX_DCHECK(i >= 0 && i < size());
     return columns_[static_cast<size_t>(i)];
   }
   const std::vector<ColumnSpec>& columns() const { return columns_; }
@@ -74,13 +74,13 @@ class Table {
   const Schema& schema() const { return schema_; }
   int64_t NumRows() const { return static_cast<int64_t>(rows_.size()); }
   const Tuple& row(int64_t i) const {
-    SVX_CHECK(i >= 0 && i < NumRows());
+    SVX_DCHECK(i >= 0 && i < NumRows());
     return rows_[static_cast<size_t>(i)];
   }
   const std::vector<Tuple>& rows() const { return rows_; }
 
   void AddRow(Tuple row) {
-    SVX_CHECK(static_cast<int32_t>(row.size()) == schema_.size());
+    SVX_DCHECK(static_cast<int32_t>(row.size()) == schema_.size());
     rows_.push_back(std::move(row));
   }
 

@@ -41,7 +41,7 @@ class Value {
   explicit Value(NodeRef ref) : v_(ref) {}
   /// Nested table.
   explicit Value(TablePtr table) : v_(std::move(table)) {
-    SVX_CHECK(std::get<TablePtr>(v_) != nullptr);
+    SVX_DCHECK(std::get<TablePtr>(v_) != nullptr);
   }
 
   bool IsNull() const { return std::holds_alternative<std::monostate>(v_); }

@@ -12,7 +12,7 @@ namespace svx {
 const Predicate& CanonicalTree::FormulaFor(int32_t node) const {
   static const Predicate kTrue = Predicate::True();
   if (formulas.empty()) return kTrue;
-  SVX_CHECK(node >= 0 && node < size());
+  SVX_DCHECK(node >= 0 && node < size());
   return formulas[static_cast<size_t>(node)];
 }
 

@@ -73,11 +73,11 @@ class Pattern {
   PatternNodeId root() const { return 0; }
 
   const Node& node(PatternNodeId n) const {
-    SVX_CHECK(n >= 0 && n < size());
+    SVX_DCHECK(n >= 0 && n < size());
     return nodes_[static_cast<size_t>(n)];
   }
   Node& mutable_node(PatternNodeId n) {
-    SVX_CHECK(n >= 0 && n < size());
+    SVX_DCHECK(n >= 0 && n < size());
     return nodes_[static_cast<size_t>(n)];
   }
 

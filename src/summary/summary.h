@@ -109,7 +109,7 @@ class Summary {
 
  private:
   size_t Check(PathId s) const {
-    SVX_CHECK(s >= 0 && s < size());
+    SVX_DCHECK(s >= 0 && s < size());
     return static_cast<size_t>(s);
   }
 

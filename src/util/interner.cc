@@ -19,7 +19,7 @@ int32_t StringInterner::Find(std::string_view s) const {
 }
 
 const std::string& StringInterner::Get(int32_t id) const {
-  SVX_CHECK(id >= 0 && id < size());
+  SVX_DCHECK(id >= 0 && id < size());
   return strings_[static_cast<size_t>(id)];
 }
 

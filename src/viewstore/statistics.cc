@@ -214,7 +214,7 @@ void FoldRowsIntoCounts(const Schema& schema,
       EncodeValue(v, &key);
       auto vit = col.values.try_emplace(std::move(key), 0).first;
       vit->second += sign;
-      SVX_CHECK_MSG(vit->second >= 0, "value count underflow in stats cache");
+      SVX_DCHECK_MSG(vit->second >= 0, "value count underflow in stats cache");
       if (vit->second == 0) col.values.erase(vit);
       int64_t len = ValueLength(v);
       auto lit = col.lengths.try_emplace(len, 0).first;

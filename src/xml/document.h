@@ -47,7 +47,7 @@ class Document {
   /// The node's atomic value; requires has_value(n).
   const std::string& value(NodeIndex n) const {
     int32_t v = value_ids_[Check(n)];
-    SVX_CHECK(v >= 0);
+    SVX_DCHECK(v >= 0);
     return values_[static_cast<size_t>(v)];
   }
 
@@ -108,7 +108,7 @@ class Document {
   friend class SummaryBuilder;
 
   size_t Check(NodeIndex n) const {
-    SVX_CHECK(n >= 0 && n < size());
+    SVX_DCHECK(n >= 0 && n < size());
     return static_cast<size_t>(n);
   }
 
