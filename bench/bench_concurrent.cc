@@ -24,10 +24,12 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_metrics.h"
 #include "src/algebra/executor.h"
 #include "src/pattern/pattern_parser.h"
 #include "src/rewriting/rewriter.h"
 #include "src/summary/summary_builder.h"
+#include "src/util/json_writer.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
@@ -184,6 +186,7 @@ void WriterLoop(ViewCatalog* catalog, std::shared_ptr<Document> doc,
     ++*updates;
     total->views_touched += ms.views_touched;
     total->views_rebuilt += ms.views_rebuilt;
+    total->views_shared += ms.views_shared;
     total->tuples_inserted += ms.tuples_inserted;
     total->tuples_deleted += ms.tuples_deleted;
     if (interval_ms > 0) {
@@ -316,27 +319,47 @@ int Run(double scale, double phase_ms, int readers,
               max_ratio);
 
   // ---- BENCH_concurrent.json ----
-  std::string json = "{\n";
-  json += StrFormat("  \"scale\": %.2f,\n", scale);
-  json += StrFormat("  \"readers\": %d,\n", readers);
-  json += StrFormat("  \"phase_ms\": %.0f,\n", phase_ms);
-  json += StrFormat("  \"writer_interval_ms\": %.0f,\n", writer_interval_ms);
-  json += StrFormat("  \"idle\": {\"ops\": %lld, \"p50_ms\": %.4f, "
-                    "\"p95_ms\": %.4f, \"cache_hits\": %lld},\n",
-                    idle.ops, idle_p50, idle_p95, idle.rewrite_cache_hits);
-  json += StrFormat("  \"contended\": {\"ops\": %lld, \"p50_ms\": %.4f, "
-                    "\"p95_ms\": %.4f, \"cache_hits\": %lld},\n",
-                    contended.ops, cont_p50, cont_p95,
-                    contended.rewrite_cache_hits);
-  json += StrFormat("  \"writer_updates\": %lld,\n", writer_updates);
-  json += StrFormat("  \"p50_ratio\": %.4f,\n", ratio);
-  json += StrFormat("  \"reader_failures\": %lld\n",
-                    idle.failures + contended.failures);
-  json += "}\n";
+  // `instrumented` records whether this binary carries metrics so the CI
+  // overhead gate can pair an instrumented and a disabled build's reports.
+#ifdef SVX_METRICS_DISABLED
+  const bool instrumented = false;
+#else
+  const bool instrumented = true;
+#endif
+  auto phase_json = [](JsonWriter* w, const PhaseStats& ph, double p50,
+                       double p95) {
+    w->BeginObject();
+    w->KV("ops", static_cast<int64_t>(ph.ops));
+    w->KV("p50_ms", p50);
+    w->KV("p95_ms", p95);
+    w->KV("cache_hits", static_cast<int64_t>(ph.rewrite_cache_hits));
+    w->EndObject();
+  };
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("scale", scale);
+  w.KV("readers", static_cast<int64_t>(readers));
+  w.KV("phase_ms", phase_ms);
+  w.KV("writer_interval_ms", writer_interval_ms);
+  w.KV("instrumented", instrumented);
+  w.Key("idle");
+  phase_json(&w, idle, idle_p50, idle_p95);
+  w.Key("contended");
+  phase_json(&w, contended, cont_p50, cont_p95);
+  w.KV("writer_updates", static_cast<int64_t>(writer_updates));
+  w.KV("views_shared", static_cast<int64_t>(writer_totals.views_shared));
+  w.KV("epochs_published",
+       static_cast<uint64_t>(epoch_after - epoch_before));
+  w.KV("p50_ratio", ratio);
+  w.KV("reader_failures",
+       static_cast<int64_t>(idle.failures + contended.failures));
+  w.EndObject();
   std::ofstream out("BENCH_concurrent.json", std::ios::trunc);
-  out << json;
+  out << w.str() << "\n";
   out.close();
   std::printf("\nwrote BENCH_concurrent.json\n");
+  std::printf("catalog: %s\n", catalog.DebugMetrics().c_str());
+  EmitMetricsSnapshot("BENCH_concurrent_metrics.prom");
 
   if (idle.failures + contended.failures > 0) {
     std::fprintf(stderr, "FAIL: %lld reader ops failed\n",

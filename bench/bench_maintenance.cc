@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_metrics.h"
 #include "src/pattern/pattern_parser.h"
+#include "src/util/json_writer.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
@@ -107,6 +109,8 @@ struct ScenarioRow {
   double speedup = 0;
   long long inserted = 0;
   long long deleted = 0;
+  int touched = 0;  // extents changed (incrementally or by rebuild)
+  int shared = 0;   // extents carried between epochs untouched
   int rebuilds = 0;
   bool identical = false;
 };
@@ -150,6 +154,8 @@ ScenarioRow RunScenario(const ViewSpec& spec, UpdateKind kind, double scale,
     }
     row.inserted += ms.tuples_inserted;
     row.deleted += ms.tuples_deleted;
+    row.touched += ms.views_touched;
+    row.shared += ms.views_shared;
     row.rebuilds += ms.views_rebuilt;
 
     // Rematerialization baseline: the same end state built from scratch
@@ -204,29 +210,38 @@ void Run(double scale, int updates) {
               "small (≤1%%) updates: %d / %zu\n",
               small_update_wins, rows.size());
 
-  std::string json = "{\n";
-  json += StrFormat("  \"scale\": %.2f,\n", scale);
-  json += StrFormat("  \"updates_per_scenario\": %d,\n", updates);
-  json += StrFormat("  \"small_update_wins\": %d,\n", small_update_wins);
-  json += "  \"scenarios\": [\n";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const ScenarioRow& r = rows[i];
-    json += StrFormat(
-        "    {\"view\": \"%s\", \"update\": \"%s\", \"updates\": %d, "
-        "\"doc_nodes\": %d, \"avg_region_nodes\": %.2f, "
-        "\"maintain_ms\": %.3f, \"remat_ms\": %.3f, \"speedup\": %.2f, "
-        "\"tuples_inserted\": %lld, \"tuples_deleted\": %lld, "
-        "\"full_rebuilds\": %d, \"identical\": %s}%s\n",
-        r.view.c_str(), r.update.c_str(), r.updates, r.doc_nodes,
-        r.avg_region, r.maintain_ms, r.remat_ms, r.speedup, r.inserted,
-        r.deleted, r.rebuilds, r.identical ? "true" : "false",
-        i + 1 < rows.size() ? "," : "");
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("scale", scale);
+  w.KV("updates_per_scenario", static_cast<int64_t>(updates));
+  w.KV("small_update_wins", static_cast<int64_t>(small_update_wins));
+  w.Key("scenarios");
+  w.BeginArray();
+  for (const ScenarioRow& r : rows) {
+    w.BeginObject();
+    w.KV("view", r.view);
+    w.KV("update", r.update);
+    w.KV("updates", static_cast<int64_t>(r.updates));
+    w.KV("doc_nodes", static_cast<int64_t>(r.doc_nodes));
+    w.KV("avg_region_nodes", r.avg_region);
+    w.KV("maintain_ms", r.maintain_ms);
+    w.KV("remat_ms", r.remat_ms);
+    w.KV("speedup", r.speedup);
+    w.KV("tuples_inserted", static_cast<int64_t>(r.inserted));
+    w.KV("tuples_deleted", static_cast<int64_t>(r.deleted));
+    w.KV("views_touched", static_cast<int64_t>(r.touched));
+    w.KV("views_shared", static_cast<int64_t>(r.shared));
+    w.KV("full_rebuilds", static_cast<int64_t>(r.rebuilds));
+    w.KV("identical", r.identical);
+    w.EndObject();
   }
-  json += "  ]\n}\n";
+  w.EndArray();
+  w.EndObject();
   std::ofstream out("BENCH_maintenance.json", std::ios::trunc);
-  out << json;
+  out << w.str() << "\n";
   out.close();
   std::printf("wrote BENCH_maintenance.json\n");
+  EmitMetricsSnapshot("BENCH_maintenance_metrics.prom");
 }
 
 }  // namespace

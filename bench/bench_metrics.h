@@ -1,0 +1,27 @@
+// Shared bench exposition: dump the process metric registry to a file.
+#ifndef SVX_BENCH_BENCH_METRICS_H_
+#define SVX_BENCH_BENCH_METRICS_H_
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/observability/metrics.h"
+
+namespace svx {
+
+/// Writes the process metric registry as Prometheus text to `path`.
+/// RegisterStandardMetrics() first, so the snapshot names every standard
+/// metric across all domains (rewrite, containment, maintenance,
+/// epoch/serving) even when this bench left some of them at zero. Call
+/// last, after ViewCatalog::DebugMetrics() has refreshed the epoch gauges.
+inline void EmitMetricsSnapshot(const std::string& path) {
+  metrics::RegisterStandardMetrics();
+  std::ofstream out(path, std::ios::trunc);
+  out << MetricRegistry::Global().RenderPrometheusText();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace svx
+
+#endif  // SVX_BENCH_BENCH_METRICS_H_

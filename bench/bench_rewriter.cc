@@ -36,9 +36,12 @@
 #include <vector>
 
 #include "bench/base_views.h"
+#include "bench/bench_metrics.h"
 #include "src/algebra/executor.h"
+#include "src/observability/trace.h"
 #include "src/rewriting/rewriter.h"
 #include "src/summary/summary_builder.h"
+#include "src/util/json_writer.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
 #include "src/viewstore/rewrite_cache.h"
@@ -82,7 +85,34 @@ std::vector<std::string> Compacts(const std::vector<Rewriting>& rws) {
   return out;
 }
 
-ScaleReport RunScale(double scale) {
+/// Re-runs q13 cold with tracing on — a fresh Rewriter carrying
+/// RewriterOptions::trace and a fresh RewriteCache so the span tree shows
+/// the miss path (cache-lookup, every rewrite phase, plan execution) — and
+/// writes the rendered tree to BENCH_rewriter_trace_q13.json.
+void WriteTraceQ13(const ViewCatalog& catalog, const Summary& summary,
+                   const RewriterOptions& fast_opts,
+                   const Catalog& exec_catalog) {
+  Trace trace("q13");
+  RewriterOptions traced_opts = fast_opts;
+  traced_opts.trace = trace.root();
+  Rewriter traced(summary, traced_opts);
+  for (const auto& v : catalog.views()) traced.AddView(v->def);
+  Pattern qp = GetXmarkQueryPatternConjunctive(13);
+  RewriteCache fresh_cache;
+  RewriteStats stats;
+  Result<std::vector<Rewriting>> rws =
+      CachedRewrite(&fresh_cache, &traced, qp, &stats);
+  if (rws.ok() && !rws->empty()) {
+    Result<Table> out =
+        Execute(*rws->front().plan, exec_catalog, trace.root());
+    (void)out;
+  }
+  std::ofstream out("BENCH_rewriter_trace_q13.json", std::ios::trunc);
+  out << trace.RenderJson();
+  std::printf("wrote BENCH_rewriter_trace_q13.json\n");
+}
+
+ScaleReport RunScale(double scale, bool write_trace) {
   namespace fs = std::filesystem;
   ScaleReport report;
   report.scale = scale;
@@ -208,41 +238,54 @@ ScaleReport RunScale(double scale) {
       std::exp(log_speedup_sum / static_cast<double>(report.rows.size()));
   std::printf("geomean cold speedup vs in-process baseline: %.2fx\n\n",
               report.geomean_speedup);
+  if (write_trace) {
+    WriteTraceQ13(catalog, *summary, fast_opts, exec_catalog);
+  }
+  // Refreshes the epoch gauges for the metrics snapshot main writes last.
+  std::string debug = catalog.DebugMetrics();
+  (void)debug;
   return report;
 }
 
 void WriteJson(const std::vector<ScaleReport>& reports) {
-  std::string json = "{\n  \"scales\": [\n";
-  for (size_t si = 0; si < reports.size(); ++si) {
-    const ScaleReport& r = reports[si];
-    json += StrFormat(
-        "    {\"scale\": %.2f, \"document_nodes\": %d, \"summary_paths\": "
-        "%d, \"num_views\": %zu, \"geomean_speedup\": %.3f, \"max_cold_ms\": "
-        "%.3f,\n     \"queries\": [\n",
-        r.scale, r.document_nodes, r.summary_paths, r.num_views,
-        r.geomean_speedup, r.max_cold_ms);
-    for (size_t i = 0; i < r.rows.size(); ++i) {
-      const QueryRow& q = r.rows[i];
-      json += StrFormat(
-          "      {\"query\": %d, \"baseline_ms\": %.3f, \"cold_ms\": %.3f, "
-          "\"warm_ms\": %.3f, \"baseline_rewritings\": %zu, \"rewritings\": "
-          "%zu, \"candidates_pruned\": %zu, \"containment_memo_hits\": %zu, "
-          "\"containment_memo_misses\": %zu, \"rewrite_cache_hit_on_warm\": "
-          "%s, \"plans_match\": %s, \"plans_superset\": %s, "
-          "\"exec_matches_direct\": %s}%s\n",
-          q.number, q.baseline_ms, q.cold_ms, q.warm_ms,
-          q.baseline_rewritings, q.rewritings, q.candidates_pruned,
-          q.memo_hits, q.memo_misses, q.cache_hit_on_warm ? "true" : "false",
-          q.plans_match ? "true" : "false",
-          q.plans_superset ? "true" : "false",
-          q.exec_matches_direct ? "true" : "false",
-          i + 1 < r.rows.size() ? "," : "");
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("scales");
+  w.BeginArray();
+  for (const ScaleReport& r : reports) {
+    w.BeginObject();
+    w.KV("scale", r.scale);
+    w.KV("document_nodes", static_cast<int64_t>(r.document_nodes));
+    w.KV("summary_paths", static_cast<int64_t>(r.summary_paths));
+    w.KV("num_views", static_cast<uint64_t>(r.num_views));
+    w.KV("geomean_speedup", r.geomean_speedup);
+    w.KV("max_cold_ms", r.max_cold_ms);
+    w.Key("queries");
+    w.BeginArray();
+    for (const QueryRow& q : r.rows) {
+      w.BeginObject();
+      w.KV("query", static_cast<int64_t>(q.number));
+      w.KV("baseline_ms", q.baseline_ms);
+      w.KV("cold_ms", q.cold_ms);
+      w.KV("warm_ms", q.warm_ms);
+      w.KV("baseline_rewritings", static_cast<uint64_t>(q.baseline_rewritings));
+      w.KV("rewritings", static_cast<uint64_t>(q.rewritings));
+      w.KV("candidates_pruned", static_cast<uint64_t>(q.candidates_pruned));
+      w.KV("containment_memo_hits", static_cast<uint64_t>(q.memo_hits));
+      w.KV("containment_memo_misses", static_cast<uint64_t>(q.memo_misses));
+      w.KV("rewrite_cache_hit_on_warm", q.cache_hit_on_warm);
+      w.KV("plans_match", q.plans_match);
+      w.KV("plans_superset", q.plans_superset);
+      w.KV("exec_matches_direct", q.exec_matches_direct);
+      w.EndObject();
     }
-    json += StrFormat("    ]}%s\n", si + 1 < reports.size() ? "," : "");
+    w.EndArray();
+    w.EndObject();
   }
-  json += "  ]\n}\n";
+  w.EndArray();
+  w.EndObject();
   std::ofstream out("BENCH_rewriter.json", std::ios::trunc);
-  out << json;
+  out << w.str() << "\n";
 }
 
 }  // namespace
@@ -270,11 +313,15 @@ int main(int argc, char** argv) {
     }
   }
   if (scales.empty()) scales = {0.5, 1.0};
+  svx::metrics::RegisterStandardMetrics();
 
   std::vector<svx::ScaleReport> reports;
-  for (double s : scales) reports.push_back(svx::RunScale(s));
+  for (size_t i = 0; i < scales.size(); ++i) {
+    reports.push_back(svx::RunScale(scales[i], /*write_trace=*/i == 0));
+  }
   svx::WriteJson(reports);
   std::printf("wrote BENCH_rewriter.json\n");
+  svx::EmitMetricsSnapshot("BENCH_rewriter_metrics.prom");
 
   bool ok = true;
   for (const svx::ScaleReport& r : reports) {

@@ -16,9 +16,11 @@
 #include <string>
 
 #include "bench/base_views.h"
+#include "bench/bench_metrics.h"
 #include "src/algebra/executor.h"
 #include "src/rewriting/rewriter.h"
 #include "src/summary/summary_builder.h"
+#include "src/util/json_writer.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
 #include "src/viewstore/view_catalog.h"
@@ -144,36 +146,42 @@ void Run(double scale) {
   }
 
   // ---- BENCH_viewstore.json ----
-  std::string json = "{\n";
-  json += StrFormat("  \"scale\": %.2f,\n", scale);
-  json += StrFormat("  \"document_nodes\": %d,\n", doc->size());
-  json += StrFormat("  \"num_views\": %d,\n", reloaded.size());
-  json += StrFormat("  \"total_rows\": %lld,\n", total_rows);
-  json += StrFormat("  \"total_bytes\": %lld,\n",
-                    static_cast<long long>(reloaded.TotalBytes()));
-  json += StrFormat("  \"materialize_ms\": %.3f,\n", materialize_ms);
-  json += StrFormat("  \"save_ms\": %.3f,\n", save_ms);
-  json += StrFormat("  \"load_ms\": %.3f,\n", load_ms);
-  json += "  \"queries\": [\n";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const QueryRow& r = rows[i];
-    json += StrFormat(
-        "    {\"query\": %d, \"rewritings\": %zu, \"cheapest_cost\": %.3f, "
-        "\"costliest_cost\": %.3f, \"rewrite_ms\": %.3f, "
-        "\"warm_rewrite_ms\": %.3f, \"candidates_pruned\": %zu, "
-        "\"containment_memo_hits\": %zu, \"containment_memo_misses\": %zu, "
-        "\"rewrite_cache_hit\": %s, \"exec_ms\": %.3f, "
-        "\"exec_rows\": %lld}%s\n",
-        r.number, r.rewritings, r.cheapest_cost, r.costliest_cost,
-        r.rewrite_ms, r.warm_rewrite_ms, r.candidates_pruned, r.memo_hits,
-        r.memo_misses, r.rewrite_cache_hit ? "true" : "false", r.exec_ms,
-        r.exec_rows, i + 1 < rows.size() ? "," : "");
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("scale", scale);
+  w.KV("document_nodes", static_cast<int64_t>(doc->size()));
+  w.KV("num_views", static_cast<int64_t>(reloaded.size()));
+  w.KV("total_rows", static_cast<int64_t>(total_rows));
+  w.KV("total_bytes", reloaded.TotalBytes());
+  w.KV("materialize_ms", materialize_ms);
+  w.KV("save_ms", save_ms);
+  w.KV("load_ms", load_ms);
+  w.Key("queries");
+  w.BeginArray();
+  for (const QueryRow& r : rows) {
+    w.BeginObject();
+    w.KV("query", static_cast<int64_t>(r.number));
+    w.KV("rewritings", static_cast<uint64_t>(r.rewritings));
+    w.KV("cheapest_cost", r.cheapest_cost);
+    w.KV("costliest_cost", r.costliest_cost);
+    w.KV("rewrite_ms", r.rewrite_ms);
+    w.KV("warm_rewrite_ms", r.warm_rewrite_ms);
+    w.KV("candidates_pruned", static_cast<uint64_t>(r.candidates_pruned));
+    w.KV("containment_memo_hits", static_cast<uint64_t>(r.memo_hits));
+    w.KV("containment_memo_misses", static_cast<uint64_t>(r.memo_misses));
+    w.KV("rewrite_cache_hit", r.rewrite_cache_hit);
+    w.KV("exec_ms", r.exec_ms);
+    w.KV("exec_rows", static_cast<int64_t>(r.exec_rows));
+    w.EndObject();
   }
-  json += "  ]\n}\n";
+  w.EndArray();
+  w.EndObject();
   std::ofstream out("BENCH_viewstore.json", std::ios::trunc);
-  out << json;
+  out << w.str() << "\n";
   out.close();
   std::printf("\nwrote BENCH_viewstore.json\n");
+  std::printf("catalog: %s\n", reloaded.DebugMetrics().c_str());
+  EmitMetricsSnapshot("BENCH_viewstore_metrics.prom");
 }
 
 }  // namespace

@@ -3,6 +3,10 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/observability/metrics.h"
+#include "src/observability/trace.h"
+#include "src/util/timer.h"
+
 namespace svx {
 
 namespace {
@@ -287,105 +291,139 @@ Result<Table> ExecNavigate(const PlanNode& p, Table in) {
   return out;
 }
 
+Result<Table> ExecNode(const PlanNode& plan, const Catalog& catalog,
+                       TraceSpan* parent, int64_t* rows_scanned) {
+  // Span names reuse the plan printer's operator vocabulary (plan.h), so a
+  // trace tree reads like the compact plan form.
+  ScopedSpan span(parent, PlanKindName(plan.kind));
+  auto exec = [&]() -> Result<Table> {
+    switch (plan.kind) {
+      case PlanKind::kViewScan: {
+        const Table* t = catalog.Find(plan.view_name);
+        if (t == nullptr) {
+          return Status::NotFound("view not materialized: " + plan.view_name);
+        }
+        span.Attr("view", plan.view_name);
+        *rows_scanned += t->NumRows();
+        Table out(plan.schema);
+        for (const Tuple& row : t->rows()) out.AddRow(row);
+        return out;
+      }
+      case PlanKind::kIdEqJoin: {
+        Result<Table> l =
+            ExecNode(*plan.children[0], catalog, span.get(), rows_scanned);
+        if (!l.ok()) return l;
+        Result<Table> r =
+            ExecNode(*plan.children[1], catalog, span.get(), rows_scanned);
+        if (!r.ok()) return r;
+        return ExecIdEqJoin(plan, std::move(*l), std::move(*r));
+      }
+      case PlanKind::kStructJoin: {
+        Result<Table> l =
+            ExecNode(*plan.children[0], catalog, span.get(), rows_scanned);
+        if (!l.ok()) return l;
+        Result<Table> r =
+            ExecNode(*plan.children[1], catalog, span.get(), rows_scanned);
+        if (!r.ok()) return r;
+        return ExecStructJoin(plan, std::move(*l), std::move(*r));
+      }
+      case PlanKind::kSelect: {
+        Result<Table> in =
+            ExecNode(*plan.children[0], catalog, span.get(), rows_scanned);
+        if (!in.ok()) return in;
+        Table out(plan.schema);
+        for (const Tuple& row : in->rows()) {
+          if (SelectAccepts(plan, row)) out.AddRow(row);
+        }
+        return out;
+      }
+      case PlanKind::kProject: {
+        Result<Table> in =
+            ExecNode(*plan.children[0], catalog, span.get(), rows_scanned);
+        if (!in.ok()) return in;
+        Table out(plan.schema);
+        for (const Tuple& row : in->rows()) {
+          Tuple projected;
+          projected.reserve(plan.project_cols.size());
+          for (int32_t c : plan.project_cols) {
+            projected.push_back(row[static_cast<size_t>(c)]);
+          }
+          out.AddRow(std::move(projected));
+        }
+        out.Deduplicate();
+        return out;
+      }
+      case PlanKind::kUnion: {
+        Table out(plan.schema);
+        for (const PlanPtr& c : plan.children) {
+          Result<Table> in = ExecNode(*c, catalog, span.get(), rows_scanned);
+          if (!in.ok()) return in;
+          for (const Tuple& row : in->rows()) out.AddRow(row);
+        }
+        out.Deduplicate();
+        return out;
+      }
+      case PlanKind::kUnnest: {
+        Result<Table> in =
+            ExecNode(*plan.children[0], catalog, span.get(), rows_scanned);
+        if (!in.ok()) return in;
+        return ExecUnnest(plan, std::move(*in));
+      }
+      case PlanKind::kGroupBy: {
+        Result<Table> in =
+            ExecNode(*plan.children[0], catalog, span.get(), rows_scanned);
+        if (!in.ok()) return in;
+        return ExecGroupBy(plan, std::move(*in));
+      }
+      case PlanKind::kNavigate: {
+        Result<Table> in =
+            ExecNode(*plan.children[0], catalog, span.get(), rows_scanned);
+        if (!in.ok()) return in;
+        return ExecNavigate(plan, std::move(*in));
+      }
+      case PlanKind::kDeriveParent: {
+        Result<Table> in =
+            ExecNode(*plan.children[0], catalog, span.get(), rows_scanned);
+        if (!in.ok()) return in;
+        Table out(plan.schema);
+        for (const Tuple& row : in->rows()) {
+          Tuple expanded = row;
+          const Value& v = row[static_cast<size_t>(plan.derive_col)];
+          if (v.IsNull()) {
+            expanded.emplace_back();
+          } else {
+            OrdPath anc = v.AsId().Ancestor(plan.derive_steps);
+            if (anc.IsValid()) {
+              expanded.emplace_back(std::move(anc));
+            } else {
+              expanded.emplace_back();
+            }
+          }
+          out.AddRow(std::move(expanded));
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unknown plan kind");
+  };
+  Result<Table> out = exec();
+  if (out.ok()) span.Attr("out_rows", out->NumRows());
+  return out;
+}
+
 }  // namespace
 
-Result<Table> Execute(const PlanNode& plan, const Catalog& catalog) {
-  switch (plan.kind) {
-    case PlanKind::kViewScan: {
-      const Table* t = catalog.Find(plan.view_name);
-      if (t == nullptr) {
-        return Status::NotFound("view not materialized: " + plan.view_name);
-      }
-      Table out(plan.schema);
-      for (const Tuple& row : t->rows()) out.AddRow(row);
-      return out;
-    }
-    case PlanKind::kIdEqJoin: {
-      Result<Table> l = Execute(*plan.children[0], catalog);
-      if (!l.ok()) return l;
-      Result<Table> r = Execute(*plan.children[1], catalog);
-      if (!r.ok()) return r;
-      return ExecIdEqJoin(plan, std::move(*l), std::move(*r));
-    }
-    case PlanKind::kStructJoin: {
-      Result<Table> l = Execute(*plan.children[0], catalog);
-      if (!l.ok()) return l;
-      Result<Table> r = Execute(*plan.children[1], catalog);
-      if (!r.ok()) return r;
-      return ExecStructJoin(plan, std::move(*l), std::move(*r));
-    }
-    case PlanKind::kSelect: {
-      Result<Table> in = Execute(*plan.children[0], catalog);
-      if (!in.ok()) return in;
-      Table out(plan.schema);
-      for (const Tuple& row : in->rows()) {
-        if (SelectAccepts(plan, row)) out.AddRow(row);
-      }
-      return out;
-    }
-    case PlanKind::kProject: {
-      Result<Table> in = Execute(*plan.children[0], catalog);
-      if (!in.ok()) return in;
-      Table out(plan.schema);
-      for (const Tuple& row : in->rows()) {
-        Tuple projected;
-        projected.reserve(plan.project_cols.size());
-        for (int32_t c : plan.project_cols) {
-          projected.push_back(row[static_cast<size_t>(c)]);
-        }
-        out.AddRow(std::move(projected));
-      }
-      out.Deduplicate();
-      return out;
-    }
-    case PlanKind::kUnion: {
-      Table out(plan.schema);
-      for (const PlanPtr& c : plan.children) {
-        Result<Table> in = Execute(*c, catalog);
-        if (!in.ok()) return in;
-        for (const Tuple& row : in->rows()) out.AddRow(row);
-      }
-      out.Deduplicate();
-      return out;
-    }
-    case PlanKind::kUnnest: {
-      Result<Table> in = Execute(*plan.children[0], catalog);
-      if (!in.ok()) return in;
-      return ExecUnnest(plan, std::move(*in));
-    }
-    case PlanKind::kGroupBy: {
-      Result<Table> in = Execute(*plan.children[0], catalog);
-      if (!in.ok()) return in;
-      return ExecGroupBy(plan, std::move(*in));
-    }
-    case PlanKind::kNavigate: {
-      Result<Table> in = Execute(*plan.children[0], catalog);
-      if (!in.ok()) return in;
-      return ExecNavigate(plan, std::move(*in));
-    }
-    case PlanKind::kDeriveParent: {
-      Result<Table> in = Execute(*plan.children[0], catalog);
-      if (!in.ok()) return in;
-      Table out(plan.schema);
-      for (const Tuple& row : in->rows()) {
-        Tuple expanded = row;
-        const Value& v = row[static_cast<size_t>(plan.derive_col)];
-        if (v.IsNull()) {
-          expanded.emplace_back();
-        } else {
-          OrdPath anc = v.AsId().Ancestor(plan.derive_steps);
-          if (anc.IsValid()) {
-            expanded.emplace_back(std::move(anc));
-          } else {
-            expanded.emplace_back();
-          }
-        }
-        out.AddRow(std::move(expanded));
-      }
-      return out;
-    }
-  }
-  return Status::Internal("unknown plan kind");
+Result<Table> Execute(const PlanNode& plan, const Catalog& catalog,
+                      TraceSpan* trace) {
+  Timer timer;
+  int64_t rows_scanned = 0;
+  Result<Table> out = ExecNode(plan, catalog, trace, &rows_scanned);
+  metrics::ExecutorRuns()->Add(1);
+  metrics::ExecutorRowsScanned()->Add(rows_scanned);
+  if (out.ok()) metrics::ExecutorRowsEmitted()->Add(out->NumRows());
+  metrics::ExecutorLatencyUs()->Observe(
+      static_cast<int64_t>(timer.ElapsedMicros()));
+  return out;
 }
 
 }  // namespace svx

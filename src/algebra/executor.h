@@ -15,6 +15,8 @@
 
 namespace svx {
 
+class TraceSpan;  // src/observability/trace.h
+
 /// Name -> extent mapping used by view scans. Extents are borrowed.
 class Catalog {
  public:
@@ -31,7 +33,13 @@ class Catalog {
 };
 
 /// Executes `plan` against `catalog`; returns the materialized result.
-Result<Table> Execute(const PlanNode& plan, const Catalog& catalog);
+/// Every execution feeds the process metrics (rows scanned from extents,
+/// rows emitted, latency). With a non-null `trace`, a child span per plan
+/// operator is attached under it — the span tree mirrors the plan shape,
+/// each node carrying an out_rows attribute (view scans also name their
+/// view). Tracing belongs to one query on one thread.
+Result<Table> Execute(const PlanNode& plan, const Catalog& catalog,
+                      TraceSpan* trace = nullptr);
 
 }  // namespace svx
 

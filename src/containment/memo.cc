@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/observability/metrics.h"
 #include "src/pattern/pattern_printer.h"
 #include "src/util/strings.h"
 
@@ -26,10 +27,12 @@ Result<bool> ContainmentMemo::LookupOrCompute(
     auto it = table_.find(key);
     if (it != table_.end()) {
       ++hits_;
+      metrics::ContainmentMemoHits()->Add(1);
       return it->second;
     }
     ++misses_;
   }
+  metrics::ContainmentMemoMisses()->Add(1);
   // Compute outside the lock: containment tests are the expensive part, and
   // a duplicate computation by a racing thread is just a wasted lookup.
   Result<bool> r = compute();

@@ -1,0 +1,402 @@
+#include "src/observability/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/json_writer.h"
+#include "src/util/strings.h"
+
+namespace svx {
+
+namespace internal {
+
+size_t ThreadStripeIndex() {
+  static std::atomic<size_t> next{0};
+  // Round-robin assignment on first use gives adjacent worker threads
+  // distinct stripes; a thread keeps its stripe for its lifetime.
+  static thread_local size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace internal
+
+int64_t Histogram::Count() const {
+  int64_t n = 0;
+  for (size_t b = 0; b < kBuckets; ++b) n += BucketCount(b);
+  return n;
+}
+
+double Histogram::BucketUpperBound(size_t b) {
+  if (b == 0) return 0;
+  return std::ldexp(1.0, static_cast<int>(b)) - 1;  // 2^b - 1
+}
+
+double Histogram::Quantile(double p) const {
+  int64_t counts[kBuckets];
+  int64_t total = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = BucketCount(b);
+    total += counts[b];
+  }
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested sample, 1-based; the bucket whose cumulative
+  // count reaches it holds the quantile.
+  double rank = std::max(1.0, p * static_cast<double>(total));
+  int64_t cum = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(cum + counts[b]) >= rank) {
+      if (b == 0) return 0;
+      double lower = std::ldexp(1.0, static_cast<int>(b) - 1);  // 2^(b-1)
+      double width = lower;  // bucket spans [2^(b-1), 2^b)
+      double within = (rank - static_cast<double>(cum)) /
+                      static_cast<double>(counts[b]);
+      return lower + within * width;
+    }
+    cum += counts[b];
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+MetricRegistry::Entry* MetricRegistry::FindOrCreate(std::string_view name,
+                                                    std::string_view help,
+                                                    Kind kind) {
+  MutexLock lock(&mu_);
+  auto [it, inserted] = entries_.try_emplace(std::string(name));
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.help = std::string(help);
+    switch (kind) {
+      case Kind::kCounter: e.counter = &counters_.emplace_back(); break;
+      case Kind::kGauge: e.gauge = &gauges_.emplace_back(); break;
+      case Kind::kHistogram: e.histogram = &histograms_.emplace_back(); break;
+    }
+  }
+  SVX_CHECK_MSG(e.kind == kind, "metric re-registered with a different kind");
+  return &e;
+}
+
+Counter* MetricRegistry::counter(std::string_view name,
+                                 std::string_view help) {
+  return FindOrCreate(name, help, Kind::kCounter)->counter;
+}
+
+Gauge* MetricRegistry::gauge(std::string_view name, std::string_view help) {
+  return FindOrCreate(name, help, Kind::kGauge)->gauge;
+}
+
+Histogram* MetricRegistry::histogram(std::string_view name,
+                                     std::string_view help) {
+  return FindOrCreate(name, help, Kind::kHistogram)->histogram;
+}
+
+namespace {
+
+std::string FormatValue(double v) {
+  // Integral values (the common case: counts, microsecond sums) print
+  // without a fractional part; interpolated quantiles keep three digits.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.3f", v);
+}
+
+void RenderHistogramText(const std::string& name, const Histogram& h,
+                         std::string* out) {
+  size_t last = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.BucketCount(b) > 0) last = b;
+  }
+  int64_t cum = 0;
+  for (size_t b = 0; b <= last; ++b) {
+    cum += h.BucketCount(b);
+    *out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", name.c_str(),
+                      FormatValue(Histogram::BucketUpperBound(b)).c_str(),
+                      static_cast<long long>(cum));
+  }
+  // Buckets past `last` are empty, so cum already equals the total count.
+  *out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", name.c_str(),
+                    static_cast<long long>(cum));
+  *out += StrFormat("%s_sum %lld\n", name.c_str(),
+                    static_cast<long long>(h.Sum()));
+  *out += StrFormat("%s_count %lld\n", name.c_str(),
+                    static_cast<long long>(cum));
+}
+
+}  // namespace
+
+std::string MetricRegistry::RenderPrometheusText() const {
+  MutexLock lock(&mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) {
+      out += StrFormat("# HELP %s %s\n", name.c_str(), e.help.c_str());
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += StrFormat("# TYPE %s counter\n%s %lld\n", name.c_str(),
+                         name.c_str(),
+                         static_cast<long long>(e.counter->Value()));
+        break;
+      case Kind::kGauge:
+        out += StrFormat("# TYPE %s gauge\n%s %lld\n", name.c_str(),
+                         name.c_str(),
+                         static_cast<long long>(e.gauge->Value()));
+        break;
+      case Kind::kHistogram: {
+        out += StrFormat("# TYPE %s histogram\n", name.c_str());
+        RenderHistogramText(name, *e.histogram, &out);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::RenderJson() const {
+  MutexLock lock(&mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, e] : entries_) {
+    if (e.kind == Kind::kCounter) w.KV(name, e.counter->Value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, e] : entries_) {
+    if (e.kind == Kind::kGauge) w.KV(name, e.gauge->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, e] : entries_) {
+    if (e.kind != Kind::kHistogram) continue;
+    const Histogram& h = *e.histogram;
+    w.Key(name).BeginObject();
+    w.KV("count", h.Count());
+    w.KV("sum", h.Sum());
+    w.KV("p50", h.Quantile(0.50));
+    w.KV("p90", h.Quantile(0.90));
+    w.KV("p99", h.Quantile(0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+namespace metrics {
+
+// Each accessor registers on first call and caches the handle; the names
+// below are the complete standard catalog (README "Observability" documents
+// the same list).
+
+Counter* RewriteCalls() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_rewrite_calls_total", "Rewriter::Rewrite invocations");
+  return m;
+}
+Counter* RewriteResults() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_rewrite_results_total", "Rewritings returned across all calls");
+  return m;
+}
+Counter* RewriteCandidatesBuilt() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_rewrite_candidates_built_total",
+      "View-pattern match candidates constructed");
+  return m;
+}
+Counter* RewriteCandidatesPruned() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_rewrite_candidates_pruned_total",
+      "Candidates discarded by coverage/index pruning");
+  return m;
+}
+Counter* RewriteEquivalenceTests() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_rewrite_equivalence_tests_total",
+      "Containment-based equivalence tests run by the rewriter");
+  return m;
+}
+Histogram* RewriteLatencyUs() {
+  static Histogram* const m = MetricRegistry::Global().histogram(
+      "svx_rewrite_latency_us", "End-to-end Rewriter::Rewrite latency (us)");
+  return m;
+}
+Counter* RewriteCacheHits() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_rewrite_cache_hits_total", "RewriteCache lookups served warm");
+  return m;
+}
+Counter* RewriteCacheMisses() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_rewrite_cache_misses_total",
+      "RewriteCache lookups that fell through to the rewriter");
+  return m;
+}
+
+Counter* ContainmentMemoHits() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_containment_memo_hits_total",
+      "Containment decisions answered from the memo");
+  return m;
+}
+Counter* ContainmentMemoMisses() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_containment_memo_misses_total",
+      "Containment decisions computed and memoized");
+  return m;
+}
+
+Counter* MaintenancePasses() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_maintenance_passes_total", "ApplyUpdate maintenance passes");
+  return m;
+}
+Counter* MaintenanceViewsTouched() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_maintenance_views_touched_total",
+      "Views whose extent changed during maintenance");
+  return m;
+}
+Counter* MaintenanceViewsRebuilt() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_maintenance_views_rebuilt_total",
+      "Views maintained by full rematerialization");
+  return m;
+}
+Counter* MaintenanceViewsShared() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_maintenance_views_shared_total",
+      "Extents carried into the successor epoch unchanged");
+  return m;
+}
+Counter* MaintenanceTuplesInserted() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_maintenance_tuples_inserted_total",
+      "Delta tuples inserted into view extents");
+  return m;
+}
+Counter* MaintenanceTuplesDeleted() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_maintenance_tuples_deleted_total",
+      "Delta tuples deleted from view extents");
+  return m;
+}
+Histogram* MaintenanceApplyLatencyUs() {
+  static Histogram* const m = MetricRegistry::Global().histogram(
+      "svx_maintenance_apply_latency_us",
+      "ApplyUpdate latency, delta evaluation through publish (us)");
+  return m;
+}
+
+Gauge* EpochCurrent() {
+  static Gauge* const m = MetricRegistry::Global().gauge(
+      "svx_epoch_current", "Epoch id of the published catalog snapshot");
+  return m;
+}
+Counter* EpochPublishes() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_epoch_publish_total", "Catalog snapshot publications");
+  return m;
+}
+Gauge* EpochAgeUs() {
+  static Gauge* const m = MetricRegistry::Global().gauge(
+      "svx_epoch_age_us",
+      "Age of the published snapshot (us); refreshed by DebugMetrics()");
+  return m;
+}
+Gauge* EpochsLive() {
+  static Gauge* const m = MetricRegistry::Global().gauge(
+      "svx_epochs_live",
+      "Live CatalogSnapshot epochs (current + retired ones pinned by readers)");
+  return m;
+}
+Counter* SnapshotAcquisitions() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_snapshot_acquisitions_total", "ViewCatalog::Snapshot() calls");
+  return m;
+}
+Histogram* EpochPublishLagUs() {
+  static Histogram* const m = MetricRegistry::Global().histogram(
+      "svx_epoch_publish_lag_us",
+      "Maintenance start to epoch publish lag (us)");
+  return m;
+}
+
+Counter* ExecutorRuns() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_executor_runs_total", "Plan executions");
+  return m;
+}
+Counter* ExecutorRowsScanned() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_executor_rows_scanned_total", "Rows read from view extents");
+  return m;
+}
+Counter* ExecutorRowsEmitted() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_executor_rows_emitted_total", "Rows in executed plans' results");
+  return m;
+}
+Histogram* ExecutorLatencyUs() {
+  static Histogram* const m = MetricRegistry::Global().histogram(
+      "svx_executor_latency_us", "Plan execution latency (us)");
+  return m;
+}
+
+Counter* PersistBytesWritten() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_persist_bytes_written_total",
+      "Bytes written to the on-disk store (extents, stats, manifest)");
+  return m;
+}
+Counter* PersistFilesWritten() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_persist_files_written_total", "Files written to the on-disk store");
+  return m;
+}
+
+void RegisterStandardMetrics() {
+  RewriteCalls();
+  RewriteResults();
+  RewriteCandidatesBuilt();
+  RewriteCandidatesPruned();
+  RewriteEquivalenceTests();
+  RewriteLatencyUs();
+  RewriteCacheHits();
+  RewriteCacheMisses();
+  ContainmentMemoHits();
+  ContainmentMemoMisses();
+  MaintenancePasses();
+  MaintenanceViewsTouched();
+  MaintenanceViewsRebuilt();
+  MaintenanceViewsShared();
+  MaintenanceTuplesInserted();
+  MaintenanceTuplesDeleted();
+  MaintenanceApplyLatencyUs();
+  EpochCurrent();
+  EpochPublishes();
+  EpochAgeUs();
+  EpochsLive();
+  SnapshotAcquisitions();
+  EpochPublishLagUs();
+  ExecutorRuns();
+  ExecutorRowsScanned();
+  ExecutorRowsEmitted();
+  ExecutorLatencyUs();
+  PersistBytesWritten();
+  PersistFilesWritten();
+}
+
+}  // namespace metrics
+}  // namespace svx

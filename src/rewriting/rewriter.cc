@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "src/algebra/plan_printer.h"
+#include "src/observability/metrics.h"
+#include "src/observability/trace.h"
 #include "src/pattern/embedding.h"
 #include "src/pattern/pattern_printer.h"
 #include "src/util/strings.h"
@@ -1134,10 +1136,52 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   if (q.size() == 0 || q.Arity() == 0) {
     return Status::InvalidArgument("query must have return nodes");
   }
+  // Stats are also the feed for the process metrics, so they are always
+  // collected; callers who pass nullptr just don't see them.
+  RewriteStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const size_t pruned0 = stats->candidates_pruned;
+  const size_t eq0 = stats->equivalence_tests;
+  const size_t jc0 = stats->join_candidates;
+
+  // Opt-in tracing: one "rewrite" span with a child per phase. The phases
+  // are sequential, so a single cursor span that begin_phase() closes and
+  // reopens is enough.
+  ScopedSpan rewrite_span(options_.trace, "rewrite");
+  TraceSpan* phase = nullptr;
+  auto begin_phase = [&](const char* name) {
+    if (phase != nullptr) phase->End();
+    phase = rewrite_span.get() != nullptr
+                ? rewrite_span.get()->StartChild(name)
+                : nullptr;
+  };
+  auto end_phases = [&]() {
+    if (phase != nullptr) phase->End();
+    phase = nullptr;
+  };
+  auto record_metrics = [&](size_t num_results) {
+    metrics::RewriteCalls()->Add(1);
+    metrics::RewriteResults()->Add(static_cast<int64_t>(num_results));
+    metrics::RewriteCandidatesBuilt()->Add(
+        static_cast<int64_t>(stats->candidates_built) +
+        static_cast<int64_t>(stats->join_candidates - jc0));
+    metrics::RewriteCandidatesPruned()->Add(
+        static_cast<int64_t>(stats->candidates_pruned - pruned0));
+    metrics::RewriteEquivalenceTests()->Add(
+        static_cast<int64_t>(stats->equivalence_tests - eq0));
+    metrics::RewriteLatencyUs()->Observe(
+        static_cast<int64_t>(total_timer.ElapsedMicros()));
+    rewrite_span.Attr("results", num_results);
+    rewrite_span.Attr("candidates_pruned", stats->candidates_pruned - pruned0);
+    rewrite_span.Attr("equivalence_tests", stats->equivalence_tests - eq0);
+  };
+
+  begin_phase("analyze");
   QueryInfo qi = AnalyzeQuery(q, summary_);
 
   // ---- Setup: Prop 3.4 pruning + view expansion. ----
-  if (stats != nullptr) stats->views_total = views_.size();
+  begin_phase("prune-views");
+  stats->views_total = views_.size();
   const bool use_index = options_.use_view_index;
   const ViewIndex* index = nullptr;
   if (use_index) {
@@ -1175,7 +1219,11 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
       kept_idx.push_back(vi);
     }
   }
-  if (stats != nullptr) stats->views_kept = kept.size();
+  stats->views_kept = kept.size();
+  if (phase != nullptr) {
+    phase->AddAttr("views_total", views_.size());
+    phase->AddAttr("views_kept", kept.size());
+  }
 
   // ---- Column coverage: whole-query early-out. ----
   std::unique_ptr<CoverageAnalysis> cover;
@@ -1188,14 +1236,15 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
     // No combination of ≤ max_plan_views views can serve every return
     // column, so neither a candidate, a join, nor a union of partial
     // covers (each of which serves all columns) can exist.
-    if (stats != nullptr) {
-      stats->candidates_pruned += kept.size();
-      stats->setup_ms = total_timer.ElapsedMillis();
-      stats->total_ms = total_timer.ElapsedMillis();
-    }
+    stats->candidates_pruned += kept.size();
+    stats->setup_ms = total_timer.ElapsedMillis();
+    stats->total_ms = total_timer.ElapsedMillis();
+    end_phases();
+    record_metrics(0);
     return std::vector<Rewriting>{};
   }
 
+  begin_phase("expand-views");
   std::vector<Candidate> m0;
   std::vector<uint32_t> m0_masks;  // aligned serve masks (0 without cover)
   int instance = 0;
@@ -1231,10 +1280,9 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
     return exactness(m0[a]) < exactness(m0[b]);
   });
 
-  if (stats != nullptr) {
-    stats->candidates_built = m0.size();
-    stats->setup_ms = total_timer.ElapsedMillis();
-  }
+  stats->candidates_built = m0.size();
+  stats->setup_ms = total_timer.ElapsedMillis();
+  if (phase != nullptr) phase->AddAttr("candidates", m0.size());
 
   std::vector<Rewriting> results;
   ContainmentMemo local_memo;
@@ -1274,6 +1322,7 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   }
 
   // ---- Phase A: single-view candidates. ----
+  begin_phase("match-single-views");
   for (size_t i = 0; i < m.size(); ++i) {
     if (cover != nullptr && !cover->Covers(info[i].serve_mask)) {
       // The candidate's views provably cannot serve every column, so
@@ -1286,8 +1335,10 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
     if (over_time_budget()) break;
   }
   note_first();
+  if (phase != nullptr) phase->AddAttr("results", results.size());
 
   // ---- Phase B: left-deep join enumeration (Algorithm 1 lines 2-11). ----
+  begin_phase("enumerate-joins");
   size_t frontier_begin = 0;
   size_t total_candidates = m.size();
   bool done = results.size() >= options_.max_results ||
@@ -1479,13 +1530,19 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
            (options_.stop_at_first && !results.empty());
   }
 
+  if (phase != nullptr) {
+    phase->AddAttr("join_candidates", stats->join_candidates - jc0);
+  }
+
   // ---- Union phase (Algorithm 1 lines 13-14). ----
+  begin_phase("union-partials");
   if (!(options_.stop_at_first && !results.empty())) {
     session.UnionPhase(&results);
     note_first();
   }
 
   // ---- Cost-based selection: rank the covers, cheapest plan first. ----
+  begin_phase("rank-by-cost");
   if (options_.cost_model != nullptr && !results.empty()) {
     for (Rewriting& r : results) {
       r.est_cost = options_.cost_model->EstimateCost(*r.plan);
@@ -1497,20 +1554,18 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                        }
                        return a.compact < b.compact;
                      });
-    if (stats != nullptr) {
-      stats->cheapest_cost = results.front().est_cost;
-      stats->costliest_cost = results.back().est_cost;
-    }
+    stats->cheapest_cost = results.front().est_cost;
+    stats->costliest_cost = results.back().est_cost;
   }
 
-  if (stats != nullptr) {
-    stats->results = results.size();
-    if (memo != nullptr) {
-      stats->containment_memo_hits += memo->hits() - memo_hits0;
-      stats->containment_memo_misses += memo->misses() - memo_misses0;
-    }
-    stats->total_ms = total_timer.ElapsedMillis();
+  stats->results = results.size();
+  if (memo != nullptr) {
+    stats->containment_memo_hits += memo->hits() - memo_hits0;
+    stats->containment_memo_misses += memo->misses() - memo_misses0;
   }
+  stats->total_ms = total_timer.ElapsedMillis();
+  end_phases();
+  record_metrics(results.size());
   return results;
 }
 

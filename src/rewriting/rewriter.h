@@ -29,7 +29,8 @@
 
 namespace svx {
 
-class CostModel;  // src/viewstore/cost_model.h
+class CostModel;   // src/viewstore/cost_model.h
+class TraceSpan;   // src/observability/trace.h
 
 /// Rewriter tuning. The Prop 3.6 bound (n(Q)-1)*|S| is astronomically loose
 /// in practice; `max_plan_views` is the practical cap.
@@ -74,6 +75,14 @@ struct RewriterOptions {
   /// first, ties broken by compact form) instead of discovery order.
   /// Borrowed; must outlive the rewriter.
   const CostModel* cost_model = nullptr;
+  /// Opt-in query tracing (src/observability/trace.h): when non-null,
+  /// Rewrite() attaches per-phase child spans (analysis, pruning, view
+  /// expansion, single-view matching, join enumeration, union phase, cost
+  /// ranking) under this span, and CachedRewrite adds its cache-lookup
+  /// span. Borrowed for the duration of the call; never affects results,
+  /// so it is deliberately NOT part of the rewrite-cache key. A trace
+  /// belongs to one query on one thread.
+  TraceSpan* trace = nullptr;
 };
 
 /// One equivalent rewriting: a plan whose output columns are exactly the

@@ -1,0 +1,154 @@
+// Streaming JSON emission, shared by the bench report writers and the
+// observability exposition code (metrics registry, trace spans). Replaces
+// the per-bench hand-rolled StrFormat JSON, which each bench had copied and
+// drifted independently.
+//
+// The writer is a thin state machine: Begin/End pairs open containers, Key
+// names the next value inside an object, and the writer inserts commas,
+// newlines and two-space indentation. Values are escaped per RFC 8259.
+// No validation beyond comma placement is attempted — emitting a key
+// outside an object produces syntactically broken JSON, exactly like the
+// hand-rolled code it replaces (run the output through a parser in tests).
+//
+// Not thread-safe; build one writer per report.
+#ifndef SVX_UTIL_JSON_WRITER_H_
+#define SVX_UTIL_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace svx {
+
+class JsonWriter {
+ public:
+  /// `pretty` controls newlines + indentation; compact output otherwise.
+  explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  /// Names the next value of the enclosing object.
+  JsonWriter& Key(std::string_view k) {
+    Separate();
+    out_ += Quote(k);
+    out_ += pretty_ ? ": " : ":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(std::string_view v) { return Raw(Quote(v)); }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(bool v) { return Raw(v ? "true" : "false"); }
+  JsonWriter& Value(int64_t v) { return Raw(StrFormat("%lld", static_cast<long long>(v))); }
+  JsonWriter& Value(uint64_t v) {
+    return Raw(StrFormat("%llu", static_cast<unsigned long long>(v)));
+  }
+  JsonWriter& Value(int32_t v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(uint32_t v) { return Value(static_cast<uint64_t>(v)); }
+  /// Doubles render with up to three fractional digits (bench reports are
+  /// milliseconds; finer digits are noise) unless that would collapse a
+  /// small non-zero value to zero, then full %g. NaN/Inf have no JSON
+  /// representation and render as null.
+  JsonWriter& Value(double v) {
+    if (!std::isfinite(v)) return Null();
+    std::string s = StrFormat("%.3f", v);
+    if ((s == "0.000" || s == "-0.000") && v != 0) s = StrFormat("%g", v);
+    return Raw(s);
+  }
+  JsonWriter& Null() { return Raw("null"); }
+
+  /// Emits an already-formatted numeric token verbatim (no quoting). The
+  /// caller is responsible for it being a valid JSON number.
+  JsonWriter& RawNumber(std::string_view token) { return Raw(token); }
+
+  /// Key + value in one call.
+  template <typename T>
+  JsonWriter& KV(std::string_view k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  static std::string Quote(std::string_view s) {
+    std::string q = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': q += "\\\""; break;
+        case '\\': q += "\\\\"; break;
+        case '\n': q += "\\n"; break;
+        case '\r': q += "\\r"; break;
+        case '\t': q += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            q += StrFormat("\\u%04x", c);
+          } else {
+            q += c;
+          }
+      }
+    }
+    q += '"';
+    return q;
+  }
+
+ private:
+  JsonWriter& Open(char c) {
+    Separate();
+    out_ += c;
+    stack_.push_back(c);
+    first_in_container_ = true;
+    return *this;
+  }
+
+  JsonWriter& Close(char c) {
+    stack_.pop_back();
+    if (pretty_ && !first_in_container_) {
+      out_ += '\n';
+      Indent();
+    }
+    out_ += c;
+    first_in_container_ = false;
+    return *this;
+  }
+
+  JsonWriter& Raw(std::string_view text) {
+    Separate();
+    out_ += text;
+    return *this;
+  }
+
+  /// Emits the comma/newline/indent that precedes a new element. A value
+  /// directly after its Key continues the same line.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (!first_in_container_) out_ += ',';
+    if (pretty_) {
+      out_ += '\n';
+      Indent();
+    }
+    first_in_container_ = false;
+  }
+
+  void Indent() { out_.append(stack_.size() * 2, ' '); }
+
+  bool pretty_;
+  bool pending_value_ = false;
+  bool first_in_container_ = true;
+  std::vector<char> stack_;
+  std::string out_;
+};
+
+}  // namespace svx
+
+#endif  // SVX_UTIL_JSON_WRITER_H_

@@ -1,8 +1,22 @@
 #include "src/viewstore/catalog_snapshot.h"
 
+#include "src/observability/metrics.h"
 #include "src/util/strings.h"
 
 namespace svx {
+
+CatalogSnapshot::CatalogSnapshot()
+    : birth_(std::chrono::steady_clock::now()) {
+  metrics::EpochsLive()->Add(1);
+}
+
+CatalogSnapshot::~CatalogSnapshot() { metrics::EpochsLive()->Add(-1); }
+
+int64_t CatalogSnapshot::AgeMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - birth_)
+      .count();
+}
 
 const StoredView* CatalogSnapshot::Find(const std::string& name) const {
   for (const auto& v : views_) {

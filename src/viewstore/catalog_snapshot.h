@@ -15,6 +15,7 @@
 #ifndef SVX_VIEWSTORE_CATALOG_SNAPSHOT_H_
 #define SVX_VIEWSTORE_CATALOG_SNAPSHOT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -62,9 +63,18 @@ struct StoredView {
 /// publication are the ViewCatalog's business; readers only consume.
 class CatalogSnapshot {
  public:
+  /// Maintains the svx_epochs_live gauge: +1 at construction, -1 when the
+  /// last holder (reader or catalog) drops the epoch — live minus one is
+  /// the number of retired epochs still pinned by readers.
+  ~CatalogSnapshot();
+
   /// Monotonically increasing epoch number (1 = the catalog's initial
   /// empty snapshot).
   uint64_t epoch() const { return epoch_; }
+
+  /// Microseconds since this epoch was constructed (≈ published): the
+  /// serving staleness the future server's admission control gates on.
+  int64_t AgeMicros() const;
 
   const std::vector<std::shared_ptr<const StoredView>>& views() const {
     return views_;
@@ -118,9 +128,10 @@ class CatalogSnapshot {
 
  private:
   friend class ViewCatalog;
-  CatalogSnapshot() = default;
+  CatalogSnapshot();
 
   uint64_t epoch_ = 0;
+  std::chrono::steady_clock::time_point birth_;
   std::vector<std::shared_ptr<const StoredView>> views_;
   std::shared_ptr<const Document> doc_;
   std::shared_ptr<const Summary> summary_;

@@ -1,5 +1,7 @@
 #include "src/viewstore/rewrite_cache.h"
 
+#include "src/observability/metrics.h"
+#include "src/observability/trace.h"
 #include "src/pattern/pattern_printer.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
@@ -23,27 +25,48 @@ std::string RewriteCache::KeyFor(const Pattern& q) {
   return PatternToString(q);
 }
 
-bool RewriteCache::Lookup(const std::string& key,
-                          std::vector<Rewriting>* out) const {
+bool RewriteCache::Lookup(const std::string& key, std::vector<Rewriting>* out,
+                          RewriteStats* stats) const {
   MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    metrics::RewriteCacheMisses()->Add(1);
     return false;
   }
   ++hits_;
-  *out = CloneRewritings(it->second);
+  metrics::RewriteCacheHits()->Add(1);
+  *out = CloneRewritings(it->second.rewritings);
+  if (stats != nullptr) {
+    // Replay the search counters the entry cost when it was computed; the
+    // caller overwrites the timing fields with the (warm) lookup time.
+    const RewriteStats& s = it->second.stats;
+    stats->views_total = s.views_total;
+    stats->views_kept = s.views_kept;
+    stats->candidates_built = s.candidates_built;
+    stats->join_candidates = s.join_candidates;
+    stats->equivalence_tests = s.equivalence_tests;
+    stats->candidates_pruned = s.candidates_pruned;
+    stats->containment_memo_hits = s.containment_memo_hits;
+    stats->containment_memo_misses = s.containment_memo_misses;
+    stats->results = s.results;
+    stats->cheapest_cost = s.cheapest_cost;
+    stats->costliest_cost = s.costliest_cost;
+  }
   return true;
 }
 
 void RewriteCache::Insert(const std::string& key,
-                          const std::vector<Rewriting>& rewritings) {
-  std::vector<Rewriting> cloned = CloneRewritings(rewritings);
+                          const std::vector<Rewriting>& rewritings,
+                          const RewriteStats* stats) {
+  Entry entry;
+  entry.rewritings = CloneRewritings(rewritings);
+  if (stats != nullptr) entry.stats = *stats;
   MutexLock lock(&mu_);
   if (entries_.size() >= max_entries && entries_.find(key) == entries_.end()) {
     entries_.clear();
   }
-  entries_[key] = std::move(cloned);
+  entries_[key] = std::move(entry);
 }
 
 void RewriteCache::Invalidate() {
@@ -108,10 +131,17 @@ Result<std::vector<Rewriting>> CachedRewrite(RewriteCache* cache,
       c.model.use_strong_edges ? 1 : 0, c.model.max_embeddings,
       c.model.max_trees, c.max_grid_points, c.model.max_optional_edges);
   std::vector<Rewriting> cached;
-  if (cache->Lookup(key, &cached)) {
+  bool hit;
+  {
+    ScopedSpan span(rewriter->options().trace, "cache-lookup");
+    hit = cache->Lookup(key, &cached, stats);
+    span.Attr("hit", hit ? "true" : "false");
+  }
+  if (hit) {
     if (stats != nullptr) {
       stats->rewrite_cache_hits = 1;
-      stats->results = cached.size();
+      stats->results = cached.size();  // authoritative even for entries
+                                       // inserted without stats
       stats->first_ms = timer.ElapsedMillis();
       stats->total_ms = timer.ElapsedMillis();
     }
@@ -123,7 +153,9 @@ Result<std::vector<Rewriting>> CachedRewrite(RewriteCache* cache,
   // A time-budget-truncated search is load-dependent; caching it would pin
   // a transiently inferior (possibly empty) plan list until the next
   // catalog mutation.
-  if (fresh.ok() && !effective->time_budget_hit) cache->Insert(key, *fresh);
+  if (fresh.ok() && !effective->time_budget_hit) {
+    cache->Insert(key, *fresh, effective);
+  }
   return fresh;
 }
 

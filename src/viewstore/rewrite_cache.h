@@ -39,16 +39,21 @@ class RewriteCache {
 
   /// Returns true and fills `out` with cloned rewritings (ranked order
   /// preserved) when `key` is cached. An entry may hold zero rewritings —
-  /// "no rewriting exists" is equally worth caching.
-  bool Lookup(const std::string& key, std::vector<Rewriting>* out) const
-      SVX_EXCLUDES(mu_);
+  /// "no rewriting exists" is equally worth caching. With a non-null
+  /// `stats`, the search counters recorded at insert time (candidates
+  /// built/pruned, equivalence tests, memo hits/misses, ...) are copied
+  /// into it, so a warm hit reports the work its entry originally cost
+  /// instead of zeros; the timing fields are left to the caller.
+  bool Lookup(const std::string& key, std::vector<Rewriting>* out,
+              RewriteStats* stats = nullptr) const SVX_EXCLUDES(mu_);
 
   /// Caches `rewritings` (cloned) under `key`, replacing any previous
-  /// entry. When the cache is full, the whole table is dropped first — a
-  /// crude but constant-time eviction; `max_entries` is high enough that
-  /// this only guards against unbounded ad-hoc query streams.
-  void Insert(const std::string& key, const std::vector<Rewriting>& rewritings)
-      SVX_EXCLUDES(mu_);
+  /// entry, together with the search stats that produced them (replayed on
+  /// hits — see Lookup). When the cache is full, the whole table is dropped
+  /// first — a crude but constant-time eviction; `max_entries` is high
+  /// enough that this only guards against unbounded ad-hoc query streams.
+  void Insert(const std::string& key, const std::vector<Rewriting>& rewritings,
+              const RewriteStats* stats = nullptr) SVX_EXCLUDES(mu_);
 
   /// Drops every entry. Called when the snapshot's world is replaced (the
   /// catalog normally swaps in a fresh cache instead).
@@ -68,9 +73,13 @@ class RewriteCache {
   size_t max_entries = 4096;
 
  private:
+  struct Entry {
+    std::vector<Rewriting> rewritings;
+    RewriteStats stats;  // the miss-time search counters
+  };
+
   mutable Mutex mu_;
-  std::unordered_map<std::string, std::vector<Rewriting>> entries_
-      SVX_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Entry> entries_ SVX_GUARDED_BY(mu_);
   mutable size_t hits_ SVX_GUARDED_BY(mu_) = 0;
   mutable size_t misses_ SVX_GUARDED_BY(mu_) = 0;
   size_t invalidations_ SVX_GUARDED_BY(mu_) = 0;

@@ -10,7 +10,9 @@
 #include "src/pattern/pattern_printer.h"
 #include "src/util/check.h"
 #include "src/util/fileio.h"
+#include "src/util/json_writer.h"
 #include "src/util/strings.h"
+#include "src/util/timer.h"
 #include "src/viewstore/extent_io.h"
 
 namespace svx {
@@ -138,12 +140,15 @@ void ViewCatalog::PublishLocked(
   // lock — when the writer holds its last reference, retiring it tears
   // down extents (possibly a whole document), which must not block
   // readers.
+  const uint64_t published_epoch = snap->epoch_;
   std::shared_ptr<const CatalogSnapshot> retired;
   {
     WriterMutexLock lock(&snapshot_mu_);
     retired = std::move(snapshot_);
     snapshot_ = std::move(snap);
   }
+  metrics::EpochCurrent()->Set(static_cast<int64_t>(published_epoch));
+  metrics::EpochPublishes()->Add(1);
 }
 
 void ViewCatalog::BindDocument(std::shared_ptr<const Document> doc,
@@ -250,10 +255,15 @@ Status ViewCatalog::PersistLocked(
         !fs::exists(fs::path(dir_) / ExtentFileName(*v)) ||
         !fs::exists(fs::path(dir_) / StatsFileName(*v))) {
       v->generation = next_generation_++;
-      SVX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir_) / ExtentFileName(*v),
-                                          SerializeExtent(v->extent)));
-      SVX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir_) / StatsFileName(*v),
-                                          ViewStatsToString(v->stats)));
+      std::string extent_bytes = SerializeExtent(v->extent);
+      std::string stats_bytes = ViewStatsToString(v->stats);
+      SVX_RETURN_IF_ERROR(
+          WriteFileAtomic(fs::path(dir_) / ExtentFileName(*v), extent_bytes));
+      SVX_RETURN_IF_ERROR(
+          WriteFileAtomic(fs::path(dir_) / StatsFileName(*v), stats_bytes));
+      metrics::PersistBytesWritten()->Add(
+          static_cast<int64_t>(extent_bytes.size() + stats_bytes.size()));
+      metrics::PersistFilesWritten()->Add(2);
     }
     manifest += StrFormat("view %s %llu %s\n", v->def.name.c_str(),
                           static_cast<unsigned long long>(v->generation),
@@ -261,6 +271,8 @@ Status ViewCatalog::PersistLocked(
   }
   SVX_RETURN_IF_ERROR(
       WriteFileAtomic(fs::path(dir_) / "manifest.txt", manifest));
+  metrics::PersistBytesWritten()->Add(static_cast<int64_t>(manifest.size()));
+  metrics::PersistFilesWritten()->Add(1);
   SweepUnreferenced(dir_, LiveFileSet(views));
   return Status::OK();
 }
@@ -289,6 +301,7 @@ Status ViewCatalog::ApplyUpdateImpl(const DocumentDelta& delta,
   if (delta.old_doc == nullptr || delta.new_doc == nullptr) {
     return Status::InvalidArgument("document delta without documents");
   }
+  Timer timer;
   MutexLock lock(&writer_mu_);
   std::shared_ptr<const CatalogSnapshot> cur = Current();
   MaintenanceStats ms;
@@ -403,11 +416,23 @@ Status ViewCatalog::ApplyUpdateImpl(const DocumentDelta& delta,
     next.push_back(std::move(nv));
   }
   if (out_stats != nullptr) *out_stats = ms;
+  // Delta evaluation is done; everything past this point — persistence and
+  // the publish swap — is time the new epoch exists but is not yet served.
+  const int64_t maintained_us = static_cast<int64_t>(timer.ElapsedMicros());
   if (!dir_.empty()) {
     SVX_RETURN_IF_ERROR(PersistLocked(next));
   }
   PublishLocked(std::move(next), std::move(new_doc), std::move(new_summary),
                 /*doc_changed=*/true);
+  const int64_t total_us = static_cast<int64_t>(timer.ElapsedMicros());
+  metrics::MaintenancePasses()->Add(1);
+  metrics::MaintenanceViewsTouched()->Add(ms.views_touched);
+  metrics::MaintenanceViewsRebuilt()->Add(ms.views_rebuilt);
+  metrics::MaintenanceViewsShared()->Add(ms.views_shared);
+  metrics::MaintenanceTuplesInserted()->Add(ms.tuples_inserted);
+  metrics::MaintenanceTuplesDeleted()->Add(ms.tuples_deleted);
+  metrics::MaintenanceApplyLatencyUs()->Observe(total_us);
+  metrics::EpochPublishLagUs()->Observe(total_us - maintained_us);
   return Status::OK();
 }
 
@@ -517,6 +542,32 @@ Status ViewCatalog::LoadImpl(const Document* doc,
   PublishLocked(std::move(loaded), std::move(shared), std::move(summary),
                 /*doc_changed=*/true);
   return Status::OK();
+}
+
+std::string ViewCatalog::DebugMetrics() const {
+  std::shared_ptr<const CatalogSnapshot> snap = Snapshot();
+  const int64_t age_us = snap->AgeMicros();
+  // Refresh the point-in-time gauges so a registry render taken right after
+  // this call describes this catalog's serving state.
+  metrics::EpochCurrent()->Set(static_cast<int64_t>(snap->epoch()));
+  metrics::EpochAgeUs()->Set(age_us);
+  const RewriteCache* cache = snap->rewrite_cache();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("epoch", static_cast<uint64_t>(snap->epoch()));
+  w.KV("epoch_age_us", age_us);
+  w.KV("epochs_live", metrics::EpochsLive()->Value());
+  w.KV("views", static_cast<int64_t>(snap->size()));
+  w.KV("total_bytes", snap->TotalBytes());
+  w.Key("rewrite_cache");
+  w.BeginObject();
+  w.KV("entries", static_cast<uint64_t>(cache->size()));
+  w.KV("hits", static_cast<uint64_t>(cache->hits()));
+  w.KV("misses", static_cast<uint64_t>(cache->misses()));
+  w.KV("invalidations", static_cast<uint64_t>(cache->invalidations()));
+  w.EndObject();
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace svx

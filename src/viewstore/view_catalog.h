@@ -39,6 +39,7 @@
 
 #include "src/algebra/executor.h"
 #include "src/containment/memo.h"
+#include "src/observability/metrics.h"
 #include "src/rewriting/view.h"
 #include "src/util/mutex.h"
 #include "src/util/status.h"
@@ -84,6 +85,7 @@ class ViewCatalog {
   /// alive until the last holder drops it.
   std::shared_ptr<const CatalogSnapshot> Snapshot() const
       SVX_EXCLUDES(snapshot_mu_) {
+    metrics::SnapshotAcquisitions()->Add(1);
     ReaderMutexLock lock(&snapshot_mu_);
     return snapshot_;
   }
@@ -184,6 +186,13 @@ class ViewCatalog {
   /// Cost model over all registered views' statistics (by value; prefer
   /// Snapshot()->cost_model() to avoid the copy).
   CostModel BuildCostModel() const { return Current()->cost_model(); }
+
+  /// One JSON object describing the current epoch for debug endpoints:
+  /// epoch id and age, view count and bytes, live epoch count, and the
+  /// epoch's rewrite-cache counters. Also refreshes the svx_epoch_current
+  /// and svx_epoch_age_us gauges so a registry render taken afterwards
+  /// reflects this catalog.
+  std::string DebugMetrics() const;
 
  private:
   /// The current epoch for the single-threaded convenience accessors. The

@@ -148,6 +148,32 @@ TEST_F(RewriteCacheTest, ViewAddAndDropInvalidate) {
   EXPECT_TRUE(none.empty());
 }
 
+TEST_F(RewriteCacheTest, WarmHitReplaysSearchCounters) {
+  Rewriter rw = MakeRewriter();
+  RewriteStats cold;
+  std::vector<Rewriting> first = RewriteCached(&rw, "a(/b{v})", &cold);
+  ASSERT_FALSE(first.empty());
+  ASSERT_GT(cold.candidates_built, 0u);
+
+  RewriteStats warm;
+  std::vector<Rewriting> second = RewriteCached(&rw, "a(/b{v})", &warm);
+  ASSERT_EQ(warm.rewrite_cache_hits, 1u);
+  ASSERT_FALSE(second.empty());
+  // The hit replays the insert-time search counters instead of leaving the
+  // caller's stats zeroed — dashboards see what the cached entry cost.
+  EXPECT_EQ(warm.views_total, cold.views_total);
+  EXPECT_EQ(warm.views_kept, cold.views_kept);
+  EXPECT_EQ(warm.candidates_built, cold.candidates_built);
+  EXPECT_EQ(warm.join_candidates, cold.join_candidates);
+  EXPECT_EQ(warm.equivalence_tests, cold.equivalence_tests);
+  EXPECT_EQ(warm.candidates_pruned, cold.candidates_pruned);
+  EXPECT_EQ(warm.containment_memo_hits, cold.containment_memo_hits);
+  EXPECT_EQ(warm.containment_memo_misses, cold.containment_memo_misses);
+  EXPECT_EQ(warm.results, cold.results);
+  EXPECT_EQ(warm.cheapest_cost, cold.cheapest_cost);
+  EXPECT_EQ(warm.costliest_cost, cold.costliest_cost);
+}
+
 TEST(RewriteCacheUnit, EvictionClearsWhenFull) {
   RewriteCache cache;
   cache.max_entries = 2;

@@ -1,0 +1,150 @@
+#include "src/observability/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/executor.h"
+#include "src/pattern/pattern_parser.h"
+#include "src/rewriting/rewriter.h"
+#include "src/summary/summary_builder.h"
+#include "src/util/json_writer.h"
+#include "src/viewstore/rewrite_cache.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/xml/builder.h"
+
+namespace svx {
+namespace {
+
+std::unique_ptr<Document> Doc(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(TraceSpanTest, NullParentIsInert) {
+  ScopedSpan span(nullptr, "ignored");
+  EXPECT_EQ(span.get(), nullptr);
+  span.Attr("key", int64_t{1});  // must be a no-op, not a crash
+  ScopedSpan child(span.get(), "nested");
+  EXPECT_EQ(child.get(), nullptr);
+}
+
+TEST(TraceSpanTest, TreeShapeAndDurations) {
+  Trace trace("root");
+  TraceSpan* a = trace.root()->StartChild("a");
+  TraceSpan* a1 = a->StartChild("a1");
+  a1->End();
+  a->End();
+  TraceSpan* b = trace.root()->StartChild("b");
+  b->End();
+
+  ASSERT_EQ(trace.root()->children().size(), 2u);
+  const TraceSpan* found_a = trace.root()->FindChild("a");
+  ASSERT_NE(found_a, nullptr);
+  EXPECT_EQ(found_a->children().size(), 1u);
+  EXPECT_NE(found_a->FindChild("a1"), nullptr);
+  EXPECT_EQ(trace.root()->FindChild("missing"), nullptr);
+  EXPECT_GE(found_a->duration_us(), found_a->FindChild("a1")->duration_us());
+  EXPECT_GE(trace.root()->FindChild("b")->duration_us(), 0);
+}
+
+TEST(TraceSpanTest, EndIsIdempotent) {
+  Trace trace("root");
+  TraceSpan* a = trace.root()->StartChild("a");
+  a->End();
+  int64_t d = a->duration_us();
+  a->End();
+  EXPECT_EQ(a->duration_us(), d);
+}
+
+TEST(TraceSpanTest, RenderJsonEscapesAndShapes) {
+  Trace trace("q\"uote");
+  TraceSpan* a = trace.root()->StartChild("child");
+  a->AddAttr("view", "a\nb");
+  a->AddAttr("rows", int64_t{42});
+  a->AddAttr("cost", 1.5);
+  a->End();
+  std::string json = trace.RenderJson();
+  EXPECT_NE(json.find("\"q\\\"uote\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\\nb\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"cost\": 1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+}
+
+class ServingTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = Doc("a(b=1 b=2 c=3)");
+    summary_ = SummaryBuilder::Build(doc_.get());
+    ASSERT_TRUE(
+        catalog_.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *doc_)
+            .ok());
+  }
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<Summary> summary_;
+  ViewCatalog catalog_;
+};
+
+TEST_F(ServingTraceTest, NestedRewriteProducesPhaseSpans) {
+  Trace trace("query");
+  RewriterOptions opts;
+  opts.memo = catalog_.containment_memo();
+  opts.trace = trace.root();
+  Rewriter rw(*summary_, opts);
+  for (const auto& v : catalog_.views()) rw.AddView(v->def);
+
+  Result<std::vector<Rewriting>> rws =
+      CachedRewrite(catalog_.rewrite_cache(), &rw,
+                    MustParsePattern("a(/b{v})"), nullptr);
+  ASSERT_TRUE(rws.ok()) << rws.status().ToString();
+  ASSERT_FALSE(rws->empty());
+
+  // cache-lookup (miss) and the rewrite span, as siblings under the root.
+  EXPECT_NE(trace.root()->FindChild("cache-lookup"), nullptr);
+  const TraceSpan* rewrite = trace.root()->FindChild("rewrite");
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_FALSE(rewrite->children().empty());
+  EXPECT_NE(rewrite->FindChild("analyze"), nullptr);
+  EXPECT_NE(rewrite->FindChild("prune-views"), nullptr);
+  EXPECT_NE(rewrite->FindChild("match-single-views"), nullptr);
+  EXPECT_NE(rewrite->FindChild("rank-by-cost"), nullptr);
+
+  // The executor attaches a per-operator span tree under the same root.
+  const size_t before = trace.root()->children().size();
+  Result<Table> out =
+      Execute(*rws->front().plan, catalog_.ExecutorCatalog(), trace.root());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GT(trace.root()->children().size(), before);
+
+  std::string json = trace.RenderJson();
+  EXPECT_NE(json.find("\"rewrite\""), std::string::npos);
+  EXPECT_NE(json.find("out_rows"), std::string::npos);
+}
+
+TEST_F(ServingTraceTest, WarmLookupTracesTheHit) {
+  RewriterOptions opts;
+  opts.memo = catalog_.containment_memo();
+  Rewriter rw(*summary_, opts);
+  for (const auto& v : catalog_.views()) rw.AddView(v->def);
+  Pattern q = MustParsePattern("a(/b{v})");
+  ASSERT_TRUE(CachedRewrite(catalog_.rewrite_cache(), &rw, q, nullptr).ok());
+
+  Trace trace("warm");
+  RewriterOptions topts = opts;
+  topts.trace = trace.root();
+  Rewriter traced(*summary_, topts);
+  for (const auto& v : catalog_.views()) traced.AddView(v->def);
+  Result<std::vector<Rewriting>> rws =
+      CachedRewrite(catalog_.rewrite_cache(), &traced, q, nullptr);
+  ASSERT_TRUE(rws.ok());
+
+  // Served warm: a cache-lookup span but no rewrite phases.
+  EXPECT_NE(trace.root()->FindChild("cache-lookup"), nullptr);
+  EXPECT_EQ(trace.root()->FindChild("rewrite"), nullptr);
+  EXPECT_NE(trace.RenderJson().find("\"hit\": \"true\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svx

@@ -87,6 +87,27 @@ else
   pass "dropped Status rejected"
 fi
 
+# Positive probe: metric call sites must keep compiling when every metric is
+# compiled out (-DSVX_METRICS_DISABLED, the CI overhead gate's baseline
+# build). If the no-op inline bodies drift out of sync with the real API,
+# this catches it without a full CMake reconfigure.
+cat > "$PROBE_DIR/metrics_off.cc" <<'EOF'
+#include "src/observability/metrics.h"
+void Touch() {
+  svx::metrics::RewriteCalls()->Add(1);
+  svx::metrics::EpochCurrent()->Set(3);
+  svx::metrics::RewriteLatencyUs()->Observe(42);
+  svx::ScopedLatency timed(svx::metrics::ExecutorLatencyUs());
+  svx::metrics::RegisterStandardMetrics();
+}
+EOF
+if ${CXX:-c++} -std=c++20 -I. -Wall -Werror=unused-result \
+     -DSVX_METRICS_DISABLED -fsyntax-only "$PROBE_DIR/metrics_off.cc"; then
+  pass "metrics call sites compile with SVX_METRICS_DISABLED"
+else
+  fail "metrics kill switch broke a call site (no-op stubs out of sync)"
+fi
+
 if [ -n "$CLANG_CXX" ]; then
   cat > "$PROBE_DIR/race.cc" <<'EOF'
 #include "src/util/mutex.h"
