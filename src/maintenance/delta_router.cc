@@ -1,0 +1,19 @@
+#include "src/maintenance/delta_router.h"
+
+namespace svx {
+
+int RouteDelta(const ShardRouter& router, const DocumentDelta& delta) {
+  return router.Route(delta.region);
+}
+
+std::vector<std::vector<size_t>> SplitByShard(
+    const ShardRouter& router, const std::vector<DocumentDelta>& deltas) {
+  std::vector<std::vector<size_t>> by_shard(
+      static_cast<size_t>(router.num_shards()));
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    by_shard[static_cast<size_t>(RouteDelta(router, deltas[i]))].push_back(i);
+  }
+  return by_shard;
+}
+
+}  // namespace svx

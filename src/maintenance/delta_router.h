@@ -1,0 +1,28 @@
+// Routes DocumentDeltas to catalog shards. A delta names one subtree region
+// (always depth >= 2: the root cannot be inserted or deleted), and the shard
+// router cuts only at top-level subtree boundaries, so every delta falls
+// entirely inside exactly one shard — routing is a lookup, not a split.
+// Unpartitionable (global) views additionally see every delta regardless of
+// shard; that fan-out is the sharded catalog's job, not the router's.
+#ifndef SVX_MAINTENANCE_DELTA_ROUTER_H_
+#define SVX_MAINTENANCE_DELTA_ROUTER_H_
+
+#include <vector>
+
+#include "src/viewstore/shard_router.h"
+#include "src/xml/update.h"
+
+namespace svx {
+
+/// Shard owning `delta`'s region.
+int RouteDelta(const ShardRouter& router, const DocumentDelta& delta);
+
+/// Splits an ordered delta stream into per-shard subsequences, preserving
+/// the stream order within each shard. result[s] holds indexes into
+/// `deltas` for shard s; result.size() == router.num_shards().
+std::vector<std::vector<size_t>> SplitByShard(
+    const ShardRouter& router, const std::vector<DocumentDelta>& deltas);
+
+}  // namespace svx
+
+#endif  // SVX_MAINTENANCE_DELTA_ROUTER_H_

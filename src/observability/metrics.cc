@@ -137,26 +137,45 @@ void RenderHistogramText(const std::string& name, const Histogram& h,
 std::string MetricRegistry::RenderPrometheusText() const {
   MutexLock lock(&mu_);
   std::string out;
+  // Labeled series (`base{shard="0"}`) share one Prometheus family with
+  // their base name; HELP/TYPE must appear once per family, not once per
+  // series. The map's sort order keeps a family's series adjacent ('{'
+  // collates after every metric-name character), so tracking the previous
+  // family name is enough to dedupe.
+  std::string prev_family;
   for (const auto& [name, e] : entries_) {
-    if (!e.help.empty()) {
-      out += StrFormat("# HELP %s %s\n", name.c_str(), e.help.c_str());
+    std::string family = name.substr(0, name.find('{'));
+    if (family != prev_family) {
+      prev_family = family;
+      if (!e.help.empty()) {
+        out += StrFormat("# HELP %s %s\n", family.c_str(), e.help.c_str());
+      }
+      switch (e.kind) {
+        case Kind::kCounter:
+          out += StrFormat("# TYPE %s counter\n", family.c_str());
+          break;
+        case Kind::kGauge:
+          out += StrFormat("# TYPE %s gauge\n", family.c_str());
+          break;
+        case Kind::kHistogram:
+          out += StrFormat("# TYPE %s histogram\n", family.c_str());
+          break;
+      }
     }
     switch (e.kind) {
       case Kind::kCounter:
-        out += StrFormat("# TYPE %s counter\n%s %lld\n", name.c_str(),
-                         name.c_str(),
+        out += StrFormat("%s %lld\n", name.c_str(),
                          static_cast<long long>(e.counter->Value()));
         break;
       case Kind::kGauge:
-        out += StrFormat("# TYPE %s gauge\n%s %lld\n", name.c_str(),
-                         name.c_str(),
+        out += StrFormat("%s %lld\n", name.c_str(),
                          static_cast<long long>(e.gauge->Value()));
         break;
-      case Kind::kHistogram: {
-        out += StrFormat("# TYPE %s histogram\n", name.c_str());
+      case Kind::kHistogram:
+        // Histograms are never registered with labels (the _bucket/_sum
+        // suffixes would collide with the label syntax).
         RenderHistogramText(name, *e.histogram, &out);
         break;
-      }
     }
   }
   return out;
@@ -366,6 +385,58 @@ Counter* PersistFilesWritten() {
   return m;
 }
 
+Counter* DeltasCoalesced() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_deltas_coalesced_total",
+      "Queued document deltas folded into an already-pending maintenance "
+      "batch instead of publishing their own epoch");
+  return m;
+}
+Counter* DeltasApplied() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_deltas_applied_total",
+      "Document deltas applied across all shards");
+  return m;
+}
+Counter* WalBytesWritten() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_wal_bytes_total", "Bytes appended to write-ahead delta logs");
+  return m;
+}
+Counter* WalRecordsAppended() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_wal_records_total", "Records appended to write-ahead delta logs");
+  return m;
+}
+Counter* WalReplays() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_wal_replays_total",
+      "Write-ahead log records replayed during catalog recovery");
+  return m;
+}
+Counter* WalTornTruncations() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_wal_torn_truncations_total",
+      "Torn final WAL records truncated at the last valid checksum");
+  return m;
+}
+
+Counter* ShardCounter(std::string_view base, int shard,
+                      std::string_view help) {
+  return MetricRegistry::Global().counter(
+      StrFormat("%s{shard=\"%d\"}", std::string(base).c_str(), shard), help);
+}
+Gauge* ShardGauge(std::string_view base, int shard, std::string_view help) {
+  return MetricRegistry::Global().gauge(
+      StrFormat("%s{shard=\"%d\"}", std::string(base).c_str(), shard), help);
+}
+
+Gauge* ShardEpochAgeUs(int shard) {
+  return ShardGauge("svx_shard_epoch_age_us", shard,
+                    "Age of the shard's published snapshot (us); refreshed "
+                    "by DebugMetrics()");
+}
+
 void RegisterStandardMetrics() {
   RewriteCalls();
   RewriteResults();
@@ -396,6 +467,12 @@ void RegisterStandardMetrics() {
   ExecutorLatencyUs();
   PersistBytesWritten();
   PersistFilesWritten();
+  DeltasCoalesced();
+  DeltasApplied();
+  WalBytesWritten();
+  WalRecordsAppended();
+  WalReplays();
+  WalTornTruncations();
 }
 
 }  // namespace metrics

@@ -262,6 +262,28 @@ Histogram* ExecutorLatencyUs();
 Counter* PersistBytesWritten();
 Counter* PersistFilesWritten();
 
+// Sharding / durability domain (PR 8). The per-process totals aggregate
+// across shards; the Shard* accessors return per-shard labeled series
+// (`base{shard="N"}`) so exposition can attribute epoch age and delta flow
+// to an individual shard. Labeled series render inside the same Prometheus
+// family as their base name.
+Counter* DeltasCoalesced();
+Counter* DeltasApplied();
+Counter* WalBytesWritten();
+Counter* WalRecordsAppended();
+Counter* WalReplays();
+Counter* WalTornTruncations();
+
+/// `base{shard="N"}` labeled counter/gauge in the global registry. Handles
+/// are stable for the process lifetime; callers cache them per shard.
+Counter* ShardCounter(std::string_view base, int shard,
+                      std::string_view help = "");
+Gauge* ShardGauge(std::string_view base, int shard,
+                  std::string_view help = "");
+
+/// Per-shard epoch age gauge, svx_shard_epoch_age_us{shard="N"}.
+Gauge* ShardEpochAgeUs(int shard);
+
 /// Forces registration of the whole catalog above, so a render covers every
 /// domain regardless of which code paths have run. Benches call this once
 /// at startup.

@@ -9,12 +9,15 @@
 #ifndef SVX_UTIL_MUTEX_H_
 #define SVX_UTIL_MUTEX_H_
 
+#include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
 
 #include "src/util/thread_annotations.h"
 
 namespace svx {
+
+class CondVar;
 
 /// std::mutex as a Clang capability. Prefer MutexLock over manual
 /// Lock/Unlock pairs.
@@ -29,7 +32,31 @@ class SVX_CAPABILITY("mutex") Mutex {
   bool TryLock() SVX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
+  friend class CondVar;
   std::mutex mu_;
+};
+
+/// Condition variable paired with Mutex (std::condition_variable behind the
+/// annotated wrapper). Wait atomically releases the mutex and reacquires it
+/// before returning, so the SVX_REQUIRES contract holds on both edges; the
+/// transient release inside is invisible to (and sound for) the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) SVX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
 };
 
 /// std::shared_mutex as a Clang capability: exclusive (writer) side via

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
+#include <set>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -23,6 +26,7 @@ namespace fs = std::filesystem;
 
 constexpr std::string_view kManifestHeaderV1 = "svx-viewstore 1";
 constexpr std::string_view kManifestHeaderV2 = "svx-viewstore 2";
+constexpr std::string_view kManifestHeaderV3 = "svx-viewstore 3";
 
 bool SafeName(const std::string& name) {
   if (name.empty() || name.size() > 128) return false;
@@ -102,13 +106,46 @@ std::unordered_set<std::string> LiveFileSet(
 
 ViewCatalog::ViewCatalog() : ViewCatalog(std::string()) {}
 
-ViewCatalog::ViewCatalog(std::string dir) : dir_(std::move(dir)) {
+ViewCatalog::ViewCatalog(std::string dir)
+    : ViewCatalog(ViewCatalogOptions{std::move(dir), false}) {}
+
+ViewCatalog::ViewCatalog(ViewCatalogOptions options)
+    : dir_(std::move(options.dir)),
+      enable_delta_log_(options.enable_delta_log && !dir_.empty()) {
   // NOLINTNEXTLINE(modernize-make-shared): private ctor, friend-only access.
   auto initial = std::shared_ptr<CatalogSnapshot>(new CatalogSnapshot());
   initial->epoch_ = next_epoch_++;
   initial->rewrite_cache_ = std::make_shared<RewriteCache>();
   initial->memo_ = std::make_shared<ContainmentMemo>();
   snapshot_ = std::move(initial);
+}
+
+void ViewCatalog::SetExtentPartition(
+    std::shared_ptr<const ExtentPartition> partition) {
+  MutexLock lock(&writer_mu_);
+  partition_ = std::move(partition);
+}
+
+void ViewCatalog::SetShardLabel(int shard) {
+  shard_.store(shard, std::memory_order_relaxed);
+  if (shard >= 0) {
+    // Resolve the labeled handles once: the maintenance hot path only loads
+    // these atomics, never touching the registry mutex.
+    shard_passes_.store(
+        metrics::ShardCounter("svx_maintenance_passes_total", shard,
+                              "Maintenance passes applied to this shard."),
+        std::memory_order_release);
+    shard_deltas_.store(
+        metrics::ShardCounter("svx_deltas_applied_total", shard,
+                              "Document deltas folded into this shard."),
+        std::memory_order_release);
+    shard_epoch_age_.store(metrics::ShardEpochAgeUs(shard),
+                           std::memory_order_release);
+  } else {
+    shard_passes_.store(nullptr, std::memory_order_release);
+    shard_deltas_.store(nullptr, std::memory_order_release);
+    shard_epoch_age_.store(nullptr, std::memory_order_release);
+  }
 }
 
 void ViewCatalog::PublishLocked(
@@ -172,6 +209,8 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
     return Status::InvalidArgument(
         "zero-column extent with rows is not storable: " + def.name);
   }
+  MutexLock lock(&writer_mu_);
+  if (partition_ != nullptr) partition_->Filter(def, &extent);
   extent.SortRowsCanonical();
   auto stored = std::make_shared<StoredView>();
   stored->stats = ComputeViewStats(extent);
@@ -179,7 +218,6 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
   stored->def = std::move(def);
   stored->extent = std::move(extent);
 
-  MutexLock lock(&writer_mu_);
   std::vector<std::shared_ptr<const StoredView>> next = Current()->views();
   bool replaced = false;
   for (auto& v : next) {
@@ -191,6 +229,13 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
   }
   if (!replaced) next.push_back(std::move(stored));
   PublishLocked(std::move(next), nullptr, nullptr, /*doc_changed=*/false);
+  if (enable_delta_log_) {
+    // A view-set mutation changes what WAL replay must resolve by name;
+    // checkpoint immediately so no log record can ever reference a view
+    // the persisted manifest does not know.
+    std::shared_ptr<const CatalogSnapshot> cur = Current();
+    return PersistLocked(cur->views(), cur->epoch());
+  }
   return Status::OK();
 }
 
@@ -202,17 +247,33 @@ Status ViewCatalog::Drop(const std::string& name) {
   if (it == next.end()) return Status::NotFound("no such view: " + name);
   next.erase(it);
   PublishLocked(std::move(next), nullptr, nullptr, /*doc_changed=*/false);
+  if (enable_delta_log_) {
+    std::shared_ptr<const CatalogSnapshot> cur = Current();
+    return PersistLocked(cur->views(), cur->epoch());
+  }
   return Status::OK();
 }
 
 Status ViewCatalog::Save() const {
   if (dir_.empty()) return Status::InvalidArgument("catalog has no store dir");
   MutexLock lock(&writer_mu_);
-  return PersistLocked(Current()->views());
+  std::shared_ptr<const CatalogSnapshot> cur = Current();
+  return PersistLocked(cur->views(), cur->epoch());
+}
+
+Status ViewCatalog::EnsureWalLocked() const {
+  if (wal_ != nullptr && wal_->generation() == wal_generation_) {
+    return Status::OK();
+  }
+  Result<std::unique_ptr<DeltaLog>> log = DeltaLog::Open(dir_, wal_generation_);
+  if (!log.ok()) return log.status();
+  wal_ = std::move(log).value();
+  return Status::OK();
 }
 
 Status ViewCatalog::PersistLocked(
-    const std::vector<std::shared_ptr<const StoredView>>& views) const {
+    const std::vector<std::shared_ptr<const StoredView>>& views,
+    uint64_t epoch) const {
   if (dir_.empty()) return Status::InvalidArgument("catalog has no store dir");
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -248,8 +309,17 @@ Status ViewCatalog::PersistLocked(
   // last: a crash anywhere mid-save leaves the previous manifest
   // referencing only complete files of the previous generations — file
   // names are never reused, so versions cannot mix.
-  std::string manifest(kManifestHeaderV2);
+  // The v3 manifest records the epoch its extents capture; in delta-log
+  // mode it also advances the WAL segment floor past the current segment,
+  // making this save the checkpoint that retires every earlier record.
+  const uint64_t new_floor = wal_generation_ + 1;
+  std::string manifest(kManifestHeaderV3);
   manifest.push_back('\n');
+  manifest += StrFormat("epoch %llu\n", static_cast<unsigned long long>(epoch));
+  if (enable_delta_log_) {
+    manifest +=
+        StrFormat("wal %llu\n", static_cast<unsigned long long>(new_floor));
+  }
   for (const auto& v : views) {
     if (v->generation == 0 ||
         !fs::exists(fs::path(dir_) / ExtentFileName(*v)) ||
@@ -274,12 +344,25 @@ Status ViewCatalog::PersistLocked(
   metrics::PersistBytesWritten()->Add(static_cast<int64_t>(manifest.size()));
   metrics::PersistFilesWritten()->Add(1);
   SweepUnreferenced(dir_, LiveFileSet(views));
+  // Rotate and truncate the delta log: the manifest (already flipped) names
+  // `new_floor`, so records in the old segments can never replay again —
+  // close the old segment, open the fresh one, sweep the rest. A crash
+  // between the flip and the fresh segment's creation is safe: replay from
+  // a floor with no segments is empty, and the extents are complete.
+  wal_generation_ = new_floor;
+  wal_floor_ = new_floor;
+  wal_depth_.store(0, std::memory_order_relaxed);
+  if (enable_delta_log_) {
+    wal_.reset();
+    SVX_RETURN_IF_ERROR(EnsureWalLocked());
+  }
+  DeltaLog::SweepSegments(dir_, new_floor);
   return Status::OK();
 }
 
 Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
                                 MaintenanceStats* out_stats) {
-  return ApplyUpdateImpl(delta, nullptr, nullptr, out_stats);
+  return ApplyUpdateBatchImpl({delta}, nullptr, nullptr, out_stats, nullptr);
 }
 
 Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
@@ -290,137 +373,230 @@ Status ViewCatalog::ApplyUpdate(const DocumentDelta& delta,
     return Status::InvalidArgument(
         "shared document must be the delta's new_doc");
   }
-  return ApplyUpdateImpl(delta, std::move(new_doc), std::move(new_summary),
-                         out_stats);
+  return ApplyUpdateBatchImpl({delta}, std::move(new_doc),
+                              std::move(new_summary), out_stats, nullptr);
 }
 
-Status ViewCatalog::ApplyUpdateImpl(const DocumentDelta& delta,
-                                    std::shared_ptr<const Document> new_doc,
-                                    std::shared_ptr<const Summary> new_summary,
-                                    MaintenanceStats* out_stats) {
-  if (delta.old_doc == nullptr || delta.new_doc == nullptr) {
-    return Status::InvalidArgument("document delta without documents");
+Status ViewCatalog::ApplyUpdateBatch(const std::vector<DocumentDelta>& deltas,
+                                     std::shared_ptr<const Document> new_doc,
+                                     std::shared_ptr<const Summary> new_summary,
+                                     MaintenanceStats* out_stats,
+                                     TraceSpan* span) {
+  if (deltas.empty()) return Status::InvalidArgument("empty delta batch");
+  if (new_doc != nullptr && new_doc.get() != deltas.back().new_doc) {
+    return Status::InvalidArgument(
+        "shared document must be the last delta's new_doc");
   }
+  return ApplyUpdateBatchImpl(deltas, std::move(new_doc),
+                              std::move(new_summary), out_stats, span);
+}
+
+Status ViewCatalog::ApplyUpdateBatchImpl(
+    const std::vector<DocumentDelta>& deltas,
+    std::shared_ptr<const Document> new_doc,
+    std::shared_ptr<const Summary> new_summary, MaintenanceStats* out_stats,
+    TraceSpan* span) {
+  for (const DocumentDelta& delta : deltas) {
+    if (delta.old_doc == nullptr || delta.new_doc == nullptr) {
+      return Status::InvalidArgument("document delta without documents");
+    }
+  }
+  const Document& final_doc = *deltas.back().new_doc;
   Timer timer;
+  ScopedSpan pass_span(span, "maintenance_pass");
+  const int shard = shard_.load(std::memory_order_relaxed);
+  if (shard >= 0) pass_span.Attr("shard", static_cast<int64_t>(shard));
+  pass_span.Attr("deltas", static_cast<int64_t>(deltas.size()));
   MutexLock lock(&writer_mu_);
   std::shared_ptr<const CatalogSnapshot> cur = Current();
   MaintenanceStats ms;
+  ms.deltas_applied = static_cast<int32_t>(deltas.size());
+  // WAL eligibility: the whole pass logs as one record of net tuple changes
+  // — unless any view rebuilds, which is not expressible as a tuple delta
+  // and forces a full checkpoint instead.
+  bool wal_eligible = enable_delta_log_;
+  std::vector<WalViewDelta> wal_views;
   std::vector<std::shared_ptr<const StoredView>> next;
   next.reserve(cur->views().size());
   for (const std::shared_ptr<const StoredView>& v : cur->views()) {
-    auto rebuild = [&]() {
-      auto nv = std::make_shared<StoredView>();
+    const bool has_content = SchemaHasContent(v->extent.schema());
+    // The view's value-count cache, built from the pre-batch extent on
+    // first use and folded step by step (writer-private, see StoredView).
+    std::shared_ptr<ValueCountCache> cache = std::move(v->value_counts);
+    // Copy-on-maintenance, lazily: readers of the current epoch keep the
+    // pre-update extent; `extent` always points at the rows the next step's
+    // delta must be computed against.
+    std::shared_ptr<StoredView> nv;
+    const Table* extent = &v->extent;
+    auto ensure_copy = [&]() {
+      if (nv != nullptr) return;
+      nv = std::make_shared<StoredView>();
       nv->def = v->def;
-      Table extent =
-          MaterializeView(v->def.pattern, v->def.name, *delta.new_doc);
-      extent.SortRowsCanonical();
-      nv->stats = ComputeViewStats(extent);
-      nv->extent = std::move(extent);
+      nv->extent = v->extent;
+      nv->extent_bytes = v->extent_bytes;
+      nv->stats = v->stats;
+      extent = &nv->extent;
+    };
+    bool rebuilt = false;
+    bool tuples_changed = false;
+    // Net tuple changes across the batch, keyed by stable tuple encoding —
+    // a delete cancels a pending insert of the same row and vice versa, so
+    // the WAL record captures only what replay must actually change.
+    std::map<std::string, Tuple> net_inserts;
+    std::set<std::string> net_deletes;
+    auto rebuild = [&]() {
+      ensure_copy();
+      Table fresh = MaterializeView(v->def.pattern, v->def.name, final_doc);
+      if (partition_ != nullptr) partition_->Filter(v->def, &fresh);
+      fresh.SortRowsCanonical();
+      nv->stats = ComputeViewStats(fresh);
+      nv->extent = std::move(fresh);
       nv->extent_bytes = ExtentByteSize(nv->extent);
+      nv->generation = 0;  // persisted fresh
+      cache = nullptr;     // counts describe the discarded extent
+      rebuilt = true;
+      wal_eligible = false;
       ++ms.views_rebuilt;
       ++ms.views_touched;
-      next.push_back(std::move(nv));  // generation 0: persisted fresh
     };
-    TableDelta td =
-        ComputeViewDelta(v->def.pattern, v->def.name, v->extent, delta);
-    if (td.full_rebuild) {
-      rebuild();
-      continue;
+    for (const DocumentDelta& delta : deltas) {
+      TableDelta td =
+          ComputeViewDelta(v->def.pattern, v->def.name, *extent, delta);
+      if (td.full_rebuild) {
+        // Rebuilding from the batch's final document subsumes every
+        // remaining step: stop folding.
+        rebuild();
+        break;
+      }
+      if (td.Empty()) continue;  // content rebind happens once, at the end
+      ensure_copy();
+      if (cache == nullptr) {
+        // Must describe the pre-step extent: build before mutating rows.
+        cache = std::make_shared<ValueCountCache>(BuildValueCounts(*extent));
+      }
+      std::vector<Tuple>& rows = nv->extent.mutable_rows();
+      int64_t deleted = 0;
+      if (!td.delete_rows.empty()) {
+        // The delta was computed against this very extent (same row
+        // order), so dropping by index avoids re-encoding rows for key
+        // matching.
+        size_t next_delete = 0;
+        size_t out = 0;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (next_delete < td.delete_rows.size() &&
+              static_cast<int64_t>(i) == td.delete_rows[next_delete]) {
+            nv->extent_bytes -= TupleByteSize(rows[i]);
+            ++deleted;
+            ++next_delete;
+            continue;
+          }
+          if (out != i) rows[out] = std::move(rows[i]);
+          ++out;
+        }
+        rows.resize(out);
+      }
+      // Byte sizes track per-tuple cell sizes (rows carry no per-row
+      // header), so the recorded size stays exact without a full recount.
+      for (const Tuple& t : td.inserts) {
+        nv->extent_bytes += TupleByteSize(t);
+        rows.push_back(t);
+      }
+      nv->stats = RefreshViewStatsCached(nv->stats, nv->extent.schema(),
+                                         cache.get(), td.deletes, td.inserts);
+      // The next step's delta is computed against canonical row order.
+      nv->extent.SortRowsCanonical();
+      tuples_changed = true;
+      ms.tuples_deleted += deleted;
+      ms.tuples_inserted += static_cast<int64_t>(td.inserts.size());
+      if (wal_eligible) {
+        for (const Tuple& t : td.deletes) {
+          std::string key = EncodeTupleKey(t);
+          if (net_inserts.erase(key) == 0) net_deletes.insert(std::move(key));
+        }
+        for (const Tuple& t : td.inserts) {
+          std::string key = EncodeTupleKey(t);
+          if (net_deletes.erase(key) == 0) {
+            net_inserts.insert_or_assign(std::move(key), t);
+          }
+        }
+      }
     }
-    bool has_content = SchemaHasContent(v->extent.schema());
-    if (td.Empty() && !has_content) {
-      // Nothing in the extent references either document version: the
-      // stored view — and its on-disk generation — carries into the new
-      // epoch as-is, shared with readers of older epochs.
+    if (!rebuilt && nv == nullptr && !has_content) {
+      // Nothing in the extent references any document version in the
+      // batch: the stored view — and its on-disk generation — carries into
+      // the new epoch as-is, shared with readers of older epochs.
+      v->value_counts = std::move(cache);
       next.push_back(v);
       ++ms.views_shared;
       continue;
     }
-    // Copy-on-maintenance: apply the delta to a private copy, so readers
-    // of the current epoch keep the pre-update extent. Remove by row
-    // index, rebind survivors' content references to the new document
-    // (ORDPATH stability makes this a pure re-lookup — needed even with an
-    // empty tuple delta, since the old document may be destroyed after
-    // this call), append inserts, restore the canonical order.
-    auto nv = std::make_shared<StoredView>();
-    nv->def = v->def;
-    nv->extent = v->extent;
-    nv->extent_bytes = v->extent_bytes;
-    nv->stats = v->stats;
-    std::vector<Tuple>& rows = nv->extent.mutable_rows();
-    int64_t deleted = 0;
-    if (!td.delete_rows.empty()) {
-      // The delta was computed against this very extent, so dropping by
-      // row index avoids re-encoding the whole extent for key matching.
-      size_t next_delete = 0;
-      size_t out = 0;
-      for (size_t i = 0; i < rows.size(); ++i) {
-        if (next_delete < td.delete_rows.size() &&
-            static_cast<int64_t>(i) == td.delete_rows[next_delete]) {
-          nv->extent_bytes -= TupleByteSize(rows[i]);
-          ++deleted;
-          ++next_delete;
-          continue;
-        }
-        if (out != i) rows[out] = std::move(rows[i]);
-        ++out;
-      }
-      rows.resize(out);
-    }
-    if (has_content) {
+    if (!rebuilt && has_content) {
+      // Rebind surviving content references to the final document (ORDPATH
+      // stability makes this a pure re-lookup — needed even with an empty
+      // tuple delta, since the intermediate documents may be destroyed
+      // after this call). A reference that did not survive as expected
+      // means the view cannot be patched incrementally: rebuild it.
+      ensure_copy();
       bool rebound = true;
-      for (Tuple& row : rows) {
-        if (!RebindTupleContent(&row, *delta.new_doc).ok()) {
-          // A stored reference did not survive as expected; rather than
-          // leave this view half-patched (and pointing into old_doc),
-          // rebuild it from the new document.
+      for (Tuple& row : nv->extent.mutable_rows()) {
+        if (!RebindTupleContent(&row, final_doc).ok()) {
           rebound = false;
           break;
         }
       }
-      if (!rebound) {
-        rebuild();
-        continue;
-      }
+      if (!rebound) rebuild();
     }
-    // Byte sizes track per-tuple cell sizes (rows carry no per-row
-    // header), so the recorded size stays exact without a full recount.
-    for (const Tuple& t : td.inserts) {
-      nv->extent_bytes += TupleByteSize(t);
-      rows.push_back(t);
+    if (rebuilt) {
+      next.push_back(std::move(nv));  // generation 0: persisted fresh
+      continue;
     }
-    if (deleted > 0 || !td.inserts.empty()) {
-      // O(|delta|) statistics refresh through the view's value-count
-      // cache, built from the pre-delta extent on first maintenance and
-      // handed from epoch to epoch (writer-private, see StoredView).
-      std::shared_ptr<ValueCountCache> cache = std::move(v->value_counts);
-      if (cache == nullptr) {
-        cache = std::make_shared<ValueCountCache>(BuildValueCounts(v->extent));
-      }
-      nv->stats = RefreshViewStatsCached(v->stats, nv->extent.schema(),
-                                         cache.get(), td.deletes, td.inserts);
-      nv->value_counts = std::move(cache);
-      nv->extent.SortRowsCanonical();
+    if (tuples_changed) {
       ++ms.views_touched;
       // generation stays 0: the changed extent is persisted fresh.
     } else {
       // Rebind-only: content references serialize as ORDPATHs, so the
       // on-disk bytes are unchanged — keep the generation (and skip the
-      // rewrite), and carry the maintenance cache forward.
+      // rewrite).
       nv->generation = v->generation;
-      nv->value_counts = std::move(v->value_counts);
       ++ms.views_shared;
     }
-    ms.tuples_deleted += deleted;
-    ms.tuples_inserted += static_cast<int64_t>(td.inserts.size());
+    nv->value_counts = std::move(cache);
+    if (wal_eligible && (!net_deletes.empty() || !net_inserts.empty())) {
+      WalViewDelta wd;
+      wd.view = v->def.name;
+      wd.delete_keys.assign(net_deletes.begin(), net_deletes.end());
+      Table inserts(nv->extent.schema());
+      for (const auto& [key, row] : net_inserts) inserts.AddRow(row);
+      wd.inserts_bytes = SerializeExtent(inserts);
+      wal_views.push_back(std::move(wd));
+    }
     next.push_back(std::move(nv));
   }
   if (out_stats != nullptr) *out_stats = ms;
-  // Delta evaluation is done; everything past this point — persistence and
+  // Delta evaluation is done; everything past this point — durability and
   // the publish swap — is time the new epoch exists but is not yet served.
   const int64_t maintained_us = static_cast<int64_t>(timer.ElapsedMicros());
-  if (!dir_.empty()) {
-    SVX_RETURN_IF_ERROR(PersistLocked(next));
+  // The epoch PublishLocked will mint; recorded in the WAL before the swap
+  // so replay can tell which records a persisted manifest already covers.
+  const uint64_t publish_epoch = next_epoch_;
+  pass_span.Attr("epoch", publish_epoch);
+  pass_span.Attr("views_touched", static_cast<int64_t>(ms.views_touched));
+  pass_span.Attr("views_rebuilt", static_cast<int64_t>(ms.views_rebuilt));
+  if (wal_eligible) {
+    if (!wal_views.empty()) {
+      ScopedSpan wal_span(pass_span.get(), "wal_append");
+      SVX_RETURN_IF_ERROR(EnsureWalLocked());
+      WalRecord record;
+      record.epoch = publish_epoch;
+      record.views = std::move(wal_views);
+      SVX_RETURN_IF_ERROR(wal_->Append(record));
+      wal_depth_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (!dir_.empty()) {
+    // Per-pass extent persistence without a WAL, or the checkpoint a
+    // rebuild forces in WAL mode.
+    ScopedSpan persist_span(pass_span.get(), "persist");
+    SVX_RETURN_IF_ERROR(PersistLocked(next, publish_epoch));
   }
   PublishLocked(std::move(next), std::move(new_doc), std::move(new_summary),
                 /*doc_changed=*/true);
@@ -433,6 +609,14 @@ Status ViewCatalog::ApplyUpdateImpl(const DocumentDelta& delta,
   metrics::MaintenanceTuplesDeleted()->Add(ms.tuples_deleted);
   metrics::MaintenanceApplyLatencyUs()->Observe(total_us);
   metrics::EpochPublishLagUs()->Observe(total_us - maintained_us);
+  metrics::DeltasApplied()->Add(static_cast<int64_t>(deltas.size()));
+  if (deltas.size() > 1) {
+    metrics::DeltasCoalesced()->Add(static_cast<int64_t>(deltas.size() - 1));
+  }
+  if (Counter* c = shard_passes_.load(std::memory_order_acquire)) c->Add(1);
+  if (Counter* c = shard_deltas_.load(std::memory_order_acquire)) {
+    c->Add(static_cast<int64_t>(deltas.size()));
+  }
   return Status::OK();
 }
 
@@ -457,6 +641,8 @@ Status ViewCatalog::LoadImpl(const Document* doc,
   MutexLock lock(&writer_mu_);
   std::vector<std::shared_ptr<const StoredView>> loaded;
   uint64_t max_generation = 0;
+  uint64_t persisted_epoch = 0;  // epoch the manifest's extents capture
+  uint64_t wal_floor = 0;        // first WAL segment generation to replay
   int version = 0;
   for (const std::string& raw : Split(*manifest, '\n')) {
     std::string_view line = Trim(raw);
@@ -466,9 +652,27 @@ Status ViewCatalog::LoadImpl(const Document* doc,
         version = 1;
       } else if (line == kManifestHeaderV2) {
         version = 2;
+      } else if (line == kManifestHeaderV3) {
+        version = 3;
       } else {
         return Status::ParseError("bad manifest header: " + raw);
       }
+      continue;
+    }
+    if (version >= 3 && StartsWith(line, "epoch ")) {
+      std::optional<int64_t> e = ParseInt64(line.substr(6));
+      if (!e || *e < 0) {
+        return Status::ParseError("bad epoch in manifest: " + raw);
+      }
+      persisted_epoch = static_cast<uint64_t>(*e);
+      continue;
+    }
+    if (version >= 3 && StartsWith(line, "wal ")) {
+      std::optional<int64_t> g = ParseInt64(line.substr(4));
+      if (!g || *g <= 0) {
+        return Status::ParseError("bad wal floor in manifest: " + raw);
+      }
+      wal_floor = static_cast<uint64_t>(*g);
       continue;
     }
     if (!StartsWith(line, "view ")) {
@@ -534,11 +738,91 @@ Status ViewCatalog::LoadImpl(const Document* doc,
   // left behind — everything the manifest we just loaded does not name.
   // After the sweep the manifest's max generation is the directory's, so
   // the counter is fully seeded (a v1 store keeps the lazy directory scan
-  // in PersistLocked, since it never swept suffixed orphans).
+  // in PersistLocked, since it never swept suffixed orphans). The sweep
+  // runs before WAL replay marks views dirty, while every generation still
+  // names its live on-disk file.
   if (version >= 2) {
     SweepUnreferenced(dir_, LiveFileSet(loaded));
     generation_seeded_ = true;
   }
+  // WAL recovery: replay every record past the persisted epoch from
+  // segments at or above the manifest's floor, and sweep orphaned segments
+  // a completed checkpoint retired. Replayed views drop to generation 0 so
+  // the next checkpoint persists them fresh; until then the disk keeps the
+  // old extents *and* the segments, so a crash mid-recovery just replays
+  // again.
+  uint64_t max_segment = 0;
+  {
+    std::error_code ec;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+      if (ec) break;
+      uint64_t gen = 0;
+      if (entry.is_regular_file() &&
+          DeltaLog::ParseSegmentFileName(entry.path().filename().string(),
+                                         &gen)) {
+        max_segment = std::max(max_segment, gen);
+      }
+    }
+  }
+  DeltaLog::SweepSegments(dir_, wal_floor);
+  Result<std::vector<WalRecord>> records =
+      DeltaLog::Replay(dir_, wal_floor, persisted_epoch);
+  if (!records.ok()) return records.status();
+  uint64_t max_epoch = persisted_epoch;
+  if (!records->empty()) {
+    std::unordered_map<std::string, StoredView*> by_name;
+    for (const auto& v : loaded) {
+      by_name[v->def.name] = const_cast<StoredView*>(v.get());
+    }
+    std::set<StoredView*> dirty;
+    for (const WalRecord& rec : *records) {
+      max_epoch = std::max(max_epoch, rec.epoch);
+      for (const WalViewDelta& wd : rec.views) {
+        auto it = by_name.find(wd.view);
+        if (it == by_name.end()) {
+          // Checkpoints are forced on every view-set mutation, so a record
+          // naming an unknown view means the store is corrupt.
+          return Status::ParseError("WAL record references unknown view: " +
+                                    wd.view);
+        }
+        StoredView* sv = it->second;
+        if (!wd.delete_keys.empty()) {
+          std::set<std::string> keys(wd.delete_keys.begin(),
+                                     wd.delete_keys.end());
+          std::vector<Tuple>& rows = sv->extent.mutable_rows();
+          size_t out = 0;
+          for (size_t i = 0; i < rows.size(); ++i) {
+            if (keys.count(EncodeTupleKey(rows[i])) != 0) continue;
+            if (out != i) rows[out] = std::move(rows[i]);
+            ++out;
+          }
+          rows.resize(out);
+        }
+        if (!wd.inserts_bytes.empty()) {
+          Result<Table> inserts = DeserializeExtent(wd.inserts_bytes, doc);
+          if (!inserts.ok()) return inserts.status();
+          for (Tuple& row : inserts->mutable_rows()) {
+            sv->extent.mutable_rows().push_back(std::move(row));
+          }
+        }
+        dirty.insert(sv);
+      }
+    }
+    for (StoredView* sv : dirty) {
+      sv->extent.SortRowsCanonical();
+      sv->stats = ComputeViewStats(sv->extent);
+      sv->extent_bytes = ExtentByteSize(sv->extent);
+      sv->generation = 0;
+    }
+  }
+  // Seed the WAL counters: appends continue into the newest segment on
+  // disk; the epoch counter resumes past everything ever published so
+  // future WAL records never collide with replayed ones.
+  wal_floor_ = std::max<uint64_t>(wal_floor, 1);
+  wal_generation_ = std::max(wal_floor_, max_segment);
+  wal_depth_.store(static_cast<int64_t>(records->size()),
+                   std::memory_order_relaxed);
+  next_epoch_ = std::max(next_epoch_, max_epoch + 1);
   PublishLocked(std::move(loaded), std::move(shared), std::move(summary),
                 /*doc_changed=*/true);
   return Status::OK();
@@ -551,11 +835,17 @@ std::string ViewCatalog::DebugMetrics() const {
   // this call describes this catalog's serving state.
   metrics::EpochCurrent()->Set(static_cast<int64_t>(snap->epoch()));
   metrics::EpochAgeUs()->Set(age_us);
+  if (Gauge* g = shard_epoch_age_.load(std::memory_order_acquire)) {
+    g->Set(age_us);
+  }
   const RewriteCache* cache = snap->rewrite_cache();
+  const int shard = shard_.load(std::memory_order_relaxed);
   JsonWriter w;
   w.BeginObject();
+  if (shard >= 0) w.KV("shard", static_cast<int64_t>(shard));
   w.KV("epoch", static_cast<uint64_t>(snap->epoch()));
   w.KV("epoch_age_us", age_us);
+  w.KV("wal_depth", wal_depth_.load(std::memory_order_relaxed));
   w.KV("epochs_live", metrics::EpochsLive()->Value());
   w.KV("views", static_cast<int64_t>(snap->size()));
   w.KV("total_bytes", snap->TotalBytes());

@@ -19,20 +19,35 @@
 // concurrent readers must hold a Snapshot() instead.
 //
 // On-disk layout under the store directory:
-//   manifest.txt            "svx-viewstore 2", then one
+//   manifest.txt            "svx-viewstore 3", then "epoch <E>",
+//                           optionally "wal <G>", then one
 //                           "view <name> <generation> <pattern>" line per
 //                           view (ParsePattern syntax)
 //   <name>.<gen>.extent     binary extent (see extent_io.h)
 //   <name>.<gen>.stats      text statistics (see statistics.h)
+//   wal.<gen>.log           write-ahead delta log segment (delta_log.h),
+//                           present in delta-log mode
 // Extent/stats files are immutable once written: every changed extent is
 // saved under a fresh generation and the manifest is flipped last, so a
 // crash at any point leaves the previous manifest referencing complete,
-// unmixed files of the previous generations. Unreferenced generations are
-// swept after a successful save and on Load(). Version-1 manifests
-// ("view <name> <pattern>" over unsuffixed files) still load.
+// unmixed files of the previous generations. Unreferenced generations (and
+// WAL segments below the manifest's floor) are swept after a successful
+// save and on Load(). Version-1 ("view <name> <pattern>" over unsuffixed
+// files) and version-2 manifests still load.
+//
+// Delta-log durability (ViewCatalogOptions::enable_delta_log): instead of
+// rewriting changed extents on every maintenance pass, ApplyUpdate appends
+// one checksummed record of the pass's tuple-level deltas to the current
+// WAL segment before publishing. The manifest records the epoch E its
+// extents capture and the segment-generation floor G; recovery loads the
+// extents, replays records with epoch > E from segments >= G (tolerating a
+// torn final record in the newest segment), and resumes. A successful
+// Save() checkpoints: extents are persisted, the manifest advances E and G,
+// the log rotates to a fresh segment and stale segments are swept.
 #ifndef SVX_VIEWSTORE_VIEW_CATALOG_H_
 #define SVX_VIEWSTORE_VIEW_CATALOG_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,12 +55,14 @@
 #include "src/algebra/executor.h"
 #include "src/containment/memo.h"
 #include "src/observability/metrics.h"
+#include "src/observability/trace.h"
 #include "src/rewriting/view.h"
 #include "src/util/mutex.h"
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
 #include "src/viewstore/catalog_snapshot.h"
 #include "src/viewstore/cost_model.h"
+#include "src/viewstore/delta_log.h"
 #include "src/viewstore/rewrite_cache.h"
 #include "src/viewstore/statistics.h"
 #include "src/xml/update.h"
@@ -59,6 +76,31 @@ struct MaintenanceStats {
   int32_t views_shared = 0;     // carried into the new epoch untouched
   int64_t tuples_inserted = 0;  // across all incremental deltas
   int64_t tuples_deleted = 0;
+  int32_t deltas_applied = 0;   // batch size of the pass
+};
+
+/// Construction options (the string-only constructor remains equivalent to
+/// {.dir = s}).
+struct ViewCatalogOptions {
+  /// Store directory; created on Save() if missing. Empty = in-memory.
+  std::string dir;
+  /// Write-ahead delta-log durability (requires a store directory; see the
+  /// file comment). Maintenance passes append to the log instead of
+  /// rewriting extents; Save() checkpoints and rotates.
+  bool enable_delta_log = false;
+};
+
+/// Row-level partition filter for catalogs that store only one shard's
+/// slice of each extent (ShardedCatalog installs one per shard). Called
+/// under the writer mutex whenever a full extent enters the catalog — Add
+/// and maintenance rebuilds — so persisted and maintained extents stay
+/// shard-pure.
+class ExtentPartition {
+ public:
+  virtual ~ExtentPartition() = default;
+  /// Drops rows this partition does not own, in place. Must leave the
+  /// extent of a view it cannot attribute untouched.
+  virtual void Filter(const ViewDef& def, Table* extent) const = 0;
 };
 
 /// A set of materialized views backed by a store directory.
@@ -67,6 +109,7 @@ class ViewCatalog {
   ViewCatalog();
   /// `dir` is created on Save() if missing.
   explicit ViewCatalog(std::string dir);
+  explicit ViewCatalog(ViewCatalogOptions options);
 
   const std::string& dir() const { return dir_; }
   int32_t size() const { return Current()->size(); }
@@ -135,6 +178,33 @@ class ViewCatalog {
                                    MaintenanceStats* out_stats = nullptr)
       SVX_EXCLUDES(writer_mu_);
 
+  /// Coalesced maintenance: applies an in-order run of deltas from one
+  /// document's update history as ONE maintenance pass publishing ONE epoch
+  /// — the multi-writer batching the sharded catalog's writer queues drain
+  /// into. The run may be gapped (a shard's subsequence of the full
+  /// stream), provided the omitted updates touch no rows of any stored
+  /// view — the sharded catalog's region routing guarantees exactly this.
+  /// `new_doc`, when given, must be the last delta's new_doc. Per view, the
+  /// tuple deltas of the steps are folded over a private working extent;
+  /// content references rebind once against the final document. `span`
+  /// (optional) gets a "maintenance_pass" child span carrying
+  /// deltas/epoch/views_touched attrs (and the shard label when set).
+  [[nodiscard]] Status ApplyUpdateBatch(
+      const std::vector<DocumentDelta>& deltas,
+      std::shared_ptr<const Document> new_doc,
+      std::shared_ptr<const Summary> new_summary,
+      MaintenanceStats* out_stats = nullptr, TraceSpan* span = nullptr)
+      SVX_EXCLUDES(writer_mu_);
+
+  /// Installs the shard row filter (see ExtentPartition). Set before the
+  /// catalog is used concurrently.
+  void SetExtentPartition(std::shared_ptr<const ExtentPartition> partition)
+      SVX_EXCLUDES(writer_mu_);
+
+  /// Tags this catalog's per-shard metric series (`...{shard="N"}`) and
+  /// DebugMetrics()/trace output with a shard index. Set once at setup.
+  void SetShardLabel(int shard) SVX_EXCLUDES(writer_mu_);
+
   /// Removes the named view from the catalog (files are swept on the next
   /// Save()). NotFound when no such view is registered.
   [[nodiscard]] Status Drop(const std::string& name)
@@ -194,6 +264,12 @@ class ViewCatalog {
   /// reflects this catalog.
   std::string DebugMetrics() const;
 
+  /// WAL records appended since the last checkpoint — the replay depth a
+  /// crash right now would incur (0 without a delta log).
+  int64_t wal_depth() const {
+    return wal_depth_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// The current epoch for the single-threaded convenience accessors. The
   /// returned shared_ptr keeps the epoch alive for the full expression;
@@ -212,21 +288,28 @@ class ViewCatalog {
       SVX_REQUIRES(writer_mu_);
 
   /// Writes every not-yet-persisted view under a fresh generation, flips
-  /// the manifest, sweeps unreferenced files (writer mutex held).
+  /// the manifest recording `epoch` as the persisted state (and the WAL
+  /// floor in delta-log mode), sweeps unreferenced files (writer mutex
+  /// held). In delta-log mode this is the checkpoint: the log rotates to a
+  /// fresh segment and stale segments are swept.
   Status PersistLocked(
-      const std::vector<std::shared_ptr<const StoredView>>& views) const
-      SVX_REQUIRES(writer_mu_);
+      const std::vector<std::shared_ptr<const StoredView>>& views,
+      uint64_t epoch) const SVX_REQUIRES(writer_mu_);
 
-  Status ApplyUpdateImpl(const DocumentDelta& delta,
-                         std::shared_ptr<const Document> new_doc,
-                         std::shared_ptr<const Summary> new_summary,
-                         MaintenanceStats* out_stats)
+  Status ApplyUpdateBatchImpl(const std::vector<DocumentDelta>& deltas,
+                              std::shared_ptr<const Document> new_doc,
+                              std::shared_ptr<const Summary> new_summary,
+                              MaintenanceStats* out_stats, TraceSpan* span)
       SVX_EXCLUDES(writer_mu_);
   Status LoadImpl(const Document* doc, std::shared_ptr<const Document> shared,
                   std::shared_ptr<const Summary> summary)
       SVX_EXCLUDES(writer_mu_);
 
+  /// Opens (lazily) the current WAL segment for appending.
+  Status EnsureWalLocked() const SVX_REQUIRES(writer_mu_);
+
   std::string dir_;
+  bool enable_delta_log_ = false;
   /// Serializes every mutator (and Save). Readers never take it.
   mutable Mutex writer_mu_;
   /// Guards only snapshot_ itself: shared for the reader pointer copy,
@@ -236,9 +319,32 @@ class ViewCatalog {
   uint64_t next_epoch_ SVX_GUARDED_BY(writer_mu_) = 1;
   mutable uint64_t next_generation_ SVX_GUARDED_BY(writer_mu_) = 1;
   /// True once next_generation_ is known to exceed every generation in
-  /// dir_ (set by a v2 Load or by PersistLocked's directory scan) — the
+  /// dir_ (set by a v2+ Load or by PersistLocked's directory scan) — the
   /// cross-process never-reuse guard.
   mutable bool generation_seeded_ SVX_GUARDED_BY(writer_mu_) = false;
+
+  /// Shard row filter (null = whole extents); writer-side only.
+  std::shared_ptr<const ExtentPartition> partition_ SVX_GUARDED_BY(writer_mu_);
+  /// Shard label (-1 = none). Atomic: set once at setup, read by the
+  /// lock-free DebugMetrics path.
+  std::atomic<int> shard_{-1};
+  /// Cached `...{shard="N"}` labeled handles (set by SetShardLabel so the
+  /// maintenance hot path never does a registry lookup).
+  std::atomic<Counter*> shard_passes_{nullptr};
+  std::atomic<Counter*> shard_deltas_{nullptr};
+  std::atomic<Gauge*> shard_epoch_age_{nullptr};
+
+  // ---- Delta-log state (all writer-side; mutable because Save() and
+  // PersistLocked are const like next_generation_) ----
+  /// Open segment for appends; null until the first WAL write.
+  mutable std::unique_ptr<DeltaLog> wal_ SVX_GUARDED_BY(writer_mu_);
+  /// Generation of the segment appends go to.
+  mutable uint64_t wal_generation_ SVX_GUARDED_BY(writer_mu_) = 1;
+  /// Oldest segment generation recovery must replay (the manifest's floor).
+  mutable uint64_t wal_floor_ SVX_GUARDED_BY(writer_mu_) = 1;
+  /// Records appended since the last checkpoint — the replay depth a crash
+  /// right now would incur. Atomic only for DebugMetrics visibility.
+  mutable std::atomic<int64_t> wal_depth_{0};
 };
 
 }  // namespace svx

@@ -1,0 +1,466 @@
+#include "src/viewstore/sharded_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/algebra/executor.h"
+#include "src/pattern/pattern_parser.h"
+#include "src/rewriting/rewriter.h"
+#include "src/rewriting/view.h"
+#include "src/summary/summary_builder.h"
+#include "src/util/check.h"
+#include "src/util/strings.h"
+#include "src/viewstore/extent_io.h"
+#include "src/viewstore/rewrite_cache.h"
+#include "src/viewstore/shard_router.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/xml/builder.h"
+#include "src/xml/update.h"
+
+namespace svx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<Document> Doc(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+struct TempDir {
+  TempDir() {
+    path = (fs::temp_directory_path() /
+            ("svx_sharded_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++)))
+               .string();
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int counter;
+  std::string path;
+};
+int TempDir::counter = 0;
+
+constexpr const char* kBaseDoc =
+    "site(item(name=i0 keyword=k0) person(name=p0) item(name=i1)"
+    " person(name=p1) item(name=i2 keyword=k2) item(name=i3))";
+
+// The sharded (anchored) views plus one global (root-anchored) view.
+constexpr const char* kItemNames = "site(//item{id}(/name{id,v}))";
+constexpr const char* kItemKeywords = "site(//item{id}(?//keyword{v}))";
+constexpr const char* kPersonNames = "site{id}(//person(/name{v}))";
+
+/// Sorts both tables canonically and compares row-by-row with
+/// CompareTuples, so the check is independent of column naming.
+void ExpectSameRows(Table a, Table b, const std::string& what) {
+  a.SortRowsCanonical();
+  b.SortRowsCanonical();
+  ASSERT_EQ(a.rows().size(), b.rows().size()) << what;
+  for (size_t i = 0; i < a.rows().size(); ++i) {
+    EXPECT_EQ(CompareTuples(a.rows()[i], b.rows()[i]), 0)
+        << what << " row " << i;
+  }
+}
+
+/// Concatenates the per-shard extents of `name` into one canonical table.
+Table MergeShardExtents(ShardedCatalog* catalog, const std::string& name) {
+  const StoredView* first = catalog->shard_catalog(0)->Find(name);
+  EXPECT_NE(first, nullptr);
+  Table merged(first->extent.schema());
+  for (int i = 0; i < catalog->num_shards(); ++i) {
+    const StoredView* v = catalog->shard_catalog(i)->Find(name);
+    EXPECT_NE(v, nullptr);
+    for (const Tuple& t : v->extent.rows()) merged.AddRow(t);
+  }
+  merged.SortRowsCanonical();
+  return merged;
+}
+
+/// Single-catalog reference execution: rewrite through the snapshot's
+/// caches and execute the cheapest plan (the bench reader's idiom).
+Result<Table> RewriteExecute(const CatalogSnapshot& snap, const Pattern& q) {
+  RewriterOptions opts;
+  opts.max_results = 1;
+  opts.cost_model = &snap.cost_model();
+  opts.memo = snap.containment_memo();
+  std::shared_ptr<const ViewIndex> index =
+      snap.ViewIndexFor(*snap.summary(), opts.expansion);
+  opts.shared_view_index = index.get();
+  Rewriter rewriter(*snap.summary(), opts);
+  for (const auto& v : snap.views()) rewriter.AddView(v->def);
+  RewriteStats stats;
+  Result<std::vector<Rewriting>> rws =
+      CachedRewrite(snap.rewrite_cache(), &rewriter, q, &stats);
+  if (!rws.ok()) return rws.status();
+  if (rws->empty()) return Status::NotFound("no rewriting");
+  return Execute(*rws->front().plan, snap.ExecutorCatalog());
+}
+
+/// A chained random update stream off `base`: item inserts (appended and
+/// careted mid-sibling, so new ids land in every shard), keyword inserts
+/// below existing top-level subtrees, and top-level deletes.
+struct Stream {
+  std::vector<std::shared_ptr<const Document>> docs;        // docs[0] = base
+  std::vector<std::shared_ptr<const Summary>> summaries;    // aligned
+  std::vector<DocumentDelta> deltas;                        // deltas[i]: i->i+1
+};
+
+Stream BuildStream(int ops, uint32_t seed) {
+  Stream s;
+  std::unique_ptr<Document> base = Doc(kBaseDoc);
+  std::shared_ptr<Summary> base_summary(SummaryBuilder::Build(base.get()));
+  s.docs.emplace_back(std::move(base));
+  s.summaries.push_back(base_summary);
+
+  std::mt19937 rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    const Document& cur = *s.docs.back();
+    std::vector<NodeIndex> top = cur.children(cur.root());
+    Result<UpdateResult> up = [&]() -> Result<UpdateResult> {
+      switch (rng() % 4) {
+        case 0: {  // append a new item
+          std::unique_ptr<Document> sub =
+              Doc("item(name=n" + std::to_string(i) + ")");
+          return InsertSubtree(cur, OrdPath::Root(), *sub);
+        }
+        case 1: {  // caret a new item before a random sibling
+          std::unique_ptr<Document> sub =
+              Doc("item(name=c" + std::to_string(i) + " keyword=kc" +
+                  std::to_string(i) + ")");
+          OrdPath before = cur.ord_path(top[rng() % top.size()]);
+          return InsertSubtree(cur, OrdPath::Root(), *sub, &before);
+        }
+        case 2: {  // grow an existing top-level subtree
+          std::unique_ptr<Document> sub = Doc("keyword=z" + std::to_string(i));
+          return InsertSubtree(cur, cur.ord_path(top[rng() % top.size()]),
+                               *sub);
+        }
+        default: {  // delete a top-level subtree (keep a few around)
+          if (top.size() <= 3) {
+            std::unique_ptr<Document> sub =
+                Doc("item(name=d" + std::to_string(i) + ")");
+            return InsertSubtree(cur, OrdPath::Root(), *sub);
+          }
+          return DeleteSubtree(cur, cur.ord_path(top[rng() % top.size()]));
+        }
+      }
+    }();
+    EXPECT_TRUE(up.ok()) << up.status().ToString();
+    s.deltas.push_back(up->delta);
+    std::shared_ptr<Document> next(std::move(up->doc));
+    s.summaries.emplace_back(SummaryBuilder::Build(next.get()));
+    s.docs.push_back(std::move(next));
+  }
+  return s;
+}
+
+Status MaterializeAll(ShardedCatalog* catalog, const Document& doc) {
+  SVX_RETURN_IF_ERROR(catalog->Materialize(
+      {"item_names", MustParsePattern(kItemNames)}, doc));
+  SVX_RETURN_IF_ERROR(catalog->Materialize(
+      {"item_keywords", MustParsePattern(kItemKeywords)}, doc));
+  return catalog->Materialize({"person_names", MustParsePattern(kPersonNames)},
+                              doc);
+}
+
+// ---------------------------------------------------------------------------
+// ShardRouter
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouter, PartitionCapsAtTopLevelSubtreesAndBalances) {
+  std::unique_ptr<Document> doc = Doc(kBaseDoc);  // 6 top-level subtrees
+  ShardRouter r4 = ShardRouter::Partition(*doc, 4);
+  EXPECT_EQ(r4.num_shards(), 4);
+  ShardRouter r16 = ShardRouter::Partition(*doc, 16);
+  EXPECT_LE(r16.num_shards(), 6);
+  EXPECT_EQ(ShardRouter::Partition(*doc, 1).num_shards(), 1);
+  // Every shard of the 4-way cut owns at least one top-level subtree.
+  std::vector<int> owned(4, 0);
+  for (NodeIndex child : doc->children(doc->root())) {
+    ++owned[static_cast<size_t>(r4.Route(doc->ord_path(child)))];
+  }
+  for (int count : owned) EXPECT_GE(count, 1);
+}
+
+TEST(ShardRouter, RoutesTotallyAndByContainingSubtree) {
+  std::unique_ptr<Document> doc = Doc(kBaseDoc);
+  ShardRouter router = ShardRouter::Partition(*doc, 4);
+  // The root precedes every boundary: shard 0.
+  EXPECT_EQ(router.Route(doc->ord_path(doc->root())), 0);
+  // A descendant routes with the top-level subtree containing it, and
+  // shard assignment is monotone in document order.
+  int prev = 0;
+  for (NodeIndex child : doc->children(doc->root())) {
+    int shard = router.Route(doc->ord_path(child));
+    EXPECT_GE(shard, prev);
+    prev = shard;
+    for (NodeIndex grandchild : doc->children(child)) {
+      EXPECT_EQ(router.Route(doc->ord_path(grandchild)), shard);
+    }
+  }
+  EXPECT_EQ(prev, router.num_shards() - 1);
+}
+
+TEST(ShardRouter, SerializeRoundTrips) {
+  std::unique_ptr<Document> doc = Doc(kBaseDoc);
+  ShardRouter router = ShardRouter::Partition(*doc, 3);
+  ShardRouter back = ShardRouter::Deserialize(router.Serialize());
+  ASSERT_EQ(back.num_shards(), router.num_shards());
+  for (size_t i = 0; i < router.boundaries().size(); ++i) {
+    EXPECT_EQ(back.boundaries()[i].Compare(router.boundaries()[i]), 0);
+  }
+}
+
+TEST(ShardRouter, AnchorAnalysis) {
+  // Anchored on the item return id: partitionable.
+  ViewAnchor a = AnalyzeViewAnchor(MustParsePattern(kItemNames), "v");
+  EXPECT_TRUE(a.partitionable);
+  EXPECT_GE(a.column, 0);
+  // Optional edges below the anchor do not break partitionability.
+  EXPECT_TRUE(
+      AnalyzeViewAnchor(MustParsePattern(kItemKeywords), "v").partitionable);
+  // The only id return is the pattern root: rows span every shard.
+  EXPECT_FALSE(
+      AnalyzeViewAnchor(MustParsePattern(kPersonNames), "v").partitionable);
+  // No id return at all.
+  EXPECT_FALSE(
+      AnalyzeViewAnchor(MustParsePattern("site(//item(/name{v}))"), "v")
+          .partitionable);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCatalog
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCatalog, PartitionablePlacementAndGlobalFallback) {
+  Stream s = BuildStream(0, 1);
+  ShardedCatalogOptions options;
+  options.num_shards = 4;
+  Result<std::unique_ptr<ShardedCatalog>> catalog =
+      ShardedCatalog::Create(options, s.docs[0], s.summaries[0]);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  ASSERT_TRUE(MaterializeAll(catalog->get(), *s.docs[0]).ok());
+  // Anchored views live in every shard, not in the global catalog.
+  EXPECT_EQ((*catalog)->global_catalog()->Find("item_names"), nullptr);
+  int total_rows = 0;
+  for (int i = 0; i < (*catalog)->num_shards(); ++i) {
+    const StoredView* v = (*catalog)->shard_catalog(i)->Find("item_names");
+    ASSERT_NE(v, nullptr);
+    total_rows += static_cast<int>(v->extent.rows().size());
+  }
+  EXPECT_EQ(total_rows, 4);  // one row per item in kBaseDoc
+  // The root-anchored view lives only in the global catalog.
+  EXPECT_NE((*catalog)->global_catalog()->Find("person_names"), nullptr);
+  EXPECT_EQ((*catalog)->shard_catalog(0)->Find("person_names"), nullptr);
+}
+
+/// The differential property test: a random update stream applied to a
+/// 4-shard catalog and to a single ViewCatalog must leave byte-identical
+/// per-view extents (after the canonical sort) and identical query results.
+TEST(ShardedCatalog, DifferentialAgainstSingleCatalog) {
+  Stream s = BuildStream(32, 20260808);
+
+  ViewCatalog single;
+  single.BindDocument(s.docs[0], s.summaries[0]);
+  for (const char* spec : {kItemNames, kItemKeywords, kPersonNames}) {
+    std::string name = spec == kItemNames      ? "item_names"
+                       : spec == kItemKeywords ? "item_keywords"
+                                               : "person_names";
+    ASSERT_TRUE(
+        single.Materialize({name, MustParsePattern(spec)}, *s.docs[0]).ok());
+  }
+
+  ShardedCatalogOptions options;
+  options.num_shards = 4;
+  Result<std::unique_ptr<ShardedCatalog>> sharded =
+      ShardedCatalog::Create(options, s.docs[0], s.summaries[0]);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_TRUE(MaterializeAll(sharded->get(), *s.docs[0]).ok());
+
+  for (size_t i = 0; i < s.deltas.size(); ++i) {
+    ASSERT_TRUE(
+        single.ApplyUpdate(s.deltas[i], s.docs[i + 1], s.summaries[i + 1])
+            .ok());
+    ASSERT_TRUE((*sharded)
+                    ->ApplyUpdate(s.deltas[i], s.docs[i + 1],
+                                  s.summaries[i + 1])
+                    .ok());
+  }
+
+  // Per-view extents: merged shard slices byte-identical to the single
+  // catalog's canonical extent.
+  for (const char* name : {"item_names", "item_keywords"}) {
+    Table merged = MergeShardExtents(sharded->get(), name);
+    EXPECT_EQ(SerializeExtent(merged),
+              SerializeExtent(single.Find(name)->extent))
+        << name;
+  }
+  EXPECT_EQ(
+      SerializeExtent((*sharded)->global_catalog()->Find("person_names")->extent),
+      SerializeExtent(single.Find("person_names")->extent));
+
+  // Query results: scatter-gather (serial and parallel) and the global
+  // fallback all agree with the single catalog's rewrite+execute.
+  std::shared_ptr<const CatalogSnapshot> ssnap = single.Snapshot();
+  ShardedSnapshot sharded_snap = (*sharded)->Snapshot();
+  for (const char* q :
+       {"site(//item{id}(/name{v}))", "site(//item{id}(?//keyword{v}))",
+        "site{id}(//person(/name{v}))"}) {
+    Pattern query = MustParsePattern(q);
+    Result<Table> expect = RewriteExecute(*ssnap, query);
+    ASSERT_TRUE(expect.ok()) << q << ": " << expect.status().ToString();
+    for (bool parallel : {false, true}) {
+      Result<Table> got = sharded_snap.ExecuteQuery(query, parallel);
+      ASSERT_TRUE(got.ok()) << q << ": " << got.status().ToString();
+      ExpectSameRows(*got, *expect,
+                     StrFormat("%s parallel=%d", q, parallel ? 1 : 0));
+    }
+  }
+}
+
+/// Async writer lanes coalesce a queued burst into few maintenance passes:
+/// far fewer epochs published than deltas applied, same final extents.
+TEST(ShardedCatalog, AsyncLanesCoalesceBursts) {
+  const int kOps = 60;
+  Stream s = BuildStream(kOps, 7);
+
+  ShardedCatalogOptions options;
+  options.num_shards = 4;
+  options.async = true;
+  Result<std::unique_ptr<ShardedCatalog>> catalog =
+      ShardedCatalog::Create(options, s.docs[0], s.summaries[0]);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  ASSERT_TRUE((*catalog)
+                  ->Materialize({"item_names", MustParsePattern(kItemNames)},
+                                *s.docs[0])
+                  .ok());
+
+  const uint64_t epochs_before = (*catalog)->Snapshot().EpochSum();
+  // The whole precomputed stream is enqueued in a tight loop, so lanes see
+  // deep queues and drain them as coalesced batches.
+  for (size_t i = 0; i < s.deltas.size(); ++i) {
+    ASSERT_TRUE((*catalog)
+                    ->ApplyUpdate(s.deltas[i], s.docs[i + 1],
+                                  s.summaries[i + 1])
+                    .ok());
+  }
+  ASSERT_TRUE((*catalog)->Flush().ok());
+  const uint64_t epochs_after = (*catalog)->Snapshot().EpochSum();
+  const uint64_t published = epochs_after - epochs_before;
+  EXPECT_GE(published, 1u);
+  EXPECT_LE(2 * published, static_cast<uint64_t>(kOps))
+      << "expected >=2x batching, got " << published << " epochs for "
+      << kOps << " deltas";
+
+  Table fresh = MaterializeView(MustParsePattern(kItemNames), "item_names",
+                                *s.docs.back());
+  fresh.SortRowsCanonical();
+  EXPECT_EQ(SerializeExtent(MergeShardExtents(catalog->get(), "item_names")),
+            SerializeExtent(fresh));
+}
+
+/// Crash recovery: a WAL-enabled sharded store is dropped mid-stream
+/// without Save(); Open() replays every shard's delta log back to the
+/// exact extents.
+TEST(ShardedCatalog, CrashRecoveryReplaysPerShardLogs) {
+  TempDir dir;
+  Stream s = BuildStream(24, 99);
+
+  ShardedCatalogOptions options;
+  options.num_shards = 4;
+  options.dir = dir.path;
+  options.enable_delta_log = true;
+  options.async = true;
+  {
+    Result<std::unique_ptr<ShardedCatalog>> catalog =
+        ShardedCatalog::Create(options, s.docs[0], s.summaries[0]);
+    ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+    ASSERT_TRUE(MaterializeAll(catalog->get(), *s.docs[0]).ok());
+    for (size_t i = 0; i < s.deltas.size(); ++i) {
+      ASSERT_TRUE((*catalog)
+                      ->ApplyUpdate(s.deltas[i], s.docs[i + 1],
+                                    s.summaries[i + 1])
+                      .ok());
+    }
+    ASSERT_TRUE((*catalog)->Flush().ok());
+    // Maintenance went to the logs, not the extent files.
+    uint64_t wal_depth = 0;
+    for (int i = 0; i < (*catalog)->num_shards(); ++i) {
+      wal_depth += static_cast<uint64_t>(
+          (*catalog)->shard_catalog(i)->wal_depth());
+    }
+    EXPECT_GT(wal_depth, 0u);
+    // No Save(): dropping the catalog is the crash.
+  }
+
+  Result<std::unique_ptr<ShardedCatalog>> recovered =
+      ShardedCatalog::Open(options, s.docs.back(), s.summaries.back());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  for (const char* spec : {kItemNames, kItemKeywords}) {
+    std::string name = spec == kItemNames ? "item_names" : "item_keywords";
+    Table fresh = MaterializeView(MustParsePattern(spec), name, *s.docs.back());
+    fresh.SortRowsCanonical();
+    EXPECT_EQ(SerializeExtent(MergeShardExtents(recovered->get(), name)),
+              SerializeExtent(fresh))
+        << name;
+  }
+  Table fresh_persons = MaterializeView(MustParsePattern(kPersonNames),
+                                        "person_names", *s.docs.back());
+  fresh_persons.SortRowsCanonical();
+  EXPECT_EQ(
+      SerializeExtent(
+          (*recovered)->global_catalog()->Find("person_names")->extent),
+      SerializeExtent(fresh_persons));
+
+  // The recovered store serves scatter-gather queries.
+  ShardedSnapshot snap = (*recovered)->Snapshot();
+  Result<Table> got =
+      snap.ExecuteQuery(MustParsePattern("site(//item{id}(/name{v}))"));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  Table expect = MaterializeView(
+      MustParsePattern("site(//item{id}(/name{v}))"), "q", *s.docs.back());
+  ExpectSameRows(*got, expect, "post-recovery query");
+
+  // A Save() checkpoints every shard and truncates the logs.
+  ASSERT_TRUE((*recovered)->Save().ok());
+  for (int i = 0; i < (*recovered)->num_shards(); ++i) {
+    EXPECT_EQ((*recovered)->shard_catalog(i)->wal_depth(), 0);
+  }
+}
+
+TEST(ShardedCatalog, DebugMetricsAggregates) {
+  Stream s = BuildStream(4, 3);
+  ShardedCatalogOptions options;
+  options.num_shards = 3;
+  Result<std::unique_ptr<ShardedCatalog>> catalog =
+      ShardedCatalog::Create(options, s.docs[0], s.summaries[0]);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  ASSERT_TRUE(MaterializeAll(catalog->get(), *s.docs[0]).ok());
+  for (size_t i = 0; i < s.deltas.size(); ++i) {
+    ASSERT_TRUE((*catalog)
+                    ->ApplyUpdate(s.deltas[i], s.docs[i + 1],
+                                  s.summaries[i + 1])
+                    .ok());
+  }
+  std::string json = (*catalog)->DebugMetrics();
+  EXPECT_NE(json.find("\"num_shards\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"global\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"epoch_sum\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_epoch_age_us\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wal_depth_total\":"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace svx
