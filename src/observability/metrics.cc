@@ -263,6 +263,26 @@ Counter* RewriteCacheMisses() {
   return m;
 }
 
+Counter* PlansGenerated() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_plans_generated_total",
+      "Partial plans constructed by the rewrite plan enumeration");
+  return m;
+}
+
+Counter* PlansDominated() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_plans_dominated_total",
+      "Partial plans discarded by the enumerator's dominance check");
+  return m;
+}
+
+Histogram* PlanEnumLatencyUs() {
+  static Histogram* const m = MetricRegistry::Global().histogram(
+      "svx_plan_enum_us", "Plan-enumeration phase latency (us)");
+  return m;
+}
+
 Counter* ContainmentMemoHits() {
   static Counter* const m = MetricRegistry::Global().counter(
       "svx_containment_memo_hits_total",
@@ -446,6 +466,9 @@ void RegisterStandardMetrics() {
   RewriteLatencyUs();
   RewriteCacheHits();
   RewriteCacheMisses();
+  PlansGenerated();
+  PlansDominated();
+  PlanEnumLatencyUs();
   ContainmentMemoHits();
   ContainmentMemoMisses();
   MaintenancePasses();

@@ -231,6 +231,11 @@ Histogram* RewriteLatencyUs();
 Counter* RewriteCacheHits();
 Counter* RewriteCacheMisses();
 
+// Plan enumeration (DP rewriter search).
+Counter* PlansGenerated();
+Counter* PlansDominated();
+Histogram* PlanEnumLatencyUs();
+
 // Containment domain.
 Counter* ContainmentMemoHits();
 Counter* ContainmentMemoMisses();

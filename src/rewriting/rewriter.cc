@@ -9,6 +9,7 @@
 #include "src/observability/metrics.h"
 #include "src/observability/trace.h"
 #include "src/pattern/embedding.h"
+#include "src/rewriting/plan_enum.h"
 #include "src/pattern/pattern_printer.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
@@ -153,393 +154,6 @@ void RetagPieces(std::vector<Piece>* pieces, const std::string& tag) {
   for (Piece& p : *pieces) {
     for (ColumnBinding& b : p.bindings) b.prefix = tag + b.prefix;
   }
-}
-
-enum class JoinType { kEq, kParent, kAncestor };
-
-/// True iff a piece pinned to `pa` can absorb a piece pinned to `pb` under
-/// `type` — the path-relation precondition of MergePieces, shared with the
-/// join enumeration's pre-passes so they cannot drift apart.
-bool PiecePathsJoin(const Summary& summary, PathId pa, PathId pb,
-                    JoinType type) {
-  switch (type) {
-    case JoinType::kEq:
-      return pa == pb;
-    case JoinType::kParent:
-      return summary.parent(pb) == pa;
-    case JoinType::kAncestor:
-      return summary.IsAncestor(pa, pb);
-  }
-  return false;
-}
-
-/// Root-to-node chain of pattern node ids (inclusive).
-std::vector<PatternNodeId> AncestorChain(const Pattern& p, PatternNodeId n) {
-  std::vector<PatternNodeId> rev;
-  for (PatternNodeId cur = n; cur >= 0; cur = p.node(cur).parent) {
-    rev.push_back(cur);
-  }
-  std::reverse(rev.begin(), rev.end());
-  return rev;
-}
-
-/// Merges piece `b` into piece `a` joined on (prefix_a, prefix_b) with `a`
-/// on the ancestor (or equal) side. Returns false when this piece pair is
-/// incompatible (contributes nothing to the join). `b_col_shift` relocates
-/// b's column indexes in the concatenated schema.
-bool MergePieces(const Summary& summary, const Piece& a,
-                 const std::string& prefix_a, const Piece& b,
-                 const std::string& prefix_b, JoinType type,
-                 int32_t b_col_shift, Piece* out) {
-  const ColumnBinding* ba = a.Find(prefix_a, kAttrId);
-  const ColumnBinding* bb = b.Find(prefix_b, kAttrId);
-  if (ba == nullptr || bb == nullptr || !ba->skeleton || !bb->skeleton) {
-    return false;
-  }
-  PathId pa = ba->path;
-  PathId pb = bb->path;
-  if (!PiecePathsJoin(summary, pa, pb, type)) return false;
-
-  std::vector<PatternNodeId> a_chain = AncestorChain(a.pattern, ba->node);
-  std::vector<PatternNodeId> b_chain = AncestorChain(b.pattern, bb->node);
-  size_t unify_len = static_cast<size_t>(summary.depth(pa));
-  SVX_CHECK(a_chain.size() == unify_len);
-  SVX_CHECK(b_chain.size() >= unify_len);
-
-  *out = a;
-  std::vector<PatternNodeId> map_b(static_cast<size_t>(b.pattern.size()), -1);
-  for (size_t k = 0; k < unify_len; ++k) {
-    PatternNodeId an = a_chain[k];
-    PatternNodeId bn = b_chain[k];
-    // Both chains instantiate the same summary chain.
-    SVX_CHECK(out->node_paths[static_cast<size_t>(an)] ==
-              b.node_paths[static_cast<size_t>(bn)]);
-    map_b[static_cast<size_t>(bn)] = an;
-    Pattern::Node& merged = out->pattern.mutable_node(an);
-    merged.attrs |= b.pattern.node(bn).attrs;
-    merged.pred = merged.pred.And(b.pattern.node(bn).pred);
-    if (merged.pred.IsFalse()) return false;
-  }
-  // Copy the remaining b nodes (branches and the below-join part), parents
-  // first (ids are parent-before-child by construction).
-  for (PatternNodeId n = 0; n < b.pattern.size(); ++n) {
-    if (map_b[static_cast<size_t>(n)] >= 0) continue;
-    const Pattern::Node& node = b.pattern.node(n);
-    SVX_CHECK(node.parent >= 0);
-    PatternNodeId parent = map_b[static_cast<size_t>(node.parent)];
-    SVX_CHECK(parent >= 0);
-    PatternNodeId nid =
-        out->pattern.AddChild(parent, node.label, node.axis, node.attrs,
-                              node.pred, node.optional, node.nested);
-    map_b[static_cast<size_t>(n)] = nid;
-    out->node_paths.push_back(b.node_paths[static_cast<size_t>(n)]);
-  }
-  for (const ColumnBinding& binding : b.bindings) {
-    ColumnBinding nb = binding;
-    nb.node = map_b[static_cast<size_t>(binding.node)];
-    nb.col += b_col_shift;
-    out->bindings.push_back(std::move(nb));
-  }
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// Query-column coverage (ViewIndex-driven pruning)
-// ---------------------------------------------------------------------------
-
-/// Which query columns each kept view can serve (over-approximate, via the
-/// ViewIndex signatures), plus the minimal number of views needed to cover
-/// any remaining column set. Lets the rewriter skip single-view candidates and
-/// join combinations that provably cannot reach full coverage — and bail
-/// out of the whole query when no ≤ max_plan_views combination can.
-class CoverageAnalysis {
- public:
-  static constexpr int32_t kMaxCols = 16;  // DP is 2^cols
-
-  CoverageAnalysis(const QueryInfo& qi, const Summary& summary,
-                   const ViewIndex& index,
-                   const std::vector<size_t>& kept_view_indices) {
-    int32_t cols = static_cast<int32_t>(qi.cols.size());
-    enabled_ = cols > 0 && cols <= kMaxCols;
-    if (!enabled_) return;
-    full_ = (uint32_t{1} << cols) - 1;
-
-    // Per column: feasible paths as a bitset; a column inside an optional
-    // subtree may have none — then the assignment path check is skipped, so
-    // any path serves (all-ones).
-    std::vector<PathBitset> col_bits;
-    for (int32_t i = 0; i < cols; ++i) {
-      PathBitset b = MakePathBitset(summary.size());
-      if (qi.col_paths[static_cast<size_t>(i)].empty()) {
-        for (uint64_t& w : b) w = ~uint64_t{0};
-      } else {
-        for (PathId s : qi.col_paths[static_cast<size_t>(i)]) {
-          PathBitsetSet(&b, s);
-        }
-      }
-      col_bits.push_back(std::move(b));
-    }
-
-    view_masks_.reserve(kept_view_indices.size());
-    std::vector<uint32_t> distinct;
-    for (size_t vi : kept_view_indices) {
-      uint32_t mask = 0;
-      for (int32_t i = 0; i < cols; ++i) {
-        const Pattern::Node& qnode =
-            qi.flat.node(qi.cols[static_cast<size_t>(i)]);
-        if (index.CanServe(vi, qi.col_attrs[static_cast<size_t>(i)],
-                           col_bits[static_cast<size_t>(i)], qnode)) {
-          mask |= uint32_t{1} << i;
-        }
-      }
-      view_masks_.push_back(mask);
-      if (mask != 0) distinct.push_back(mask);
-    }
-    std::sort(distinct.begin(), distinct.end());
-    distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                   distinct.end());
-
-    // mincover_[m] = fewest views whose serve masks cover m (INT32_MAX when
-    // impossible). Some view must serve m's lowest set column.
-    mincover_.assign(size_t{1} << cols, std::numeric_limits<int32_t>::max());
-    mincover_[0] = 0;
-    for (uint32_t m = 1; m <= full_; ++m) {
-      uint32_t low = m & ~(m - 1);
-      for (uint32_t vm : distinct) {
-        if ((vm & low) == 0) continue;
-        int32_t sub = mincover_[m & ~vm];
-        if (sub != std::numeric_limits<int32_t>::max() &&
-            sub + 1 < mincover_[m]) {
-          mincover_[m] = sub + 1;
-        }
-      }
-    }
-  }
-
-  bool enabled() const { return enabled_; }
-
-  /// Serve mask of the kept view at position `kept_pos`.
-  uint32_t ViewMask(size_t kept_pos) const { return view_masks_[kept_pos]; }
-
-  /// True when `mask` serves every query column.
-  bool Covers(uint32_t mask) const { return (full_ & ~mask) == 0; }
-
-  /// True when a candidate already using `used` views with coverage `mask`
-  /// can still reach full coverage within `max_views` views total.
-  bool Extendable(uint32_t mask, size_t used, int32_t max_views) const {
-    uint32_t rem = full_ & ~mask;
-    int32_t need = mincover_[rem];
-    if (need == std::numeric_limits<int32_t>::max()) return false;
-    return static_cast<int32_t>(used) + need <= max_views;
-  }
-
- private:
-  bool enabled_ = false;
-  uint32_t full_ = 0;
-  std::vector<uint32_t> view_masks_;
-  std::vector<int32_t> mincover_;
-};
-
-/// Per-candidate state cached for the join enumeration: the join-relevant
-/// joinable prefixes with their per-piece pinned paths (so a join attempt
-/// can be rejected with integer comparisons before any piece is merged),
-/// and the over-approximate column-serve mask of the candidate's views.
-inline uint64_t HashCombine(uint64_t h, uint64_t v) {
-  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
-}
-
-/// Hash consistent with Piece::CanonicalString() equality: equal canonical
-/// strings imply equal hashes (the string is injective in the hashed
-/// components, and the role multiset is combined commutatively exactly as
-/// the string sorts it).
-uint64_t PieceCanonicalHash(const Piece& p) {
-  std::hash<std::string> hs;
-  uint64_t h = 0x5851f42d4c957f2dULL;
-  for (PatternNodeId n = 0; n < p.pattern.size(); ++n) {
-    const Pattern::Node& node = p.pattern.node(n);
-    h = HashCombine(h, hs(node.label));
-    h = HashCombine(h, (static_cast<uint64_t>(node.parent) << 8) |
-                           (static_cast<uint64_t>(node.axis) << 6) |
-                           (static_cast<uint64_t>(node.optional) << 5) |
-                           (static_cast<uint64_t>(node.nested) << 4) |
-                           node.attrs);
-    if (!node.pred.IsTrue()) h = HashCombine(h, hs(node.pred.ToString()));
-  }
-  uint64_t roles = 0;
-  for (const ColumnBinding& b : p.bindings) {
-    roles += HashCombine(hs(b.prefix),
-                         static_cast<uint64_t>(b.node) * 131 + b.attr);
-  }
-  return HashCombine(h, roles);
-}
-
-/// Hash consistent with Candidate::CanonicalString() equality (commutative
-/// over the sorted piece multiset).
-uint64_t CandidateCanonicalHash(const Candidate& c) {
-  uint64_t sum = 0;
-  for (const Piece& p : c.pieces) sum += PieceCanonicalHash(p);
-  return sum;
-}
-
-/// Structural equivalents of canonical-string equality, so duplicate joins
-/// are confirmed without building any string. PatternToString is
-/// round-trippable, hence injective in exactly these components.
-bool PatternsCanonicalEqual(const Pattern& a, const Pattern& b) {
-  if (a.size() != b.size()) return false;
-  for (PatternNodeId n = 0; n < a.size(); ++n) {
-    const Pattern::Node& x = a.node(n);
-    const Pattern::Node& y = b.node(n);
-    if (x.label != y.label || x.parent != y.parent || x.axis != y.axis ||
-        x.optional != y.optional || x.nested != y.nested ||
-        x.attrs != y.attrs || !(x.pred == y.pred)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool PiecesCanonicalEqual(const Piece& a, const Piece& b) {
-  if (a.bindings.size() != b.bindings.size()) return false;
-  if (!PatternsCanonicalEqual(a.pattern, b.pattern)) return false;
-  // The canonical string compares the role multiset (node, attr, prefix).
-  auto key_less = [](const ColumnBinding* x, const ColumnBinding* y) {
-    if (x->node != y->node) return x->node < y->node;
-    if (x->attr != y->attr) return x->attr < y->attr;
-    return x->prefix < y->prefix;
-  };
-  std::vector<const ColumnBinding*> ra, rb;
-  ra.reserve(a.bindings.size());
-  rb.reserve(b.bindings.size());
-  for (const ColumnBinding& c : a.bindings) ra.push_back(&c);
-  for (const ColumnBinding& c : b.bindings) rb.push_back(&c);
-  std::sort(ra.begin(), ra.end(), key_less);
-  std::sort(rb.begin(), rb.end(), key_less);
-  for (size_t i = 0; i < ra.size(); ++i) {
-    if (ra[i]->node != rb[i]->node || ra[i]->attr != rb[i]->attr ||
-        ra[i]->prefix != rb[i]->prefix) {
-      return false;
-    }
-  }
-  return true;
-}
-
-/// Candidate::CanonicalString() equality without the strings: a bijection
-/// between the piece multisets under PiecesCanonicalEqual, searched within
-/// equal-piece-hash groups.
-bool CandidatesCanonicalEqual(const Candidate& a, const Candidate& b) {
-  size_t n = a.pieces.size();
-  if (n != b.pieces.size()) return false;
-  std::vector<std::pair<uint64_t, size_t>> ha, hb;
-  ha.reserve(n);
-  hb.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    ha.emplace_back(PieceCanonicalHash(a.pieces[i]), i);
-    hb.emplace_back(PieceCanonicalHash(b.pieces[i]), i);
-  }
-  std::sort(ha.begin(), ha.end());
-  std::sort(hb.begin(), hb.end());
-  for (size_t i = 0; i < n; ++i) {
-    if (ha[i].first != hb[i].first) return false;
-  }
-  std::vector<bool> used(n, false);
-  for (size_t i = 0; i < n; ++i) {
-    bool matched = false;
-    // Candidates in b share a's hash at the same sorted positions; scan the
-    // equal-hash run (equality is an equivalence, so greedy matching is
-    // complete).
-    for (size_t j = 0; j < n && hb[j].first <= ha[i].first; ++j) {
-      if (used[j] || hb[j].first != ha[i].first) continue;
-      if (PiecesCanonicalEqual(a.pieces[ha[i].second],
-                               b.pieces[hb[j].second])) {
-        used[j] = true;
-        matched = true;
-        break;
-      }
-    }
-    if (!matched) return false;
-  }
-  return true;
-}
-
-/// Pinned paths of one joinable prefix, in three bitset views so a whole
-/// (prefix, prefix, join type) combination is testable with a few word
-/// ANDs: anc ⋈= desc needs paths∩paths, ⋈≺ needs paths∩parents, ⋈≺≺ needs
-/// paths∩ancestors.
-struct PrefixPathSets {
-  PathBitset paths;
-  PathBitset parents;
-  PathBitset ancestors;  // strict-ancestor closure of paths
-};
-
-struct CandInfo {
-  uint32_t serve_mask = 0;
-  /// True when any piece node carries a non-trivial value predicate. When
-  /// both join sides are predicate-free, every path-compatible piece pair
-  /// merges successfully, so the merged piece count is predictable.
-  bool has_preds = false;
-  uint64_t canon_hash = 0;
-  std::vector<std::string> rel_prefixes;
-  /// Aligned with rel_prefixes; one pinned path per piece.
-  std::vector<std::vector<PathId>> prefix_paths;
-  /// Aligned with rel_prefixes.
-  std::vector<PrefixPathSets> prefix_sets;
-};
-
-bool PrefixSetsJoin(const PrefixPathSets& anc, const PrefixPathSets& desc,
-                    JoinType type) {
-  switch (type) {
-    case JoinType::kEq:
-      return PathBitsetsIntersect(anc.paths, desc.paths);
-    case JoinType::kParent:
-      return PathBitsetsIntersect(anc.paths, desc.parents);
-    case JoinType::kAncestor:
-      return PathBitsetsIntersect(anc.paths, desc.ancestors);
-  }
-  return false;
-}
-
-CandInfo BuildCandInfo(const Candidate& c, const QueryInfo& qi,
-                       const Summary& summary, uint32_t serve_mask,
-                       uint64_t canon_hash) {
-  CandInfo info;
-  info.serve_mask = serve_mask;
-  info.canon_hash = canon_hash;
-  for (const Piece& piece : c.pieces) {
-    for (PatternNodeId n = 0; n < piece.pattern.size() && !info.has_preds;
-         ++n) {
-      info.has_preds = !piece.pattern.node(n).pred.IsTrue();
-    }
-    if (info.has_preds) break;
-  }
-  for (const std::string& prefix : c.JoinablePrefixes()) {
-    bool relevant = false;
-    std::vector<PathId> paths;
-    paths.reserve(c.pieces.size());
-    for (const Piece& piece : c.pieces) {
-      const ColumnBinding* b = piece.Find(prefix, kAttrId);
-      // JoinablePrefixes guarantees a skeleton ID binding in every piece.
-      paths.push_back(b->path);
-      relevant = relevant ||
-                 qi.join_relevant[static_cast<size_t>(b->path)];
-    }
-    if (!relevant) continue;
-    PrefixPathSets sets;
-    sets.paths = MakePathBitset(summary.size());
-    sets.parents = MakePathBitset(summary.size());
-    sets.ancestors = MakePathBitset(summary.size());
-    for (PathId s : paths) {
-      PathBitsetSet(&sets.paths, s);
-      PathId p = summary.parent(s);
-      if (p != kInvalidPath) PathBitsetSet(&sets.parents, p);
-      for (PathId a = p; a != kInvalidPath; a = summary.parent(a)) {
-        PathBitsetSet(&sets.ancestors, a);
-      }
-    }
-    info.rel_prefixes.push_back(prefix);
-    info.prefix_paths.push_back(std::move(paths));
-    info.prefix_sets.push_back(std::move(sets));
-  }
-  return info;
 }
 
 // ---------------------------------------------------------------------------
@@ -1228,9 +842,40 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   // ---- Column coverage: whole-query early-out. ----
   std::unique_ptr<CoverageAnalysis> cover;
   if (use_index) {
-    cover =
-        std::make_unique<CoverageAnalysis>(qi, summary_, *index, kept_idx);
-    if (!cover->enabled()) cover.reset();
+    int32_t cols = static_cast<int32_t>(qi.cols.size());
+    if (cols > 0 && cols <= CoverageAnalysis::kMaxCols) {
+      // Per column: feasible paths as a bitset; a column inside an optional
+      // subtree may have none — then the assignment path check is skipped,
+      // so any path serves (all-ones).
+      std::vector<PathBitset> col_bits;
+      for (int32_t i = 0; i < cols; ++i) {
+        PathBitset b = MakePathBitset(summary_.size());
+        if (qi.col_paths[static_cast<size_t>(i)].empty()) {
+          for (uint64_t& w : b) w = ~uint64_t{0};
+        } else {
+          for (PathId s : qi.col_paths[static_cast<size_t>(i)]) {
+            PathBitsetSet(&b, s);
+          }
+        }
+        col_bits.push_back(std::move(b));
+      }
+      std::vector<uint32_t> view_masks;
+      view_masks.reserve(kept_idx.size());
+      for (size_t vi : kept_idx) {
+        uint32_t mask = 0;
+        for (int32_t i = 0; i < cols; ++i) {
+          const Pattern::Node& qnode =
+              qi.flat.node(qi.cols[static_cast<size_t>(i)]);
+          if (index->CanServe(vi, qi.col_attrs[static_cast<size_t>(i)],
+                              col_bits[static_cast<size_t>(i)], qnode)) {
+            mask |= uint32_t{1} << i;
+          }
+        }
+        view_masks.push_back(mask);
+      }
+      cover = std::make_unique<CoverageAnalysis>(cols, std::move(view_masks));
+      if (!cover->enabled()) cover.reset();
+    }
   }
   if (cover != nullptr && !cover->Extendable(0, 0, options_.max_plan_views)) {
     // No combination of ≤ max_plan_views views can serve every return
@@ -1304,14 +949,73 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
     return true;
   };
 
+  const bool use_dp = options_.use_dp_enumeration && cover != nullptr;
+  if (use_dp) {
+    // ---- DP plan enumeration (replaces phases A and B in one pass). ----
+    begin_phase("plan-enum");
+    Timer enum_timer;
+    // Without a configured cost model the enumerator still needs a ranking
+    // signal; a default-constructed model (every view at default_rows) is
+    // deterministic and keeps the search reproducible.
+    CostModel fallback_model;
+    const CostModel* cm = options_.cost_model != nullptr ? options_.cost_model
+                                                         : &fallback_model;
+    PlanEnumerator::Options popts;
+    popts.max_plan_views = options_.max_plan_views;
+    popts.max_table = options_.max_plan_table;
+    popts.max_frontier = options_.max_pieces;
+    popts.max_merged_pieces = options_.expansion.max_pieces;
+    popts.prune_same_pattern = options_.prune_same_pattern;
+    PlanEnumerator enumerator(summary_, *cm, qi.join_relevant, *cover,
+                              popts);
+    for (size_t i : order) {
+      enumerator.AddBase(std::move(m0[i]), m0_masks[i]);
+    }
+    // The branch-and-bound bound: cheapest estimated cost over the
+    // rewritings found so far. A final plan costs at least its candidate
+    // plan (adaptation operators only add cost), so candidates at or above
+    // this bound cannot improve the result set.
+    double best_found = std::numeric_limits<double>::infinity();
+    auto on_cover = [&](const Candidate& cand,
+                        double) -> PlanEnumerator::MatchOutcome {
+      size_t before = results.size();
+      bool stop = session.TryMatch(cand, &results);
+      note_first();
+      for (size_t r = before; r < results.size(); ++r) {
+        best_found =
+            std::min(best_found, cm->EstimateCost(*results[r].plan));
+      }
+      return {stop, best_found};
+    };
+    enumerator.Run(on_cover, over_time_budget);
+    const PlanEnumerator::Stats& es = enumerator.stats();
+    stats->join_candidates += es.joins;
+    stats->plans_generated += es.generated;
+    stats->plans_dominated += es.dominated;
+    stats->plans_retained += es.retained;
+    stats->candidates_pruned += es.coverage_pruned + es.cost_pruned;
+    stats->search_truncated = stats->search_truncated || es.truncated;
+    metrics::PlansGenerated()->Add(static_cast<int64_t>(es.generated));
+    metrics::PlansDominated()->Add(static_cast<int64_t>(es.dominated));
+    metrics::PlanEnumLatencyUs()->Observe(
+        static_cast<int64_t>(enum_timer.ElapsedMicros()));
+    if (phase != nullptr) {
+      phase->AddAttr("plans_generated", es.generated);
+      phase->AddAttr("plans_dominated", es.dominated);
+      phase->AddAttr("plans_retained", es.retained);
+      phase->AddAttr("beam_skipped", es.beam_skipped);
+      phase->AddAttr("results", results.size());
+    }
+  } else {
   // ---- Phase B state (built first so phase A shares the caches). ----
   std::vector<Candidate> m;
   std::vector<CandInfo> info;
+  size_t legacy_dominated = 0;
   m.reserve(m0.size());
   info.reserve(m0.size());
   for (size_t i : order) {
-    info.push_back(BuildCandInfo(m0[i], qi, summary_, m0_masks[i],
-                                 CandidateCanonicalHash(m0[i])));
+    info.push_back(BuildCandInfo(m0[i], qi.join_relevant, summary_,
+                                 m0_masks[i], CandidateCanonicalHash(m0[i])));
     m.push_back(std::move(m0[i]));
   }
   // Candidate dedup, two-level: canonical hash buckets, with the (rarely
@@ -1414,8 +1118,12 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                   }
                 }
                 if (compatible == 0) continue;
-                if (compatible > options_.max_pieces &&
+                if (compatible > options_.expansion.max_pieces &&
                     !anc_info.has_preds && !desc_info.has_preds) {
+                  // Certain piece overflow: the discarded combination may
+                  // hide a valid rewriting, so the search result is
+                  // incomplete (and must not be cached).
+                  if (stats != nullptr) stats->search_truncated = true;
                   continue;
                 }
 
@@ -1433,13 +1141,17 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                                     &out)) {
                       merged.push_back(std::move(out));
                     }
-                    if (merged.size() > options_.max_pieces) {
+                    if (merged.size() > options_.expansion.max_pieces) {
                       over_budget = true;
                       break;
                     }
                   }
                 }
-                if (merged.empty() || over_budget) continue;
+                if (over_budget) {
+                  if (stats != nullptr) stats->search_truncated = true;
+                  continue;
+                }
+                if (merged.empty()) continue;
 
                 Candidate joined;
                 joined.pieces = std::move(merged);
@@ -1459,6 +1171,7 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                       CandidatesCanonicalEqual(joined, anc)) ||
                      (jhash == desc_info.canon_hash &&
                       CandidatesCanonicalEqual(joined, desc)))) {
+                  ++legacy_dominated;
                   continue;
                 }
                 std::vector<size_t>& bucket = seen_patterns[jhash];
@@ -1469,7 +1182,10 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                     break;
                   }
                 }
-                if (duplicate) continue;
+                if (duplicate) {
+                  ++legacy_dominated;
+                  continue;
+                }
                 if (total_candidates >= options_.max_candidates) {
                   done = true;
                   break;
@@ -1513,8 +1229,8 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
                   done = session.TryMatch(joined, &results) || done;
                   note_first();
                 }
-                info.push_back(
-                    BuildCandInfo(joined, qi, summary_, joined_mask, jhash));
+                info.push_back(BuildCandInfo(joined, qi.join_relevant,
+                                             summary_, joined_mask, jhash));
                 m.push_back(std::move(joined));
               }
               if (done) break;
@@ -1533,6 +1249,17 @@ Result<std::vector<Rewriting>> Rewriter::Rewrite(const Pattern& q,
   if (phase != nullptr) {
     phase->AddAttr("join_candidates", stats->join_candidates - jc0);
   }
+  // Comparable plan accounting for the exhaustive path: every candidate
+  // (initial or joined) is a generated plan, canonical-duplicate and
+  // Prop 3.5 discards are the only dominance the path has, and the whole
+  // table is retained to the end.
+  stats->plans_generated += m.size() + legacy_dominated;
+  stats->plans_dominated += legacy_dominated;
+  stats->plans_retained += m.size();
+  metrics::PlansGenerated()->Add(
+      static_cast<int64_t>(m.size() + legacy_dominated));
+  metrics::PlansDominated()->Add(static_cast<int64_t>(legacy_dominated));
+  }  // use_dp
 
   // ---- Union phase (Algorithm 1 lines 13-14). ----
   begin_phase("union-partials");

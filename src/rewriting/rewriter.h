@@ -39,7 +39,20 @@ struct RewriterOptions {
   ExpansionOptions expansion;
   int32_t max_plan_views = 3;
   size_t max_candidates = 2000;
-  size_t max_pieces = 128;     // per joined candidate
+  /// DP plan-table cap (the DP analogue of `max_candidates`, which bounds
+  /// the legacy exhaustive search). The DP table also holds non-covering
+  /// partial plans, but dominance pruning keeps it far denser than the
+  /// legacy candidate list, so a smaller budget explores the same useful
+  /// space; the main effect of a larger table is a longer futile search on
+  /// queries with no rewriting. Overflow stops enumeration silently (the
+  /// cheapest plans were generated first); it is not a truncation signal.
+  size_t max_plan_table = 1000;
+  /// DP extension beam: how many of the cheapest extendable partial plans
+  /// per level the enumerator joins further. (Historically this was a
+  /// per-join piece-product cutoff; the per-candidate merged-piece bound is
+  /// ExpansionOptions::max_pieces now, and overruns of that bound are
+  /// reported via RewriteStats::search_truncated.)
+  size_t max_pieces = 128;
   size_t max_assignments = 64;  // return-node choices tested per candidate
   size_t max_results = 8;
   size_t max_union_size = 3;
@@ -55,6 +68,14 @@ struct RewriterOptions {
   /// the query. All skips are certified by over-approximate signatures, so
   /// the found rewritings are unchanged; only dead search space is cut.
   bool use_view_index = true;
+  /// Enumerate join plans with the DP enumerator (src/rewriting/plan_enum.h):
+  /// problems keyed by view-instance multisets, Pareto dominance between
+  /// partial plans, lazy piece materialization, cheapest-first matching, and
+  /// branch-and-bound against the best found rewriting. Requires the
+  /// ViewIndex coverage signatures (use_view_index with ≤ 16 return
+  /// columns); falls back to the exhaustive left-deep search otherwise.
+  /// The flag exists so tests can differentially compare the two paths.
+  bool use_dp_enumeration = true;
   /// Memoize containment decisions within (and, via `memo`, across)
   /// Rewrite() calls.
   bool memoize_containment = true;
@@ -115,6 +136,18 @@ struct RewriteStats {
   /// True when the search stopped on time_budget_ms: the (partial) result
   /// depends on machine load, so CachedRewrite refuses to cache it.
   bool time_budget_hit = false;
+  /// True when a join's merged piece set exceeded the per-candidate bound
+  /// (ExpansionOptions::max_pieces) and was discarded: the search may have
+  /// missed rewritings, so CachedRewrite refuses to cache the result.
+  /// (Before the DP enumerator these discards were silent.)
+  bool search_truncated = false;
+  /// Plan-enumeration accounting. The legacy exhaustive path reports
+  /// generated = candidates_built + join_candidates and dominated = its
+  /// canonical-duplicate discards, so the counters are comparable across
+  /// both paths.
+  size_t plans_generated = 0;
+  size_t plans_dominated = 0;
+  size_t plans_retained = 0;
   size_t results = 0;
   /// Cost spread over the found rewritings (-1 without a cost model): a
   /// large ratio means cost-based selection matters for this query.

@@ -1,19 +1,120 @@
 #include "src/viewstore/cost_model.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 namespace svx {
 
 namespace {
 
-// Default selectivities when no statistics apply.
+// Default selectivities when no statistics apply. These stay fixed
+// fractions (they model *data*, not per-row work), so they are not part of
+// the calibrated constants.
 constexpr double kLabelSelectivity = 0.2;
 constexpr double kValueSelectivity = 0.33;
 constexpr double kNonNullSelectivity = 0.9;
 
 double ClampRows(double rows) { return std::max(rows, 1.0); }
 
+// Work-unit indexes, CostConstants::ToArray() order.
+enum : size_t {
+  kUScan = 0,
+  kUEqJoin = 1,
+  kUParentJoin = 2,
+  kUAncestorJoin = 3,
+  kUEmit = 4,
+  kUSelect = 5,
+  kUProject = 6,
+  kUSort = 7,
+  kUNav = 8,
+};
+
+void AddUnits(std::array<double, CostConstants::kNumTerms>* units, size_t i,
+              double v) {
+  if (units != nullptr) (*units)[i] += v;
+}
+
 }  // namespace
+
+const char* CostConstants::TermName(size_t i) {
+  static const char* const kNames[kNumTerms] = {
+      "scan", "eq_join", "parent_join", "ancestor_join", "emit",
+      "select", "project", "sort", "nav"};
+  return i < kNumTerms ? kNames[i] : "?";
+}
+
+uint64_t CostConstantsFingerprint(const CostConstants& c,
+                                  double default_rows) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(kCostProfileVersion));
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(double), "double must be 64-bit");
+  std::memcpy(&bits, &default_rows, sizeof(bits));
+  mix(bits);
+  for (double term : c.ToArray()) {
+    std::memcpy(&bits, &term, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+bool LoadCostProfile(const std::string& path, CostConstants* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  CostConstants c;
+  auto arr = c.ToArray();
+  bool version_ok = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    if (key == "version") {
+      int32_t v = -1;
+      if (!(ls >> v) || v != kCostProfileVersion) return false;
+      version_ok = true;
+      continue;
+    }
+    double value = 0;
+    if (!(ls >> value) || !(value >= 0)) return false;
+    bool known = false;
+    for (size_t i = 0; i < CostConstants::kNumTerms; ++i) {
+      if (key == CostConstants::TermName(i)) {
+        arr[i] = value;
+        known = true;
+        break;
+      }
+    }
+    // Unknown keys are tolerated (forward compatibility within a version).
+    (void)known;
+  }
+  if (!version_ok) return false;
+  *out = CostConstants::FromArray(arr);
+  return true;
+}
+
+bool SaveCostProfile(const std::string& path, const CostConstants& c) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << "# svx cost profile (tools/calibrate_costs); units relative to\n"
+         "# scanning one view row. Loaded by ViewCatalog at open.\n";
+  out << "version " << kCostProfileVersion << "\n";
+  auto arr = c.ToArray();
+  for (size_t i = 0; i < CostConstants::kNumTerms; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", arr[i]);
+    out << CostConstants::TermName(i) << " " << buf << "\n";
+  }
+  return out.good();
+}
 
 void CostModel::AddViewStats(const std::string& view_name,
                              const ViewStats& stats) {
@@ -92,19 +193,22 @@ CostModel::Origin CostModel::ResolveColumn(const PlanNode& plan,
   return {};
 }
 
-CostEstimate CostModel::Estimate(const PlanNode& plan) const {
+CostEstimate CostModel::Estimate(
+    const PlanNode& plan,
+    std::array<double, CostConstants::kNumTerms>* units) const {
   switch (plan.kind) {
     case PlanKind::kViewScan: {
       auto it = views_.find(plan.view_name);
       double rows = it == views_.end()
                         ? default_rows
                         : static_cast<double>(it->second.num_rows);
-      return {rows, rows};
+      AddUnits(units, kUScan, rows);
+      return {rows, constants.scan * rows};
     }
     case PlanKind::kIdEqJoin:
     case PlanKind::kStructJoin: {
-      CostEstimate l = Estimate(*plan.children[0]);
-      CostEstimate r = Estimate(*plan.children[1]);
+      CostEstimate l = Estimate(*plan.children[0], units);
+      CostEstimate r = Estimate(*plan.children[1], units);
       const ColumnStats* lc =
           ResolveColumn(*plan.children[0], plan.left_col).column;
       const ColumnStats* rc =
@@ -113,15 +217,20 @@ CostEstimate CostModel::Estimate(const PlanNode& plan) const {
       double dr = rc != nullptr ? static_cast<double>(rc->distinct) : r.rows;
       double rows;
       double probe;
+      double probe_constant;
       if (plan.kind == PlanKind::kIdEqJoin) {
         // Containment assumption: |L ⋈= R| = |L||R| / max(dl, dr).
         rows = l.rows * r.rows / ClampRows(std::max(dl, dr));
         probe = l.rows + r.rows;
+        probe_constant = constants.eq_join;
+        AddUnits(units, kUEqJoin, probe);
       } else if (plan.struct_axis == StructAxis::kParent) {
         // Each right row has exactly one parent id; it matches the left rows
         // sharing that id (|L| / dl on average) if the parent is stored.
         rows = r.rows * l.rows / ClampRows(dl);
         probe = l.rows + r.rows;
+        probe_constant = constants.parent_join;
+        AddUnits(units, kUParentJoin, probe);
       } else {
         // Ancestor: each right row probes up to depth(right) prefixes.
         double depth =
@@ -131,13 +240,17 @@ CostEstimate CostModel::Estimate(const PlanNode& plan) const {
         rows = r.rows * std::max(depth - 1.0, 1.0) * l.rows /
                ClampRows(dl * 2.0);
         probe = l.rows + r.rows * depth;
+        probe_constant = constants.ancestor_join;
+        AddUnits(units, kUAncestorJoin, probe);
       }
       rows = std::min(rows, l.rows * r.rows);
       if (plan.nested_join) rows = std::min(rows, l.rows);
-      return {rows, l.cost + r.cost + probe + rows};
+      AddUnits(units, kUEmit, rows);
+      return {rows, l.cost + r.cost + probe_constant * probe +
+                        constants.emit * rows};
     }
     case PlanKind::kSelect: {
-      CostEstimate in = Estimate(*plan.children[0]);
+      CostEstimate in = Estimate(*plan.children[0], units);
       Origin origin = ResolveColumn(*plan.children[0], plan.select_col);
       const ColumnStats* c = origin.column;
       double sel;
@@ -171,24 +284,28 @@ CostEstimate CostModel::Estimate(const PlanNode& plan) const {
         default:
           sel = 1.0;
       }
-      return {in.rows * sel, in.cost + in.rows};
+      AddUnits(units, kUSelect, in.rows);
+      return {in.rows * sel, in.cost + constants.select * in.rows};
     }
     case PlanKind::kProject: {
-      CostEstimate in = Estimate(*plan.children[0]);
-      return {in.rows, in.cost + 0.1 * in.rows};
+      CostEstimate in = Estimate(*plan.children[0], units);
+      AddUnits(units, kUProject, in.rows);
+      return {in.rows, in.cost + constants.project * in.rows};
     }
     case PlanKind::kUnion: {
       CostEstimate out{0, 0};
       for (const auto& child : plan.children) {
-        CostEstimate c = Estimate(*child);
+        CostEstimate c = Estimate(*child, units);
         out.rows += c.rows;
         out.cost += c.cost;
       }
-      out.cost += out.rows;  // set-semantics dedup pass
+      // Set-semantics dedup pass over the concatenated branches.
+      AddUnits(units, kUSort, out.rows);
+      out.cost += constants.sort * out.rows;
       return out;
     }
     case PlanKind::kUnnest: {
-      CostEstimate in = Estimate(*plan.children[0]);
+      CostEstimate in = Estimate(*plan.children[0], units);
       const ColumnStats* c =
           ResolveColumn(*plan.children[0], plan.unnest_col).column;
       double avg_group =
@@ -197,22 +314,26 @@ CostEstimate CostModel::Estimate(const PlanNode& plan) const {
                     static_cast<double>(c->non_null)
               : 2.0;
       double rows = in.rows * std::max(avg_group, 1.0);
-      return {rows, in.cost + rows};
+      AddUnits(units, kUEmit, rows);
+      return {rows, in.cost + constants.emit * rows};
     }
     case PlanKind::kGroupBy: {
-      CostEstimate in = Estimate(*plan.children[0]);
+      CostEstimate in = Estimate(*plan.children[0], units);
       double rows = ClampRows(in.rows * 0.5);
-      return {rows, in.cost + in.rows};
+      AddUnits(units, kUSort, in.rows);
+      return {rows, in.cost + constants.sort * in.rows};
     }
     case PlanKind::kNavigate: {
-      CostEstimate in = Estimate(*plan.children[0]);
+      CostEstimate in = Estimate(*plan.children[0], units);
       double steps =
           static_cast<double>(std::max<size_t>(plan.navigate_steps.size(), 1));
-      return {in.rows, in.cost + in.rows * steps};
+      AddUnits(units, kUNav, in.rows * steps);
+      return {in.rows, in.cost + constants.nav * (in.rows * steps)};
     }
     case PlanKind::kDeriveParent: {
-      CostEstimate in = Estimate(*plan.children[0]);
-      return {in.rows, in.cost + in.rows};
+      CostEstimate in = Estimate(*plan.children[0], units);
+      AddUnits(units, kUNav, in.rows);
+      return {in.rows, in.cost + constants.nav * in.rows};
     }
   }
   SVX_CHECK(false);

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "src/algebra/plan.h"
+#include "src/viewstore/cost_constants.h"
 #include "src/viewstore/statistics.h"
 
 namespace svx {
@@ -40,12 +41,26 @@ class CostModel {
   }
 
   /// Bottom-up estimate for `plan`. Unknown views scan `default_rows`.
-  CostEstimate Estimate(const PlanNode& plan) const;
+  CostEstimate Estimate(const PlanNode& plan) const {
+    return Estimate(plan, nullptr);
+  }
+
+  /// As Estimate(), also accumulating the per-term work-unit counts into
+  /// *units (ToArray() order) when non-null: cost == constants · units
+  /// exactly, which is what tools/calibrate_costs fits against measured
+  /// times. The caller zero-initializes *units.
+  CostEstimate Estimate(const PlanNode& plan,
+                        std::array<double, CostConstants::kNumTerms>* units)
+      const;
 
   /// Shorthand for Estimate(plan).cost.
   double EstimateCost(const PlanNode& plan) const {
     return Estimate(plan).cost;
   }
+
+  /// Per-operator cost constants (see cost_constants.h). Cardinality
+  /// estimates never depend on these; only the cost side does.
+  CostConstants constants;
 
   /// Assumed extent size for views without registered statistics.
   double default_rows = 1000;

@@ -5,6 +5,7 @@
 #include "src/pattern/pattern_printer.h"
 #include "src/util/strings.h"
 #include "src/util/timer.h"
+#include "src/viewstore/cost_model.h"
 
 namespace svx {
 
@@ -52,6 +53,12 @@ bool RewriteCache::Lookup(const std::string& key, std::vector<Rewriting>* out,
     stats->results = s.results;
     stats->cheapest_cost = s.cheapest_cost;
     stats->costliest_cost = s.costliest_cost;
+    stats->plans_generated = s.plans_generated;
+    stats->plans_dominated = s.plans_dominated;
+    stats->plans_retained = s.plans_retained;
+    // Truncated searches are never cached (see CachedRewrite), so a hit is
+    // always a complete search.
+    stats->search_truncated = false;
   }
   return true;
 }
@@ -117,14 +124,24 @@ Result<std::vector<Rewriting>> CachedRewrite(RewriteCache* cache,
   const RewriterOptions& o = rewriter->options();
   const ExpansionOptions& e = o.expansion;
   const ContainmentOptions& c = o.containment;
+  // Plan choice depends on the effective cost constants, so the salt
+  // carries the model's fingerprint (not just its presence) plus the
+  // enumeration strategy.
+  const uint64_t model_fp =
+      o.cost_model != nullptr
+          ? CostConstantsFingerprint(o.cost_model->constants,
+                                     o.cost_model->default_rows)
+          : 0;
   std::string key = StrFormat(
-      "%s|r%zu.v%d.p%d.c%zu.pc%zu.a%zu.u%zu.up%zu.%d%d%d%d.m%d"
+      "%s|r%zu.v%d.p%d.c%zu.pc%zu.a%zu.u%zu.up%zu.%d%d%d%d.m%llx.dp%d"
       "|e%zu.%zu.%d.%d.%d.%d|k%d.%d.%zu.%zu.%zu.%d",
       RewriteCache::KeyFor(q).c_str(), o.max_results, rewriter->num_views(),
       o.max_plan_views, o.max_candidates, o.max_pieces, o.max_assignments,
       o.max_union_size, o.max_union_partials, o.prune_views ? 1 : 0,
       o.prune_same_pattern ? 1 : 0, o.stop_at_first ? 1 : 0,
-      o.use_view_index ? 1 : 0, o.cost_model != nullptr ? 1 : 0,
+      o.use_view_index ? 1 : 0,
+      static_cast<unsigned long long>(model_fp),  // NOLINT(runtime/int)
+      o.use_dp_enumeration ? 1 : 0,
       e.max_embeddings, e.max_pieces, e.max_strengthen_edges,
       e.unfold_content ? 1 : 0, e.add_virtual_ids ? 1 : 0,
       e.max_virtual_depth, c.use_one_to_one_relaxation ? 1 : 0,
@@ -150,10 +167,12 @@ Result<std::vector<Rewriting>> CachedRewrite(RewriteCache* cache,
   RewriteStats local_stats;
   RewriteStats* effective = stats != nullptr ? stats : &local_stats;
   Result<std::vector<Rewriting>> fresh = rewriter->Rewrite(q, effective);
-  // A time-budget-truncated search is load-dependent; caching it would pin
-  // a transiently inferior (possibly empty) plan list until the next
-  // catalog mutation.
-  if (fresh.ok() && !effective->time_budget_hit) {
+  // A time-budget-truncated search is load-dependent, and a budget-truncated
+  // search (search_truncated: a candidate overflowed the merged-piece cap)
+  // dropped plans it never examined; caching either would pin a transiently
+  // inferior (possibly empty) plan list until the next catalog mutation.
+  if (fresh.ok() && !effective->time_budget_hit &&
+      !effective->search_truncated) {
     cache->Insert(key, *fresh, effective);
   }
   return fresh;

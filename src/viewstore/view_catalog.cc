@@ -112,6 +112,11 @@ ViewCatalog::ViewCatalog(std::string dir)
 ViewCatalog::ViewCatalog(ViewCatalogOptions options)
     : dir_(std::move(options.dir)),
       enable_delta_log_(options.enable_delta_log && !dir_.empty()) {
+  if (!dir_.empty()) {
+    // Best effort: a missing or stale profile just keeps the baked fit.
+    LoadCostProfile((fs::path(dir_) / "cost_profile.txt").string(),
+                    &cost_constants_);
+  }
   // NOLINTNEXTLINE(modernize-make-shared): private ctor, friend-only access.
   auto initial = std::shared_ptr<CatalogSnapshot>(new CatalogSnapshot());
   initial->epoch_ = next_epoch_++;
@@ -169,6 +174,7 @@ void ViewCatalog::PublishLocked(
   // memo, document changes replace it.
   snap->memo_ =
       doc_changed ? std::make_shared<ContainmentMemo>() : old->memo_;
+  snap->cost_model_.constants = cost_constants_;
   for (const auto& v : snap->views_) {
     snap->cost_model_.AddViewStats(v->def.name, v->stats);
   }

@@ -310,6 +310,11 @@ class ViewCatalog {
 
   std::string dir_;
   bool enable_delta_log_ = false;
+  /// Per-operator cost constants baked into every published snapshot's cost
+  /// model. Starts from the last tools/calibrate_costs fit; a store-local
+  /// cost_profile.txt (written with --write) overrides it at open. Set in
+  /// the ctor before any publish and immutable afterwards.
+  CostConstants cost_constants_ = CalibratedCostConstants();
   /// Serializes every mutator (and Save). Readers never take it.
   mutable Mutex writer_mu_;
   /// Guards only snapshot_ itself: shared for the reader pointer copy,

@@ -153,7 +153,11 @@ TEST(ConcurrentServing, ReadersAlwaysSeeAConsistentEpoch) {
       Pattern q = MustParsePattern("site(/item{id}(/name{v}))");
       uint64_t last_epoch = 0;
       int iter = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
+      // do-while: every reader completes at least one full iteration
+      // (including the iter==0 consistency check) even when the writer
+      // finishes before this thread is first scheduled — otherwise the
+      // consistency_checks > 0 assertion below races thread startup.
+      do {
         std::shared_ptr<const CatalogSnapshot> snap = catalog.Snapshot();
         if (snap->epoch() < last_epoch) {
           reader_errors[r] = "epoch went backwards";
@@ -201,7 +205,7 @@ TEST(ConcurrentServing, ReadersAlwaysSeeAConsistentEpoch) {
             consistency_checks.fetch_add(1, std::memory_order_relaxed);
           }
         }
-      }
+      } while (!stop.load(std::memory_order_relaxed));
     });
   }
 

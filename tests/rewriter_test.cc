@@ -312,6 +312,14 @@ TEST(Rewriter, FastPathsPreserveResults) {
     RewriterOptions fast;
     fast.use_view_index = true;
     fast.memoize_containment = true;
+    // Pin both configurations to the exhaustive enumerator: this test
+    // isolates the ViewIndex fast paths, and the no-index side cannot run
+    // the DP search (it needs coverage signatures), so enabling it on the
+    // fast side would compare different search orders, not the same search
+    // with and without the index. The DP-vs-exhaustive comparison lives in
+    // plan_enum_test.cc.
+    slow.use_dp_enumeration = false;
+    fast.use_dp_enumeration = false;
     Rewriter rw_slow(*s, slow);
     Rewriter rw_fast(*s, fast);
     for (const auto& [name, pattern] : w.views) {

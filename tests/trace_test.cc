@@ -108,7 +108,9 @@ TEST_F(ServingTraceTest, NestedRewriteProducesPhaseSpans) {
   EXPECT_FALSE(rewrite->children().empty());
   EXPECT_NE(rewrite->FindChild("analyze"), nullptr);
   EXPECT_NE(rewrite->FindChild("prune-views"), nullptr);
-  EXPECT_NE(rewrite->FindChild("match-single-views"), nullptr);
+  // The DP enumerator folds single-view matching and join enumeration into
+  // one plan-enum phase (the legacy path would emit match-single-views).
+  EXPECT_NE(rewrite->FindChild("plan-enum"), nullptr);
   EXPECT_NE(rewrite->FindChild("rank-by-cost"), nullptr);
 
   // The executor attaches a per-operator span tree under the same root.
