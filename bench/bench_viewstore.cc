@@ -6,7 +6,11 @@
 // Reports a human-readable table and writes machine-readable
 // BENCH_viewstore.json into the working directory.
 //
-//   $ ./build/bench_viewstore [scale]
+//   $ ./build/bench_viewstore [scale] [--min-compression=X]
+//
+// --min-compression=X exits nonzero unless the columnar extents are at
+// least X times smaller than the row-major serialization (the CI Release
+// gate runs with X=2).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +18,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "bench/base_views.h"
 #include "bench/bench_metrics.h"
@@ -45,7 +50,7 @@ struct QueryRow {
   long long exec_rows = -1;
 };
 
-void Run(double scale) {
+int Run(double scale, double min_compression) {
   namespace fs = std::filesystem;
   const std::string store_dir =
       (fs::temp_directory_path() / "svx_bench_viewstore").string();
@@ -68,7 +73,7 @@ void Run(double scale) {
     if (!s.ok()) {
       std::printf("materialize %s: %s\n", d.name.c_str(),
                   s.ToString().c_str());
-      return;
+      return 1;
     }
   }
   double materialize_ms = t.ElapsedMillis();
@@ -81,7 +86,7 @@ void Run(double scale) {
   double save_ms = t.ElapsedMillis();
   if (!s.ok()) {
     std::printf("save: %s\n", s.ToString().c_str());
-    return;
+    return 1;
   }
   t.Reset();
   ViewCatalog reloaded(store_dir);
@@ -89,12 +94,22 @@ void Run(double scale) {
   double load_ms = t.ElapsedMillis();
   if (!s.ok()) {
     std::printf("load: %s\n", s.ToString().c_str());
-    return;
+    return 1;
   }
+  const int64_t total_bytes = reloaded.TotalBytes();
+  const int64_t compressed_bytes = reloaded.TotalCompressedBytes();
+  const double compression_ratio =
+      compressed_bytes > 0
+          ? static_cast<double>(total_bytes) /
+                static_cast<double>(compressed_bytes)
+          : 0;
   std::printf("materialize %.1f ms (%lld rows); save %.1f ms (%lld bytes); "
-              "load %.1f ms\n\n",
+              "load %.1f ms\n",
               materialize_ms, total_rows, save_ms,
-              static_cast<long long>(reloaded.TotalBytes()), load_ms);
+              static_cast<long long>(total_bytes), load_ms);
+  std::printf("columnar extents: %lld bytes compressed (%.2fx vs row-major)"
+              "\n\n",
+              static_cast<long long>(compressed_bytes), compression_ratio);
 
   // ---- Cost-ranked rewriting + store-backed execution. ----
   CostModel model = reloaded.BuildCostModel();
@@ -152,7 +167,12 @@ void Run(double scale) {
   w.KV("document_nodes", static_cast<int64_t>(doc->size()));
   w.KV("num_views", static_cast<int64_t>(reloaded.size()));
   w.KV("total_rows", static_cast<int64_t>(total_rows));
-  w.KV("total_bytes", reloaded.TotalBytes());
+  w.KV("total_bytes", total_bytes);
+  w.KV("total_compressed_bytes", compressed_bytes);
+  w.KV("compression_ratio", compression_ratio);
+  w.KV("extent_resident_bytes", reloaded.memory_budget()->resident_bytes());
+  w.KV("extent_evictions", reloaded.memory_budget()->evictions());
+  w.KV("extent_reloads", reloaded.memory_budget()->reloads());
   w.KV("materialize_ms", materialize_ms);
   w.KV("save_ms", save_ms);
   w.KV("load_ms", load_ms);
@@ -182,6 +202,14 @@ void Run(double scale) {
   std::printf("\nwrote BENCH_viewstore.json\n");
   std::printf("catalog: %s\n", reloaded.DebugMetrics().c_str());
   EmitMetricsSnapshot("BENCH_viewstore_metrics.prom");
+
+  if (min_compression > 0 && compression_ratio < min_compression) {
+    std::fprintf(stderr,
+                 "FAIL: compression ratio %.2fx below required %.2fx\n",
+                 compression_ratio, min_compression);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -189,14 +217,35 @@ void Run(double scale) {
 
 int main(int argc, char** argv) {
   double scale = 1.0;
-  if (argc > 1) {
-    std::optional<double> v = svx::ParseDouble(argv[1]);
-    if (!v.has_value()) {
-      std::fprintf(stderr, "bad scale: %s\n", argv[1]);
+  double min_compression = 0;
+  bool scale_set = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    constexpr std::string_view kMinCompression = "--min-compression=";
+    if (arg.size() > kMinCompression.size() &&
+        arg.substr(0, kMinCompression.size()) == kMinCompression) {
+      std::optional<double> v =
+          svx::ParseDouble(arg.substr(kMinCompression.size()));
+      if (!v.has_value() || *v <= 0) {
+        std::fprintf(stderr, "bad --min-compression: %s\n", argv[i]);
+        return 2;
+      }
+      min_compression = *v;
+    } else if (!scale_set) {
+      std::optional<double> v = svx::ParseDouble(arg);
+      if (!v.has_value()) {
+        std::fprintf(stderr, "bad scale: %s\n", argv[i]);
+        return 2;
+      }
+      scale = *v;
+      scale_set = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: bench_viewstore [scale] "
+                   "[--min-compression=X]\n",
+                   argv[i]);
       return 2;
     }
-    scale = *v;
   }
-  svx::Run(scale);
-  return 0;
+  return svx::Run(scale, min_compression);
 }

@@ -1,0 +1,930 @@
+#include "src/algebra/columnar.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace svx {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Varint + raw-cell byte primitives. The raw-cell layout mirrors the v1
+// row-major cell encoding (extent_io.cc) so type-mixed columns keep exactly
+// the old fidelity; everything else uses LEB128 varints.
+// ---------------------------------------------------------------------------
+
+enum CellTag : uint8_t {
+  kCellNull = 0,
+  kCellString = 1,
+  kCellId = 2,
+  kCellContent = 3,
+  kCellNested = 4,
+};
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+int64_t VarintSize(uint64_t v) {
+  int64_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+/// Bounds-checked reader over serialized chunk payloads.
+class ByteReader {
+ public:
+  ByteReader(std::string_view bytes, size_t pos) : bytes_(bytes), pos_(pos) {}
+
+  bool GetVarint(uint64_t* v) {
+    *v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= bytes_.size() || shift > 63) return false;
+      uint8_t b = static_cast<uint8_t>(bytes_[pos_++]);
+      *v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return true;
+      shift += 7;
+    }
+  }
+  bool GetU8(uint8_t* v) {
+    if (pos_ >= bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool GetBytes(size_t n, std::string* out) {
+    if (n > Remaining()) return false;
+    out->assign(bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  size_t pos() const { return pos_; }
+  size_t Remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const ByteReader& r) {
+  return Status::ParseError(
+      StrFormat("truncated columnar extent at offset %zu", r.pos()));
+}
+
+// Raw cells use the v1 fixed-width framing (u32 lengths / components, u64
+// nested row counts) so the fallback stays byte-compatible in spirit with
+// the row-major format it replaces.
+void PutU32Raw(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64Raw(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutOrdPathRaw(const OrdPath& id, std::string* out) {
+  PutU32Raw(static_cast<uint32_t>(id.components().size()), out);
+  for (int32_t c : id.components()) {
+    PutU32Raw(static_cast<uint32_t>(c), out);
+  }
+}
+
+void PutRawCell(const Value& v, std::string* out) {
+  if (v.IsNull()) {
+    out->push_back(static_cast<char>(kCellNull));
+  } else if (v.IsString()) {
+    out->push_back(static_cast<char>(kCellString));
+    PutU32Raw(static_cast<uint32_t>(v.AsString().size()), out);
+    out->append(v.AsString());
+  } else if (v.IsId()) {
+    out->push_back(static_cast<char>(kCellId));
+    PutOrdPathRaw(v.AsId(), out);
+  } else if (v.IsContent()) {
+    const NodeRef& ref = v.AsContent();
+    SVX_CHECK(ref.doc != nullptr && ref.node != kInvalidNode);
+    out->push_back(static_cast<char>(kCellContent));
+    PutOrdPathRaw(ref.doc->ord_path(ref.node), out);
+  } else {
+    const Table& nested = v.AsTable();
+    out->push_back(static_cast<char>(kCellNested));
+    PutU64Raw(static_cast<uint64_t>(nested.NumRows()), out);
+    for (const Tuple& row : nested.rows()) {
+      for (const Value& cell : row) PutRawCell(cell, out);
+    }
+  }
+}
+
+class RawCellReader {
+ public:
+  explicit RawCellReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ >= bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint32_t len = 0;
+    if (!GetU32(&len) || pos_ + len > bytes_.size()) return false;
+    s->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool GetOrdPath(OrdPath* id) {
+    uint32_t n = 0;
+    if (!GetU32(&n) || n > 1u << 20 || pos_ + 4ull * n > bytes_.size()) {
+      return false;
+    }
+    std::vector<int32_t> comps;
+    comps.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t c = 0;
+      if (!GetU32(&c)) return false;
+      comps.push_back(static_cast<int32_t>(c));
+    }
+    *id = OrdPath(std::move(comps));
+    return true;
+  }
+  size_t pos() const { return pos_; }
+  size_t Remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+Status RawTruncated(const RawCellReader& r) {
+  return Status::ParseError(
+      StrFormat("truncated raw column chunk at offset %zu", r.pos()));
+}
+
+Result<Value> GetRawCell(RawCellReader* r, const ColumnSpec& col,
+                         const Document* doc, int depth) {
+  if (depth > 16) return Status::ParseError("raw cell nesting too deep");
+  uint8_t tag = 0;
+  if (!r->GetU8(&tag)) return RawTruncated(*r);
+  switch (tag) {
+    case kCellNull:
+      return Value();
+    case kCellString: {
+      std::string s;
+      if (!r->GetString(&s)) return RawTruncated(*r);
+      return Value(std::move(s));
+    }
+    case kCellId: {
+      OrdPath id;
+      if (!r->GetOrdPath(&id)) return RawTruncated(*r);
+      return Value(std::move(id));
+    }
+    case kCellContent: {
+      OrdPath id;
+      if (!r->GetOrdPath(&id)) return RawTruncated(*r);
+      if (doc == nullptr) {
+        return Status::InvalidArgument(
+            "extent has content references but no document was supplied");
+      }
+      NodeIndex node = doc->FindByOrdPath(id);
+      if (node == kInvalidNode) {
+        return Status::NotFound(
+            "content reference " + id.ToString() + " not in the document");
+      }
+      return Value(NodeRef{doc, node});
+    }
+    case kCellNested: {
+      if (col.nested == nullptr) {
+        return Status::ParseError("nested cell in a non-nested column");
+      }
+      uint64_t nrows = 0;
+      if (!r->GetU64(&nrows)) return RawTruncated(*r);
+      const Schema& schema = *col.nested;
+      if (nrows > 0 &&
+          (schema.size() == 0 ||
+           nrows > r->Remaining() / static_cast<uint64_t>(schema.size()))) {
+        return Status::ParseError(
+            StrFormat("nested row count %llu exceeds input size",
+                      static_cast<unsigned long long>(nrows)));
+      }
+      Table table(schema);
+      for (uint64_t i = 0; i < nrows; ++i) {
+        Tuple row;
+        row.reserve(static_cast<size_t>(schema.size()));
+        for (int32_t c = 0; c < schema.size(); ++c) {
+          Result<Value> v = GetRawCell(r, schema.column(c), doc, depth + 1);
+          if (!v.ok()) return v.status();
+          row.push_back(std::move(*v));
+        }
+        table.AddRow(std::move(row));
+      }
+      return Value(std::make_shared<const Table>(std::move(table)));
+    }
+    default:
+      return Status::ParseError(
+          StrFormat("bad raw cell tag %u", static_cast<unsigned>(tag)));
+  }
+}
+
+/// Walks every content ORDPATH inside a raw cell stream without resolving
+/// the references.
+Status WalkRawContentIds(RawCellReader* r, const ColumnSpec& col, int depth,
+                         const std::function<Status(const OrdPath&)>& fn) {
+  if (depth > 16) return Status::ParseError("raw cell nesting too deep");
+  uint8_t tag = 0;
+  if (!r->GetU8(&tag)) return RawTruncated(*r);
+  switch (tag) {
+    case kCellNull:
+      return Status::OK();
+    case kCellString: {
+      std::string s;
+      if (!r->GetString(&s)) return RawTruncated(*r);
+      return Status::OK();
+    }
+    case kCellId: {
+      OrdPath id;
+      if (!r->GetOrdPath(&id)) return RawTruncated(*r);
+      return Status::OK();
+    }
+    case kCellContent: {
+      OrdPath id;
+      if (!r->GetOrdPath(&id)) return RawTruncated(*r);
+      return fn(id);
+    }
+    case kCellNested: {
+      if (col.nested == nullptr) {
+        return Status::ParseError("nested cell in a non-nested column");
+      }
+      uint64_t nrows = 0;
+      if (!r->GetU64(&nrows)) return RawTruncated(*r);
+      const Schema& schema = *col.nested;
+      if (nrows > 0 &&
+          (schema.size() == 0 ||
+           nrows > r->Remaining() / static_cast<uint64_t>(schema.size()))) {
+        return Status::ParseError("nested row count exceeds input size");
+      }
+      for (uint64_t i = 0; i < nrows; ++i) {
+        for (int32_t c = 0; c < schema.size(); ++c) {
+          SVX_RETURN_IF_ERROR(
+              WalkRawContentIds(r, schema.column(c), depth + 1, fn));
+        }
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::ParseError("bad raw cell tag");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-column encoding.
+// ---------------------------------------------------------------------------
+
+const OrdPath& CellOrdPath(const Value& v) {
+  if (v.IsId()) return v.AsId();
+  const NodeRef& ref = v.AsContent();
+  SVX_CHECK(ref.doc != nullptr && ref.node != kInvalidNode);
+  return ref.doc->ord_path(ref.node);
+}
+
+void AppendDeltaId(const OrdPath& id, std::vector<int32_t>* prev,
+                   std::string* out) {
+  const std::vector<int32_t>& comps = id.components();
+  size_t prefix = 0;
+  size_t limit = std::min(prev->size(), comps.size());
+  while (prefix < limit &&
+         (*prev)[prefix] == comps[prefix]) {
+    ++prefix;
+  }
+  PutVarint(static_cast<uint64_t>(prefix) + 1, out);
+  PutVarint(static_cast<uint64_t>(comps.size() - prefix), out);
+  for (size_t i = prefix; i < comps.size(); ++i) {
+    PutVarint(static_cast<uint64_t>(static_cast<uint32_t>(comps[i])), out);
+  }
+  *prev = comps;
+}
+
+ColumnChunkPtr EncodeColumn(const Table& table, int32_t c,
+                            const ColumnSpec& spec) {
+  auto chunk = std::make_shared<ColumnChunk>();
+  chunk->num_rows = table.NumRows();
+
+  bool all_string = true, all_id = true, all_content = true, all_nested = true;
+  for (const Tuple& row : table.rows()) {
+    const Value& v = row[static_cast<size_t>(c)];
+    if (v.IsNull()) continue;
+    if (!v.IsString()) all_string = false;
+    if (!v.IsId()) all_id = false;
+    if (!v.IsContent()) all_content = false;
+    if (!v.IsTable() || spec.nested == nullptr ||
+        !(v.AsTable().schema() == *spec.nested)) {
+      all_nested = false;
+    }
+  }
+
+  if (all_string) {
+    chunk->encoding = ColumnChunk::kDict;
+    std::vector<std::string> values;
+    for (const Tuple& row : table.rows()) {
+      const Value& v = row[static_cast<size_t>(c)];
+      if (!v.IsNull()) values.push_back(v.AsString());
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    std::unordered_map<std::string_view, uint32_t> index;
+    index.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      index.emplace(values[i], static_cast<uint32_t>(i));
+    }
+    chunk->dict = std::move(values);
+    chunk->codes.reserve(static_cast<size_t>(table.NumRows()));
+    for (const Tuple& row : table.rows()) {
+      const Value& v = row[static_cast<size_t>(c)];
+      chunk->codes.push_back(v.IsNull() ? ColumnChunk::kNullCode
+                                        : index.at(v.AsString()));
+    }
+    return chunk;
+  }
+
+  if (all_id || all_content) {
+    chunk->encoding = all_id ? ColumnChunk::kIds : ColumnChunk::kContent;
+    std::vector<int32_t> prev;
+    for (const Tuple& row : table.rows()) {
+      const Value& v = row[static_cast<size_t>(c)];
+      if (v.IsNull()) {
+        PutVarint(0, &chunk->id_bytes);
+      } else {
+        AppendDeltaId(CellOrdPath(v), &prev, &chunk->id_bytes);
+      }
+    }
+    return chunk;
+  }
+
+  if (all_nested) {
+    chunk->encoding = ColumnChunk::kNested;
+    Table concat(*spec.nested);
+    chunk->offsets.reserve(static_cast<size_t>(table.NumRows()) + 1);
+    chunk->nulls.reserve(static_cast<size_t>(table.NumRows()));
+    chunk->offsets.push_back(0);
+    for (const Tuple& row : table.rows()) {
+      const Value& v = row[static_cast<size_t>(c)];
+      if (v.IsNull()) {
+        chunk->nulls.push_back(1);
+      } else {
+        chunk->nulls.push_back(0);
+        for (const Tuple& inner : v.AsTable().rows()) {
+          concat.AddRow(inner);
+        }
+      }
+      chunk->offsets.push_back(concat.NumRows());
+    }
+    chunk->child = std::make_shared<const ColumnarExtent>(
+        ColumnarExtent::Encode(concat));
+    return chunk;
+  }
+
+  chunk->encoding = ColumnChunk::kRaw;
+  for (const Tuple& row : table.rows()) {
+    PutRawCell(row[static_cast<size_t>(c)], &chunk->raw_cells);
+  }
+  return chunk;
+}
+
+bool ChunkHasContent(const ColumnChunk& chunk, const ColumnSpec& spec) {
+  switch (chunk.encoding) {
+    case ColumnChunk::kContent:
+      return !chunk.id_bytes.empty();
+    case ColumnChunk::kNested:
+      return chunk.child != nullptr && chunk.child->has_content();
+    case ColumnChunk::kRaw: {
+      bool found = false;
+      RawCellReader r(chunk.raw_cells);
+      for (int64_t i = 0; i < chunk.num_rows && !found; ++i) {
+        Status s = WalkRawContentIds(
+            &r, spec, 0, [&found](const OrdPath&) {
+              found = true;
+              return Status::OK();
+            });
+        if (!s.ok()) return false;  // corrupt chunks fail later, at decode
+      }
+      return found;
+    }
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-column decoding.
+// ---------------------------------------------------------------------------
+
+Status DecodeIdColumn(const ColumnChunk& chunk, const ColumnSpec& spec,
+                      const Document* doc, std::vector<Value>* out) {
+  const bool content = chunk.encoding == ColumnChunk::kContent;
+  std::vector<int32_t> prev;
+  ByteReader r(chunk.id_bytes, 0);
+  out->reserve(static_cast<size_t>(chunk.num_rows));
+  for (int64_t i = 0; i < chunk.num_rows; ++i) {
+    uint64_t head = 0;
+    if (!r.GetVarint(&head)) return Truncated(r);
+    if (head == 0) {
+      out->push_back(Value());
+      continue;
+    }
+    uint64_t prefix = head - 1;
+    uint64_t suffix = 0;
+    if (!r.GetVarint(&suffix)) return Truncated(r);
+    if (prefix > prev.size() || prefix + suffix > 1u << 20) {
+      return Status::ParseError(
+          StrFormat("bad ORDPATH delta in column %s", spec.name.c_str()));
+    }
+    std::vector<int32_t> comps(prev.begin(),
+                               prev.begin() + static_cast<ptrdiff_t>(prefix));
+    comps.reserve(static_cast<size_t>(prefix + suffix));
+    for (uint64_t k = 0; k < suffix; ++k) {
+      uint64_t comp = 0;
+      if (!r.GetVarint(&comp)) return Truncated(r);
+      comps.push_back(static_cast<int32_t>(static_cast<uint32_t>(comp)));
+    }
+    prev = comps;
+    OrdPath id(std::move(comps));
+    if (!content) {
+      out->push_back(Value(std::move(id)));
+      continue;
+    }
+    if (doc == nullptr) {
+      return Status::InvalidArgument(
+          "extent has content references but no document was supplied");
+    }
+    NodeIndex node = doc->FindByOrdPath(id);
+    if (node == kInvalidNode) {
+      return Status::NotFound("content reference " + id.ToString() +
+                              " not in the document");
+    }
+    out->push_back(Value(NodeRef{doc, node}));
+  }
+  if (r.Remaining() != 0) {
+    return Status::ParseError("trailing bytes in ORDPATH column chunk");
+  }
+  return Status::OK();
+}
+
+Status DecodeColumnValues(const ColumnChunk& chunk, const ColumnSpec& spec,
+                          const Document* doc, std::vector<Value>* out) {
+  switch (chunk.encoding) {
+    case ColumnChunk::kDict: {
+      if (chunk.codes.size() != static_cast<size_t>(chunk.num_rows)) {
+        return Status::ParseError("dictionary code count mismatch");
+      }
+      out->reserve(chunk.codes.size());
+      for (uint32_t code : chunk.codes) {
+        if (code == ColumnChunk::kNullCode) {
+          out->push_back(Value());
+        } else if (code < chunk.dict.size()) {
+          out->push_back(Value(chunk.dict[code]));
+        } else {
+          return Status::ParseError(
+              StrFormat("dictionary code out of range in column %s",
+                        spec.name.c_str()));
+        }
+      }
+      return Status::OK();
+    }
+    case ColumnChunk::kIds:
+    case ColumnChunk::kContent:
+      return DecodeIdColumn(chunk, spec, doc, out);
+    case ColumnChunk::kNested: {
+      if (chunk.child == nullptr || spec.nested == nullptr ||
+          chunk.offsets.size() != static_cast<size_t>(chunk.num_rows) + 1 ||
+          chunk.nulls.size() != static_cast<size_t>(chunk.num_rows)) {
+        return Status::ParseError("malformed nested column chunk");
+      }
+      Result<Table> child = chunk.child->Decode(doc);
+      if (!child.ok()) return child.status();
+      out->reserve(static_cast<size_t>(chunk.num_rows));
+      for (int64_t i = 0; i < chunk.num_rows; ++i) {
+        if (chunk.nulls[static_cast<size_t>(i)] != 0) {
+          out->push_back(Value());
+          continue;
+        }
+        int64_t lo = chunk.offsets[static_cast<size_t>(i)];
+        int64_t hi = chunk.offsets[static_cast<size_t>(i) + 1];
+        if (lo < 0 || hi < lo || hi > child->NumRows()) {
+          return Status::ParseError("nested column offsets out of range");
+        }
+        Table group(*spec.nested);
+        for (int64_t k = lo; k < hi; ++k) {
+          group.AddRow(child->row(k));
+        }
+        out->push_back(Value(std::make_shared<const Table>(std::move(group))));
+      }
+      return Status::OK();
+    }
+    case ColumnChunk::kRaw: {
+      RawCellReader r(chunk.raw_cells);
+      out->reserve(static_cast<size_t>(chunk.num_rows));
+      for (int64_t i = 0; i < chunk.num_rows; ++i) {
+        Result<Value> v = GetRawCell(&r, spec, doc, 0);
+        if (!v.ok()) return v.status();
+        out->push_back(std::move(*v));
+      }
+      if (!r.AtEnd()) {
+        return Status::ParseError("trailing bytes in raw column chunk");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("bad column chunk encoding");
+}
+
+}  // namespace
+
+bool ColumnChunk::operator==(const ColumnChunk& other) const {
+  if (encoding != other.encoding || num_rows != other.num_rows) return false;
+  switch (encoding) {
+    case kDict:
+      return dict == other.dict && codes == other.codes;
+    case kIds:
+    case kContent:
+      return id_bytes == other.id_bytes;
+    case kNested:
+      if (offsets != other.offsets || nulls != other.nulls) return false;
+      if (child == other.child) return true;
+      return child != nullptr && other.child != nullptr &&
+             *child == *other.child;
+    case kRaw:
+      return raw_cells == other.raw_cells;
+  }
+  return false;
+}
+
+ColumnarExtent ColumnarExtent::Encode(const Table& table) {
+  ColumnarExtent out;
+  out.schema_ = table.schema();
+  out.num_rows_ = table.NumRows();
+  out.columns_.reserve(static_cast<size_t>(out.schema_.size()));
+  for (int32_t c = 0; c < out.schema_.size(); ++c) {
+    const ColumnSpec& spec = out.schema_.column(c);
+    ColumnChunkPtr chunk = EncodeColumn(table, c, spec);
+    out.has_content_ = out.has_content_ || ChunkHasContent(*chunk, spec);
+    out.columns_.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+ColumnarExtent ColumnarExtent::EncodeSharing(const Table& table,
+                                             const ColumnarExtent& prev) {
+  ColumnarExtent out = Encode(table);
+  if (!(out.schema_ == prev.schema_)) return out;
+  for (size_t c = 0; c < out.columns_.size(); ++c) {
+    if (c < prev.columns_.size() && prev.columns_[c] != nullptr &&
+        *out.columns_[c] == *prev.columns_[c]) {
+      out.columns_[c] = prev.columns_[c];
+    }
+  }
+  return out;
+}
+
+Result<Table> ColumnarExtent::Decode(const Document* doc) const {
+  std::vector<bool> all(static_cast<size_t>(schema_.size()), true);
+  return DecodeColumns(all, doc);
+}
+
+Result<Table> ColumnarExtent::DecodeColumns(const std::vector<bool>& used,
+                                            const Document* doc) const {
+  if (used.size() != static_cast<size_t>(schema_.size())) {
+    return Status::InvalidArgument("column-use mask arity mismatch");
+  }
+  std::vector<std::vector<Value>> cols(static_cast<size_t>(schema_.size()));
+  for (int32_t c = 0; c < schema_.size(); ++c) {
+    if (!used[static_cast<size_t>(c)]) continue;
+    const ColumnChunkPtr& chunk = columns_[static_cast<size_t>(c)];
+    if (chunk == nullptr || chunk->num_rows != num_rows_) {
+      return Status::ParseError("column chunk row count mismatch");
+    }
+    SVX_RETURN_IF_ERROR(DecodeColumnValues(*chunk, schema_.column(c), doc,
+                                           &cols[static_cast<size_t>(c)]));
+  }
+  Table table(schema_);
+  for (int64_t i = 0; i < num_rows_; ++i) {
+    Tuple row;
+    row.reserve(static_cast<size_t>(schema_.size()));
+    for (int32_t c = 0; c < schema_.size(); ++c) {
+      if (used[static_cast<size_t>(c)]) {
+        row.push_back(std::move(cols[static_cast<size_t>(c)]
+                                    [static_cast<size_t>(i)]));
+      } else {
+        row.push_back(Value());
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+int64_t ColumnarExtent::SerializedByteSize() const {
+  int64_t size = VarintSize(static_cast<uint64_t>(num_rows_));
+  for (const ColumnChunkPtr& chunk : columns_) {
+    size += 1;  // encoding tag
+    switch (chunk->encoding) {
+      case ColumnChunk::kDict: {
+        size += VarintSize(chunk->dict.size());
+        for (const std::string& s : chunk->dict) {
+          size += VarintSize(s.size()) + static_cast<int64_t>(s.size());
+        }
+        for (uint32_t code : chunk->codes) {
+          size += VarintSize(code == ColumnChunk::kNullCode
+                                 ? 0
+                                 : static_cast<uint64_t>(code) + 1);
+        }
+        break;
+      }
+      case ColumnChunk::kIds:
+      case ColumnChunk::kContent:
+        size += VarintSize(chunk->id_bytes.size()) +
+                static_cast<int64_t>(chunk->id_bytes.size());
+        break;
+      case ColumnChunk::kNested: {
+        size += (chunk->num_rows + 7) / 8;  // ⊥ bitmap
+        for (int64_t i = 0; i < chunk->num_rows; ++i) {
+          if (chunk->nulls[static_cast<size_t>(i)] == 0) {
+            size += VarintSize(static_cast<uint64_t>(
+                chunk->offsets[static_cast<size_t>(i) + 1] -
+                chunk->offsets[static_cast<size_t>(i)]));
+          }
+        }
+        size += chunk->child->SerializedByteSize();
+        break;
+      }
+      case ColumnChunk::kRaw:
+        size += VarintSize(chunk->raw_cells.size()) +
+                static_cast<int64_t>(chunk->raw_cells.size());
+        break;
+    }
+  }
+  return size;
+}
+
+void ColumnarExtent::AppendBytes(std::string* out) const {
+  PutVarint(static_cast<uint64_t>(num_rows_), out);
+  for (const ColumnChunkPtr& chunk : columns_) {
+    out->push_back(static_cast<char>(chunk->encoding));
+    switch (chunk->encoding) {
+      case ColumnChunk::kDict: {
+        PutVarint(chunk->dict.size(), out);
+        for (const std::string& s : chunk->dict) {
+          PutVarint(s.size(), out);
+          out->append(s);
+        }
+        for (uint32_t code : chunk->codes) {
+          PutVarint(code == ColumnChunk::kNullCode
+                        ? 0
+                        : static_cast<uint64_t>(code) + 1,
+                    out);
+        }
+        break;
+      }
+      case ColumnChunk::kIds:
+      case ColumnChunk::kContent:
+        PutVarint(chunk->id_bytes.size(), out);
+        out->append(chunk->id_bytes);
+        break;
+      case ColumnChunk::kNested: {
+        std::string bitmap(static_cast<size_t>((chunk->num_rows + 7) / 8),
+                           '\0');
+        for (int64_t i = 0; i < chunk->num_rows; ++i) {
+          if (chunk->nulls[static_cast<size_t>(i)] != 0) {
+            bitmap[static_cast<size_t>(i / 8)] |=
+                static_cast<char>(1 << (i % 8));
+          }
+        }
+        out->append(bitmap);
+        for (int64_t i = 0; i < chunk->num_rows; ++i) {
+          if (chunk->nulls[static_cast<size_t>(i)] == 0) {
+            PutVarint(static_cast<uint64_t>(
+                          chunk->offsets[static_cast<size_t>(i) + 1] -
+                          chunk->offsets[static_cast<size_t>(i)]),
+                      out);
+          }
+        }
+        chunk->child->AppendBytes(out);
+        break;
+      }
+      case ColumnChunk::kRaw:
+        PutVarint(chunk->raw_cells.size(), out);
+        out->append(chunk->raw_cells);
+        break;
+    }
+  }
+}
+
+Result<ColumnarExtent> ColumnarExtent::FromBytes(std::string_view bytes,
+                                                 size_t* pos, Schema schema) {
+  ByteReader r(bytes, *pos);
+  uint64_t nrows = 0;
+  if (!r.GetVarint(&nrows)) return Truncated(r);
+  // Every non-empty column costs at least one byte per row downstream, so a
+  // row count beyond the remaining input is corrupt, not just large.
+  if (schema.size() > 0 && nrows > r.Remaining() + 1) {
+    return Status::ParseError("columnar row count exceeds input size");
+  }
+  ColumnarExtent out;
+  out.num_rows_ = static_cast<int64_t>(nrows);
+  out.schema_ = std::move(schema);
+  out.columns_.reserve(static_cast<size_t>(out.schema_.size()));
+  for (int32_t c = 0; c < out.schema_.size(); ++c) {
+    const ColumnSpec& spec = out.schema_.column(c);
+    auto chunk = std::make_shared<ColumnChunk>();
+    chunk->num_rows = out.num_rows_;
+    uint8_t encoding = 0;
+    if (!r.GetU8(&encoding)) return Truncated(r);
+    if (encoding > ColumnChunk::kRaw) {
+      return Status::ParseError(
+          StrFormat("bad column encoding %u", static_cast<unsigned>(encoding)));
+    }
+    chunk->encoding = static_cast<ColumnChunk::Encoding>(encoding);
+    switch (chunk->encoding) {
+      case ColumnChunk::kDict: {
+        uint64_t ndict = 0;
+        if (!r.GetVarint(&ndict) || ndict > r.Remaining()) return Truncated(r);
+        chunk->dict.reserve(static_cast<size_t>(ndict));
+        for (uint64_t i = 0; i < ndict; ++i) {
+          uint64_t len = 0;
+          std::string s;
+          if (!r.GetVarint(&len) || !r.GetBytes(static_cast<size_t>(len), &s)) {
+            return Truncated(r);
+          }
+          chunk->dict.push_back(std::move(s));
+        }
+        chunk->codes.reserve(static_cast<size_t>(nrows));
+        for (uint64_t i = 0; i < nrows; ++i) {
+          uint64_t code = 0;
+          if (!r.GetVarint(&code)) return Truncated(r);
+          if (code == 0) {
+            chunk->codes.push_back(ColumnChunk::kNullCode);
+          } else if (code <= ndict) {
+            chunk->codes.push_back(static_cast<uint32_t>(code - 1));
+          } else {
+            return Status::ParseError("dictionary code out of range");
+          }
+        }
+        break;
+      }
+      case ColumnChunk::kIds:
+      case ColumnChunk::kContent: {
+        uint64_t len = 0;
+        if (!r.GetVarint(&len) ||
+            !r.GetBytes(static_cast<size_t>(len), &chunk->id_bytes)) {
+          return Truncated(r);
+        }
+        break;
+      }
+      case ColumnChunk::kNested: {
+        if (spec.nested == nullptr) {
+          return Status::ParseError("nested chunk in a non-nested column");
+        }
+        size_t nbitmap = static_cast<size_t>((nrows + 7) / 8);
+        std::string bitmap;
+        if (!r.GetBytes(nbitmap, &bitmap)) return Truncated(r);
+        chunk->nulls.reserve(static_cast<size_t>(nrows));
+        for (uint64_t i = 0; i < nrows; ++i) {
+          chunk->nulls.push_back(
+              (static_cast<uint8_t>(bitmap[i / 8]) >> (i % 8)) & 1);
+        }
+        chunk->offsets.reserve(static_cast<size_t>(nrows) + 1);
+        chunk->offsets.push_back(0);
+        for (uint64_t i = 0; i < nrows; ++i) {
+          int64_t group = 0;
+          if (chunk->nulls[static_cast<size_t>(i)] == 0) {
+            uint64_t size = 0;
+            if (!r.GetVarint(&size)) return Truncated(r);
+            group = static_cast<int64_t>(size);
+          }
+          chunk->offsets.push_back(chunk->offsets.back() + group);
+        }
+        size_t child_pos = r.pos();
+        Result<ColumnarExtent> child =
+            FromBytes(bytes, &child_pos, *spec.nested);
+        if (!child.ok()) return child.status();
+        if (child->num_rows() != chunk->offsets.back()) {
+          return Status::ParseError("nested child row count mismatch");
+        }
+        chunk->child = std::make_shared<const ColumnarExtent>(
+            std::move(*child));
+        r = ByteReader(bytes, child_pos);
+        break;
+      }
+      case ColumnChunk::kRaw: {
+        uint64_t len = 0;
+        if (!r.GetVarint(&len) ||
+            !r.GetBytes(static_cast<size_t>(len), &chunk->raw_cells)) {
+          return Truncated(r);
+        }
+        break;
+      }
+    }
+    out.has_content_ = out.has_content_ || ChunkHasContent(*chunk, spec);
+    out.columns_.push_back(std::move(chunk));
+  }
+  *pos = r.pos();
+  return out;
+}
+
+Status ColumnarExtent::ForEachContentId(
+    const std::function<Status(const OrdPath&)>& fn) const {
+  for (int32_t c = 0; c < schema_.size(); ++c) {
+    const ColumnChunk& chunk = *columns_[static_cast<size_t>(c)];
+    const ColumnSpec& spec = schema_.column(c);
+    switch (chunk.encoding) {
+      case ColumnChunk::kContent: {
+        std::vector<int32_t> prev;
+        ByteReader r(chunk.id_bytes, 0);
+        for (int64_t i = 0; i < chunk.num_rows; ++i) {
+          uint64_t head = 0;
+          if (!r.GetVarint(&head)) return Truncated(r);
+          if (head == 0) continue;
+          uint64_t prefix = head - 1;
+          uint64_t suffix = 0;
+          if (!r.GetVarint(&suffix)) return Truncated(r);
+          if (prefix > prev.size() || prefix + suffix > 1u << 20) {
+            return Status::ParseError("bad ORDPATH delta");
+          }
+          prev.resize(static_cast<size_t>(prefix));
+          for (uint64_t k = 0; k < suffix; ++k) {
+            uint64_t comp = 0;
+            if (!r.GetVarint(&comp)) return Truncated(r);
+            prev.push_back(static_cast<int32_t>(static_cast<uint32_t>(comp)));
+          }
+          SVX_RETURN_IF_ERROR(fn(OrdPath(prev)));
+        }
+        break;
+      }
+      case ColumnChunk::kNested:
+        if (chunk.child != nullptr) {
+          SVX_RETURN_IF_ERROR(chunk.child->ForEachContentId(fn));
+        }
+        break;
+      case ColumnChunk::kRaw: {
+        RawCellReader r(chunk.raw_cells);
+        for (int64_t i = 0; i < chunk.num_rows; ++i) {
+          SVX_RETURN_IF_ERROR(WalkRawContentIds(&r, spec, 0, fn));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+bool ColumnarExtent::operator==(const ColumnarExtent& other) const {
+  if (!(schema_ == other.schema_) || num_rows_ != other.num_rows_ ||
+      columns_.size() != other.columns_.size()) {
+    return false;
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == other.columns_[c]) continue;
+    if (columns_[c] == nullptr || other.columns_[c] == nullptr ||
+        !(*columns_[c] == *other.columns_[c])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace svx

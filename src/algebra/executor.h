@@ -6,6 +6,7 @@
 #ifndef SVX_ALGEBRA_EXECUTOR_H_
 #define SVX_ALGEBRA_EXECUTOR_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -15,21 +16,56 @@
 
 namespace svx {
 
-class TraceSpan;  // src/observability/trace.h
+class TraceSpan;       // src/observability/trace.h
+class ColumnarExtent;  // src/algebra/columnar.h
 
-/// Name -> extent mapping used by view scans. Extents are borrowed.
+/// A compressed extent binding for view scans. The scan first consults
+/// `resident` for an already-decoded table; on a miss it decodes only the
+/// columns the plan references straight from the chunks (unreferenced
+/// columns come back ⊥) and reports the decode through `loaded`.
+struct ColumnarSource {
+  const ColumnarExtent* extent = nullptr;
+  /// Document content references rebind against at decode; may be null for
+  /// content-free extents.
+  const Document* doc = nullptr;
+  /// Optional cache probe: a decoded table pinned by the returned
+  /// shared_ptr, or null when evicted / never decoded.
+  std::function<TablePtr()> resident;
+  /// Optional decode report: `full` carries the decoded table when every
+  /// column was materialized (so the owner may cache it), null for a
+  /// partial decode; `decode_us` is the decode latency.
+  std::function<void(TablePtr full, int64_t decode_us)> loaded;
+};
+
+/// Name -> extent mapping used by view scans. Either an eager row-major
+/// table (borrowed) or a columnar source; at most one per name.
 class Catalog {
  public:
+  struct Entry {
+    const Table* table = nullptr;  // eager binding, if any
+    ColumnarSource columnar;       // else columnar binding
+  };
+
   void Register(const std::string& name, const Table* table) {
-    views_[name] = table;
+    views_[name].table = table;
+    views_[name].columnar = ColumnarSource{};
   }
+  void RegisterColumnar(const std::string& name, ColumnarSource source) {
+    views_[name].table = nullptr;
+    views_[name].columnar = std::move(source);
+  }
+  /// The eager table, or null for columnar (or unknown) bindings.
   const Table* Find(const std::string& name) const {
+    const Entry* e = FindEntry(name);
+    return e == nullptr ? nullptr : e->table;
+  }
+  const Entry* FindEntry(const std::string& name) const {
     auto it = views_.find(name);
-    return it == views_.end() ? nullptr : it->second;
+    return it == views_.end() ? nullptr : &it->second;
   }
 
  private:
-  std::unordered_map<std::string, const Table*> views_;
+  std::unordered_map<std::string, Entry> views_;
 };
 
 /// Executes `plan` against `catalog`; returns the materialized result.

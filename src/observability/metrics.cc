@@ -405,6 +405,39 @@ Counter* PersistFilesWritten() {
   return m;
 }
 
+Gauge* ExtentResidentBytes() {
+  static Gauge* const m = MetricRegistry::Global().gauge(
+      "svx_extent_resident_bytes",
+      "Decoded (row-major) extent bytes currently resident across all "
+      "memory budgets");
+  return m;
+}
+Gauge* ExtentCompressedBytes() {
+  static Gauge* const m = MetricRegistry::Global().gauge(
+      "svx_extent_compressed_bytes",
+      "Serialized columnar extent bytes held by live stored views");
+  return m;
+}
+Counter* ExtentEvictions() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_extent_evictions_total",
+      "Decoded extents evicted by memory-budget pressure");
+  return m;
+}
+Counter* ExtentReloads() {
+  static Counter* const m = MetricRegistry::Global().counter(
+      "svx_extent_reloads_total",
+      "Extents decoded back from columnar storage after eviction (or first "
+      "cold use)");
+  return m;
+}
+Histogram* ExtentReloadUs() {
+  static Histogram* const m = MetricRegistry::Global().histogram(
+      "svx_extent_reload_us", "Latency of decoding an extent from columnar "
+      "storage (us)");
+  return m;
+}
+
 Counter* DeltasCoalesced() {
   static Counter* const m = MetricRegistry::Global().counter(
       "svx_deltas_coalesced_total",
@@ -490,6 +523,11 @@ void RegisterStandardMetrics() {
   ExecutorLatencyUs();
   PersistBytesWritten();
   PersistFilesWritten();
+  ExtentResidentBytes();
+  ExtentCompressedBytes();
+  ExtentEvictions();
+  ExtentReloads();
+  ExtentReloadUs();
   DeltasCoalesced();
   DeltasApplied();
   WalBytesWritten();

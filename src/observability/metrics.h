@@ -267,6 +267,13 @@ Histogram* ExecutorLatencyUs();
 Counter* PersistBytesWritten();
 Counter* PersistFilesWritten();
 
+// Columnar extent / memory budget domain.
+Gauge* ExtentResidentBytes();
+Gauge* ExtentCompressedBytes();
+Counter* ExtentEvictions();
+Counter* ExtentReloads();
+Histogram* ExtentReloadUs();
+
 // Sharding / durability domain (PR 8). The per-process totals aggregate
 // across shards; the Shard* accessors return per-shard labeled series
 // (`base{shard="N"}`) so exposition can attribute epoch age and delta flow

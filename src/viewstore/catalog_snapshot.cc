@@ -1,9 +1,44 @@
 #include "src/viewstore/catalog_snapshot.h"
 
+#include <utility>
+
 #include "src/observability/metrics.h"
+#include "src/util/check.h"
 #include "src/util/strings.h"
+#include "src/util/timer.h"
 
 namespace svx {
+
+const Table& StoredView::extent() const {
+  Result<TablePtr> t = table();
+  SVX_CHECK_MSG(t.ok(), "cannot decode extent of view " + def.name + ": " +
+                            t.status().message());
+  // The slot holds its own reference; the returned reference lives until
+  // the budget evicts the table (see header contract).
+  return *t.value();
+}
+
+Result<TablePtr> StoredView::table() const {
+  SVX_DCHECK(columnar != nullptr && residency != nullptr);
+  TablePtr t = residency->Get();
+  if (t != nullptr) return t;
+  Timer timer;
+  Result<Table> decoded = columnar->Decode(decode_doc);
+  if (!decoded.ok()) return decoded.status();
+  residency->budget()->NoteReload(
+      static_cast<int64_t>(timer.ElapsedMicros()));
+  return residency->Install(
+      std::make_shared<Table>(std::move(decoded).value()), extent_bytes,
+      evictable());
+}
+
+TablePtr StoredView::TryResident() const {
+  return residency == nullptr ? nullptr : residency->Get();
+}
+
+void StoredView::InstallResident(TablePtr t) const {
+  residency->Install(std::move(t), extent_bytes, evictable());
+}
 
 CatalogSnapshot::CatalogSnapshot()
     : birth_(std::chrono::steady_clock::now()) {
@@ -31,9 +66,30 @@ int64_t CatalogSnapshot::TotalBytes() const {
   return total;
 }
 
+int64_t CatalogSnapshot::TotalCompressedBytes() const {
+  int64_t total = 0;
+  for (const auto& v : views_) total += v->compressed_bytes;
+  return total;
+}
+
 Catalog CatalogSnapshot::ExecutorCatalog() const {
   Catalog catalog;
-  for (const auto& v : views_) catalog.Register(v->def.name, &v->extent);
+  for (const auto& v : views_) {
+    // Borrowed pointers into the snapshot (valid while the caller holds
+    // it). Scans probe the resident decoded table first; a cold scan
+    // decodes only the columns the plan references, and a full decode is
+    // handed back to the view's residency so the next scan hits.
+    const StoredView* raw = v.get();
+    ColumnarSource src;
+    src.extent = raw->columnar.get();
+    src.doc = raw->decode_doc;
+    src.resident = [raw]() { return raw->TryResident(); };
+    src.loaded = [raw](TablePtr full, int64_t decode_us) {
+      raw->residency->budget()->NoteReload(decode_us);
+      if (full != nullptr) raw->InstallResident(std::move(full));
+    };
+    catalog.RegisterColumnar(v->def.name, std::move(src));
+  }
   return catalog;
 }
 

@@ -30,21 +30,69 @@
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 #include "src/viewstore/cost_model.h"
+#include "src/viewstore/memory_budget.h"
 #include "src/viewstore/rewrite_cache.h"
 #include "src/viewstore/statistics.h"
 #include "src/xml/document.h"
 
 namespace svx {
 
-/// One catalog entry: definition, extent, statistics, serialized size.
-/// Immutable once published in a snapshot — maintenance replaces the whole
-/// object (copy-on-maintenance) instead of editing it in place, so readers
-/// of older epochs keep a consistent extent.
+/// One catalog entry: definition, compressed columnar extent, statistics,
+/// serialized sizes. Immutable once published in a snapshot — maintenance
+/// replaces the whole object (copy-on-maintenance) instead of editing it in
+/// place, so readers of older epochs keep a consistent extent.
+///
+/// The extent's truth is `columnar` (columnar.h): dictionary/delta
+/// compressed, always resident, sharing untouched column chunks with the
+/// previous epoch. The decoded row-major table is a cache managed by the
+/// catalog's MemoryBudget — `extent()` / `table()` decode on demand and the
+/// budget may evict the decoded form again under memory pressure (the
+/// compressed truth never leaves).
 struct StoredView {
   ViewDef def;
-  Table extent;
   ViewStats stats;
-  int64_t extent_bytes = 0;  // serialized extent size
+  /// Row-major (v1) serialized size: the advisor/cost-model byte currency,
+  /// maintained incrementally by maintenance, and the bytes the decoded
+  /// table charges against the memory budget.
+  int64_t extent_bytes = 0;
+  /// Columnar payload size (ColumnarExtent::SerializedByteSize) — what the
+  /// compressed extent actually costs to keep resident.
+  int64_t compressed_bytes = 0;
+  /// The compressed extent. Never null on a published view.
+  ColumnarExtentPtr columnar;
+  /// Document the extent's content references decode against; null for
+  /// content-free extents. Borrowed with the same lifetime rules as the
+  /// NodeRefs it produces (the snapshot pins the document when serving
+  /// with shared ownership).
+  const Document* decode_doc = nullptr;
+  /// This view's decoded-table slot in the catalog's MemoryBudget.
+  std::shared_ptr<ExtentResidency> residency;
+
+  /// The decoded row-major extent, decoding (and installing it resident)
+  /// if the budget evicted it. The reference stays valid while the decoded
+  /// table is resident — fine single-threaded and under an unlimited
+  /// budget; concurrent readers under a real budget must pin via table().
+  /// CHECK-fails if decoding fails (cannot happen for catalog-built views
+  /// whose content references were validated against decode_doc).
+  const Table& extent() const;
+
+  /// The decoded extent, pinned: the returned shared_ptr keeps the table
+  /// alive across evictions. Decodes on a miss (counted as a reload).
+  [[nodiscard]] Result<TablePtr> table() const;
+
+  /// The resident decoded table, or null without decoding.
+  TablePtr TryResident() const;
+
+  /// Installs `t` as the resident decoded table (charging extent_bytes to
+  /// the budget); keeps the first installation on a race.
+  void InstallResident(TablePtr t) const;
+
+  /// Whether the budget may evict the decoded table: it can always be
+  /// re-decoded unless content references lost their document.
+  bool evictable() const {
+    return columnar == nullptr || !columnar->has_content() ||
+           decode_doc != nullptr;
+  }
 
   /// Persistence generation of this extent's on-disk files
   /// ("<name>.<generation>.extent"/".stats"); 0 = not persisted yet.
@@ -83,8 +131,11 @@ class CatalogSnapshot {
 
   const StoredView* Find(const std::string& name) const;
 
-  /// Total serialized size of all extents.
+  /// Total serialized size of all extents (row-major v1 bytes).
   int64_t TotalBytes() const;
+
+  /// Total compressed columnar size of all extents.
+  int64_t TotalCompressedBytes() const;
 
   /// The document this epoch's extents reference, when the catalog serves
   /// with shared ownership (ViewCatalog::BindDocument / the shared-pointer

@@ -14,6 +14,7 @@ namespace {
 
 constexpr char kMagic[4] = {'S', 'V', 'X', 'T'};
 constexpr uint32_t kVersion = 1;
+constexpr uint32_t kColumnarVersion = 2;
 
 enum CellTag : uint8_t {
   kCellNull = 0,
@@ -315,20 +316,53 @@ int64_t TupleByteSize(const Tuple& tuple) {
   return size;
 }
 
-Result<Table> DeserializeExtent(std::string_view bytes, const Document* doc) {
+namespace {
+
+/// Parses the shared "SVXT" + version + schema prefix of either format.
+/// On success the reader is positioned at the rows/chunks payload and
+/// `*uncompressed_bytes` carries the v2 header size (0 for v1).
+Result<Schema> GetHeader(std::string_view bytes, Reader* r, uint32_t* version,
+                         int64_t* uncompressed_bytes) {
   if (bytes.size() < sizeof(kMagic) ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::ParseError("not an extent file (bad magic)");
   }
-  Reader r(bytes.substr(sizeof(kMagic)));
-  uint32_t version = 0;
-  if (!r.GetU32(&version)) return Truncated(r);
-  if (version != kVersion) {
+  if (!r->GetU32(version)) return Truncated(*r);
+  if (*version != kVersion && *version != kColumnarVersion) {
     return Status::Unsupported(
-        StrFormat("extent version %u (want %u)", version, kVersion));
+        StrFormat("extent version %u (want %u or %u)", *version, kVersion,
+                  kColumnarVersion));
   }
-  Result<Schema> schema = GetSchema(&r, 0);
+  *uncompressed_bytes = 0;
+  if (*version == kColumnarVersion) {
+    uint64_t raw = 0;
+    if (!r->GetU64(&raw)) return Truncated(*r);
+    *uncompressed_bytes = static_cast<int64_t>(raw);
+  }
+  return GetSchema(r, 0);
+}
+
+}  // namespace
+
+Result<Table> DeserializeExtent(std::string_view bytes, const Document* doc) {
+  Reader r(bytes.substr(sizeof(kMagic) <= bytes.size() ? sizeof(kMagic)
+                                                       : bytes.size()));
+  uint32_t version = 0;
+  int64_t uncompressed = 0;
+  Result<Schema> schema = GetHeader(bytes, &r, &version, &uncompressed);
   if (!schema.ok()) return schema.status();
+  if (version == kColumnarVersion) {
+    size_t pos = r.pos();
+    std::string_view payload = bytes.substr(sizeof(kMagic));
+    Result<ColumnarExtent> columnar =
+        ColumnarExtent::FromBytes(payload, &pos, std::move(*schema));
+    if (!columnar.ok()) return columnar.status();
+    if (pos != payload.size()) {
+      return Status::ParseError(
+          StrFormat("trailing bytes at offset %zu", pos));
+    }
+    return columnar->Decode(doc);
+  }
   Result<Table> table = GetRows(&r, *schema, doc, 0);
   if (!table.ok()) return table;
   if (!r.AtEnd()) {
@@ -336,6 +370,63 @@ Result<Table> DeserializeExtent(std::string_view bytes, const Document* doc) {
         StrFormat("trailing bytes at offset %zu", r.pos()));
   }
   return table;
+}
+
+std::string SerializeColumnarExtent(const ColumnarExtent& extent,
+                                    int64_t uncompressed_bytes) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(kColumnarVersion, &out);
+  PutU64(static_cast<uint64_t>(uncompressed_bytes), &out);
+  PutSchema(extent.schema(), &out);
+  extent.AppendBytes(&out);
+  return out;
+}
+
+Result<ColumnarLoad> DeserializeExtentColumnar(std::string_view bytes,
+                                               const Document* doc) {
+  Reader r(bytes.substr(sizeof(kMagic) <= bytes.size() ? sizeof(kMagic)
+                                                       : bytes.size()));
+  uint32_t version = 0;
+  int64_t uncompressed = 0;
+  Result<Schema> schema = GetHeader(bytes, &r, &version, &uncompressed);
+  if (!schema.ok()) return schema.status();
+  ColumnarLoad load;
+  if (version == kColumnarVersion) {
+    size_t pos = r.pos();
+    std::string_view payload = bytes.substr(sizeof(kMagic));
+    Result<ColumnarExtent> columnar =
+        ColumnarExtent::FromBytes(payload, &pos, std::move(*schema));
+    if (!columnar.ok()) return columnar.status();
+    if (pos != payload.size()) {
+      return Status::ParseError(
+          StrFormat("trailing bytes at offset %zu", pos));
+    }
+    load.columnar =
+        std::make_shared<const ColumnarExtent>(std::move(*columnar));
+    load.uncompressed_bytes = uncompressed;
+    return load;
+  }
+  // Row-major v1: parsing decodes the rows, so hand them back along with a
+  // fresh columnar encoding — the back-compat upgrade path for old stores.
+  Result<Table> table = GetRows(&r, *schema, doc, 0);
+  if (!table.ok()) return table.status();
+  if (!r.AtEnd()) {
+    return Status::ParseError(
+        StrFormat("trailing bytes at offset %zu", r.pos()));
+  }
+  load.uncompressed_bytes = static_cast<int64_t>(bytes.size());
+  load.columnar = std::make_shared<const ColumnarExtent>(
+      ColumnarExtent::Encode(*table));
+  load.decoded = std::make_shared<const Table>(std::move(*table));
+  return load;
+}
+
+Result<ColumnarLoad> ReadExtentFileColumnar(const std::string& path,
+                                            const Document* doc) {
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeExtentColumnar(*bytes, doc);
 }
 
 std::string EncodeTupleKey(const Tuple& tuple) {

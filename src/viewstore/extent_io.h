@@ -4,20 +4,26 @@
 // rebound against a Document on load (the store keeps references into the
 // repository, not copies — §4.4 "stored ... as a reference").
 //
-// Format (little-endian, version 1):
-//   "SVXT" u32(version)
+// Version 1 (row-major; still written for WAL payloads and still loadable):
+//   "SVXT" u32(1)
 //   schema:   u32 ncols { str name, u8 kind, u8 has_nested, [schema] }
 //   rows:     u64 nrows, per row per column one cell:
 //     u8 tag: 0 ⊥ | 1 string | 2 id | 3 content | 4 nested
 //     payload: string -> str; id/content -> u32 ncomp, i32 components;
 //              nested -> u64 nrows + cells (schema taken from the column)
 //   str = u32 length + bytes.
+//
+// Version 2 (columnar; what the store writes for extents):
+//   "SVXT" u32(2) u64(uncompressed_bytes = the v1 serialized size)
+//   schema (as above), then the ColumnarExtent payload (columnar.h): a
+//   varint row count plus one tagged compressed chunk per column.
 #ifndef SVX_VIEWSTORE_EXTENT_IO_H_
 #define SVX_VIEWSTORE_EXTENT_IO_H_
 
 #include <string>
 #include <string_view>
 
+#include "src/algebra/columnar.h"
 #include "src/algebra/relation.h"
 #include "src/util/status.h"
 #include "src/xml/document.h"
@@ -36,11 +42,37 @@ int64_t ExtentByteSize(const Table& table);
 /// the incremental byte accounting used by view maintenance).
 int64_t TupleByteSize(const Tuple& tuple);
 
-/// Parses a serialized extent. Content cells are rebound against `doc` via
-/// their ORDPATH ids; a content cell with `doc == nullptr` or an id absent
-/// from `doc` is an error.
+/// Parses a serialized extent of either version into a row-major table.
+/// Content cells are rebound against `doc` via their ORDPATH ids; a content
+/// cell with `doc == nullptr` or an id absent from `doc` is an error.
 [[nodiscard]] Result<Table> DeserializeExtent(std::string_view bytes,
                                               const Document* doc);
+
+/// Serializes a columnar extent as a version-2 extent file.
+/// `uncompressed_bytes` is the v1 (row-major) serialized size recorded in
+/// the header — the size a decoded table will charge against the memory
+/// budget. Deterministic.
+std::string SerializeColumnarExtent(const ColumnarExtent& extent,
+                                    int64_t uncompressed_bytes);
+
+/// A columnar parse of either extent version (the lazy-decode load path).
+struct ColumnarLoad {
+  ColumnarExtentPtr columnar;
+  int64_t uncompressed_bytes = 0;
+  /// Set when the file was row-major v1: parsing it decoded the rows anyway,
+  /// so the caller can install them as the resident table for free.
+  TablePtr decoded;
+};
+
+/// Parses either version without materializing rows when possible: a v2
+/// file yields its chunks directly (no Document needed — content stays as
+/// ORDPATHs); a v1 file is decoded (requiring `doc` if it has content
+/// references) and re-encoded columnar.
+[[nodiscard]] Result<ColumnarLoad> DeserializeExtentColumnar(
+    std::string_view bytes, const Document* doc);
+
+[[nodiscard]] Result<ColumnarLoad> ReadExtentFileColumnar(
+    const std::string& path, const Document* doc);
 
 /// File convenience wrappers around the two functions above.
 [[nodiscard]] Status WriteExtentFile(const std::string& path,

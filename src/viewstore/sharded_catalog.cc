@@ -158,6 +158,10 @@ ShardedCatalog::ShardedCatalog(const ShardedCatalogOptions& options,
                                std::shared_ptr<const ShardRouter> router)
     : options_(options), router_(std::move(router)) {
   const int n = router_->num_shards();
+  // One budget across every catalog: a shard decoding an extent can evict
+  // another shard's cold table, so the cap is global, not per shard.
+  auto budget =
+      std::make_shared<MemoryBudget>(options_.memory_budget_bytes);
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     ViewCatalogOptions vo;
@@ -165,6 +169,7 @@ ShardedCatalog::ShardedCatalog(const ShardedCatalogOptions& options,
       vo.dir = (fs::path(options_.dir) / StrFormat("shard-%d", i)).string();
     }
     vo.enable_delta_log = options_.enable_delta_log;
+    vo.memory_budget = budget;
     auto catalog = std::make_unique<ViewCatalog>(std::move(vo));
     catalog->SetShardLabel(i);
     catalog->SetExtentPartition(std::make_shared<ShardPartition>(router_, i));
@@ -175,6 +180,7 @@ ShardedCatalog::ShardedCatalog(const ShardedCatalogOptions& options,
     go.dir = (fs::path(options_.dir) / "global").string();
   }
   go.enable_delta_log = options_.enable_delta_log;
+  go.memory_budget = std::move(budget);
   global_ = std::make_unique<ViewCatalog>(std::move(go));
 }
 

@@ -57,6 +57,9 @@ struct ShardedCatalogOptions {
   /// thread drains the queue in coalesced batches. When false, ApplyUpdate
   /// applies synchronously in the caller's thread.
   bool async = false;
+  /// One decoded-extent memory budget shared by every shard catalog and the
+  /// global catalog (view_catalog.h); <= 0 = unlimited.
+  int64_t memory_budget_bytes = 0;
 };
 
 /// One pinned CatalogSnapshot per shard (plus the global catalog's), taken

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/algebra/columnar.h"
 #include "src/algebra/relation.h"
 #include "src/util/status.h"
 
@@ -46,6 +47,17 @@ struct ViewStats {
 
 /// Scans `extent` once and computes exact statistics.
 ViewStats ComputeViewStats(const Table& extent);
+
+/// Computes the same statistics straight from a compressed columnar extent:
+/// dictionary columns read distinct/length bounds off the dictionary and
+/// never touch row values; nested columns take group counts from the offset
+/// index and recurse into the shared child extent; only id, content, raw
+/// and nested-group-distinct passes decode their one column. `doc` is
+/// needed only when a raw chunk holds content references (columnar.h); a
+/// content reference that does not resolve in `doc` is a programming error
+/// (callers validate resolution first, ForEachContentId). Result is exactly
+/// ComputeViewStats(decoded table).
+ViewStats ComputeViewStats(const ColumnarExtent& extent, const Document* doc);
 
 /// Refreshes `stats` to describe `extent` after a tuple delta was applied
 /// by incremental view maintenance. With no deleted rows, the additive

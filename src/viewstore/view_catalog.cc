@@ -41,14 +41,6 @@ bool SafeName(const std::string& name) {
   return name[0] != '.';
 }
 
-bool SchemaHasContent(const Schema& schema) {
-  for (const ColumnSpec& c : schema.columns()) {
-    if (c.kind == ColumnKind::kContent) return true;
-    if (c.nested != nullptr && SchemaHasContent(*c.nested)) return true;
-  }
-  return false;
-}
-
 /// Writes `bytes` to `path` via a temp file + rename, so readers (and
 /// crash recovery) never observe a half-written file.
 Status WriteFileAtomic(const fs::path& path, std::string_view bytes) {
@@ -102,16 +94,59 @@ std::unordered_set<std::string> LiveFileSet(
   return live;
 }
 
+/// The document any content reference in `table` points into (deep),
+/// nullptr when content-free — what the columnar extent decodes against.
+const Document* FindContentDoc(const Table& table) {
+  for (const Tuple& row : table.rows()) {
+    for (const Value& v : row) {
+      if (v.IsContent()) return v.AsContent().doc;
+      if (v.IsTable()) {
+        const Document* d = FindContentDoc(v.AsTable());
+        if (d != nullptr) return d;
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// Installs `extent` as `sv`'s stored representation: encodes the columnar
+/// truth (sharing chunks unchanged since `prev`, when given), installs the
+/// decoded table resident against `budget`, and records the byte sizes.
+/// `extent_bytes` is the row-major serialized size — callers either track
+/// it incrementally or pass ExtentByteSize(extent).
+void SetExtent(StoredView* sv, Table extent, int64_t extent_bytes,
+               const ColumnarExtent* prev,
+               const std::shared_ptr<MemoryBudget>& budget) {
+  sv->extent_bytes = extent_bytes;
+  sv->decode_doc = FindContentDoc(extent);
+  auto columnar = std::make_shared<ColumnarExtent>(
+      prev != nullptr ? ColumnarExtent::EncodeSharing(extent, *prev)
+                      : ColumnarExtent::Encode(extent));
+  sv->compressed_bytes = columnar->SerializedByteSize();
+  sv->columnar = std::move(columnar);
+  sv->residency = std::make_shared<ExtentResidency>(budget);
+  sv->residency->SetCompressedBytes(sv->compressed_bytes);
+  sv->InstallResident(std::make_shared<Table>(std::move(extent)));
+}
+
 }  // namespace
 
 ViewCatalog::ViewCatalog() : ViewCatalog(std::string()) {}
 
 ViewCatalog::ViewCatalog(std::string dir)
-    : ViewCatalog(ViewCatalogOptions{std::move(dir), false}) {}
+    : ViewCatalog([&] {
+        ViewCatalogOptions o;
+        o.dir = std::move(dir);
+        return o;
+      }()) {}
 
 ViewCatalog::ViewCatalog(ViewCatalogOptions options)
     : dir_(std::move(options.dir)),
-      enable_delta_log_(options.enable_delta_log && !dir_.empty()) {
+      enable_delta_log_(options.enable_delta_log && !dir_.empty()),
+      budget_(options.memory_budget != nullptr
+                  ? std::move(options.memory_budget)
+                  : std::make_shared<MemoryBudget>(
+                        options.memory_budget_bytes)) {
   if (!dir_.empty()) {
     // Best effort: a missing or stale profile just keeps the baked fit.
     LoadCostProfile((fs::path(dir_) / "cost_profile.txt").string(),
@@ -218,13 +253,21 @@ Status ViewCatalog::Add(ViewDef def, Table extent) {
   MutexLock lock(&writer_mu_);
   if (partition_ != nullptr) partition_->Filter(def, &extent);
   extent.SortRowsCanonical();
-  auto stored = std::make_shared<StoredView>();
-  stored->stats = ComputeViewStats(extent);
-  stored->extent_bytes = ExtentByteSize(extent);
-  stored->def = std::move(def);
-  stored->extent = std::move(extent);
-
   std::vector<std::shared_ptr<const StoredView>> next = Current()->views();
+  // A replaced view's columnar extent seeds chunk sharing: re-adding an
+  // equal extent keeps every column chunk (and its bytes) shared.
+  const ColumnarExtent* prev = nullptr;
+  for (const auto& v : next) {
+    if (v->def.name == def.name) prev = v->columnar.get();
+  }
+  auto stored = std::make_shared<StoredView>();
+  stored->def = std::move(def);
+  const int64_t bytes = ExtentByteSize(extent);
+  SetExtent(stored.get(), std::move(extent), bytes, prev, budget_);
+  // Statistics come off the compressed chunks (dictionaries carry the
+  // distinct counts and length bounds), not a row rescan.
+  stored->stats = ComputeViewStats(*stored->columnar, stored->decode_doc);
+
   bool replaced = false;
   for (auto& v : next) {
     if (v->def.name == stored->def.name) {
@@ -331,7 +374,8 @@ Status ViewCatalog::PersistLocked(
         !fs::exists(fs::path(dir_) / ExtentFileName(*v)) ||
         !fs::exists(fs::path(dir_) / StatsFileName(*v))) {
       v->generation = next_generation_++;
-      std::string extent_bytes = SerializeExtent(v->extent);
+      std::string extent_bytes =
+          SerializeColumnarExtent(*v->columnar, v->extent_bytes);
       std::string stats_bytes = ViewStatsToString(v->stats);
       SVX_RETURN_IF_ERROR(
           WriteFileAtomic(fs::path(dir_) / ExtentFileName(*v), extent_bytes));
@@ -425,26 +469,32 @@ Status ViewCatalog::ApplyUpdateBatchImpl(
   std::vector<std::shared_ptr<const StoredView>> next;
   next.reserve(cur->views().size());
   for (const std::shared_ptr<const StoredView>& v : cur->views()) {
-    const bool has_content = SchemaHasContent(v->extent.schema());
+    const bool has_content = v->columnar->has_content();
     // The view's value-count cache, built from the pre-batch extent on
     // first use and folded step by step (writer-private, see StoredView).
     std::shared_ptr<ValueCountCache> cache = std::move(v->value_counts);
+    // Delta evaluation needs the decoded rows; `base` decodes them back in
+    // if the budget evicted the table, and pins them for the whole pass.
+    Result<TablePtr> base_result = v->table();
+    if (!base_result.ok()) return base_result.status();
+    TablePtr base = std::move(base_result).value();
     // Copy-on-maintenance, lazily: readers of the current epoch keep the
     // pre-update extent; `extent` always points at the rows the next step's
-    // delta must be computed against.
+    // delta must be computed against; `working` is the successor's private
+    // row-major copy, encoded columnar once the batch is folded.
     std::shared_ptr<StoredView> nv;
-    const Table* extent = &v->extent;
+    Table working;
+    const Table* extent = base.get();
     auto ensure_copy = [&]() {
       if (nv != nullptr) return;
       nv = std::make_shared<StoredView>();
       nv->def = v->def;
-      nv->extent = v->extent;
       nv->extent_bytes = v->extent_bytes;
       nv->stats = v->stats;
-      extent = &nv->extent;
+      working = *base;
+      extent = &working;
     };
     bool rebuilt = false;
-    bool tuples_changed = false;
     // Net tuple changes across the batch, keyed by stable tuple encoding —
     // a delete cancels a pending insert of the same row and vice versa, so
     // the WAL record captures only what replay must actually change.
@@ -455,11 +505,9 @@ Status ViewCatalog::ApplyUpdateBatchImpl(
       Table fresh = MaterializeView(v->def.pattern, v->def.name, final_doc);
       if (partition_ != nullptr) partition_->Filter(v->def, &fresh);
       fresh.SortRowsCanonical();
-      nv->stats = ComputeViewStats(fresh);
-      nv->extent = std::move(fresh);
-      nv->extent_bytes = ExtentByteSize(nv->extent);
-      nv->generation = 0;  // persisted fresh
-      cache = nullptr;     // counts describe the discarded extent
+      working = std::move(fresh);
+      nv->extent_bytes = ExtentByteSize(working);
+      cache = nullptr;  // counts describe the discarded extent
       rebuilt = true;
       wal_eligible = false;
       ++ms.views_rebuilt;
@@ -480,7 +528,7 @@ Status ViewCatalog::ApplyUpdateBatchImpl(
         // Must describe the pre-step extent: build before mutating rows.
         cache = std::make_shared<ValueCountCache>(BuildValueCounts(*extent));
       }
-      std::vector<Tuple>& rows = nv->extent.mutable_rows();
+      std::vector<Tuple>& rows = working.mutable_rows();
       int64_t deleted = 0;
       if (!td.delete_rows.empty()) {
         // The delta was computed against this very extent (same row
@@ -507,11 +555,10 @@ Status ViewCatalog::ApplyUpdateBatchImpl(
         nv->extent_bytes += TupleByteSize(t);
         rows.push_back(t);
       }
-      nv->stats = RefreshViewStatsCached(nv->stats, nv->extent.schema(),
+      nv->stats = RefreshViewStatsCached(nv->stats, working.schema(),
                                          cache.get(), td.deletes, td.inserts);
       // The next step's delta is computed against canonical row order.
-      nv->extent.SortRowsCanonical();
-      tuples_changed = true;
+      working.SortRowsCanonical();
       ms.tuples_deleted += deleted;
       ms.tuples_inserted += static_cast<int64_t>(td.inserts.size());
       if (wal_eligible) {
@@ -536,15 +583,59 @@ Status ViewCatalog::ApplyUpdateBatchImpl(
       ++ms.views_shared;
       continue;
     }
-    if (!rebuilt && has_content) {
-      // Rebind surviving content references to the final document (ORDPATH
-      // stability makes this a pure re-lookup — needed even with an empty
-      // tuple delta, since the intermediate documents may be destroyed
-      // after this call). A reference that did not survive as expected
-      // means the view cannot be patched incrementally: rebuild it.
-      ensure_copy();
+    if (!rebuilt && has_content && nv == nullptr) {
+      // Untouched content view. Content references are stored as ORDPATHs
+      // (document-independent), so the whole compressed extent — every
+      // chunk, and its on-disk generation — carries across the document
+      // change; only the decode document moves forward. Survival means
+      // every reference resolves in the final document, validated off the
+      // chunks without decoding any rows; a reference that did not survive
+      // as expected means the view cannot be patched incrementally:
+      // rebuild it.
+      Status valid = v->columnar->ForEachContentId([&](const OrdPath& id) {
+        if (final_doc.FindByOrdPath(id) == kInvalidNode) {
+          return Status::NotFound("content reference lost: " + id.ToString());
+        }
+        return Status::OK();
+      });
+      if (valid.ok()) {
+        auto carried = std::make_shared<StoredView>();
+        carried->def = v->def;
+        carried->stats = v->stats;
+        carried->extent_bytes = v->extent_bytes;
+        carried->compressed_bytes = v->compressed_bytes;
+        carried->columnar = v->columnar;
+        carried->decode_doc = &final_doc;
+        carried->generation = v->generation;  // on-disk bytes unchanged
+        carried->residency = std::make_shared<ExtentResidency>(budget_);
+        carried->residency->SetCompressedBytes(carried->compressed_bytes);
+        // Rebind the resident decoded copy if there is one (a pure ORDPATH
+        // re-lookup); a cold view stays cold and the next access decodes
+        // against the final document directly.
+        if (TablePtr res = v->TryResident()) {
+          Table copy = *res;
+          bool rebound = true;
+          for (Tuple& row : copy.mutable_rows()) {
+            if (!RebindTupleContent(&row, final_doc).ok()) {
+              rebound = false;
+              break;
+            }
+          }
+          if (rebound) {
+            carried->InstallResident(std::make_shared<Table>(std::move(copy)));
+          }
+        }
+        carried->value_counts = std::move(cache);
+        next.push_back(std::move(carried));
+        ++ms.views_shared;
+        continue;
+      }
+      rebuild();
+    } else if (!rebuilt && has_content) {
+      // Touched content view: rebind the surviving rows of the working
+      // copy to the final document; a lost reference forces a rebuild.
       bool rebound = true;
-      for (Tuple& row : nv->extent.mutable_rows()) {
+      for (Tuple& row : working.mutable_rows()) {
         if (!RebindTupleContent(&row, final_doc).ok()) {
           rebound = false;
           break;
@@ -553,28 +644,34 @@ Status ViewCatalog::ApplyUpdateBatchImpl(
       if (!rebound) rebuild();
     }
     if (rebuilt) {
-      next.push_back(std::move(nv));  // generation 0: persisted fresh
+      // generation 0: persisted fresh. Chunk sharing with the old columnar
+      // still applies — a rebuild often reproduces most columns unchanged.
+      const int64_t bytes = nv->extent_bytes;
+      SetExtent(nv.get(), std::move(working), bytes, v->columnar.get(),
+                budget_);
+      nv->stats = ComputeViewStats(*nv->columnar, nv->decode_doc);
+      next.push_back(std::move(nv));
       continue;
     }
-    if (tuples_changed) {
-      ++ms.views_touched;
-      // generation stays 0: the changed extent is persisted fresh.
-    } else {
-      // Rebind-only: content references serialize as ORDPATHs, so the
-      // on-disk bytes are unchanged — keep the generation (and skip the
-      // rewrite).
-      nv->generation = v->generation;
-      ++ms.views_shared;
-    }
+    // Only tuple-changed views reach here (rebind-only content views were
+    // carried above); generation stays 0 so the extent persists fresh.
+    ++ms.views_touched;
     nv->value_counts = std::move(cache);
     if (wal_eligible && (!net_deletes.empty() || !net_inserts.empty())) {
       WalViewDelta wd;
       wd.view = v->def.name;
       wd.delete_keys.assign(net_deletes.begin(), net_deletes.end());
-      Table inserts(nv->extent.schema());
+      Table inserts(working.schema());
       for (const auto& [key, row] : net_inserts) inserts.AddRow(row);
       wd.inserts_bytes = SerializeExtent(inserts);
       wal_views.push_back(std::move(wd));
+    }
+    {
+      // The incremental byte accounting (TupleByteSize adds/removes above)
+      // keeps extent_bytes exact without a recount.
+      const int64_t bytes = nv->extent_bytes;
+      SetExtent(nv.get(), std::move(working), bytes, v->columnar.get(),
+                budget_);
     }
     next.push_back(std::move(nv));
   }
@@ -717,15 +814,36 @@ Status ViewCatalog::LoadImpl(const Document* doc,
     fs::path extent_path =
         fs::path(dir_) / (version >= 2 ? ExtentFileName(*stored)
                                        : stored->def.name + ".extent");
-    Result<Table> extent = ReadExtentFile(extent_path.string(), doc);
-    if (!extent.ok()) return extent.status();
-    stored->extent = std::move(*extent);
-    // The file we just parsed is the serialized form; its size is the
-    // extent's byte size (fall back to recomputing on a stat error).
-    std::error_code size_ec;
-    uintmax_t file_size = fs::file_size(extent_path, size_ec);
-    stored->extent_bytes = size_ec ? ExtentByteSize(stored->extent)
-                                   : static_cast<int64_t>(file_size);
+    // A v2 (columnar) file loads without materializing rows — the extent
+    // stays cold until something scans it; a v1 (row-major) file decoded
+    // its rows during parsing, so they install resident for free.
+    Result<ColumnarLoad> load = ReadExtentFileColumnar(extent_path.string(),
+                                                       doc);
+    if (!load.ok()) return load.status();
+    stored->columnar = std::move(load->columnar);
+    stored->extent_bytes = load->uncompressed_bytes;
+    stored->compressed_bytes = stored->columnar->SerializedByteSize();
+    if (stored->columnar->has_content()) {
+      if (doc == nullptr) {
+        return Status::InvalidArgument(
+            "extent has content references but no document was supplied");
+      }
+      // Validate every reference off the chunks (a v1 load already did so
+      // by decoding); a cold columnar extent must never fail its lazy
+      // decode later.
+      SVX_RETURN_IF_ERROR(
+          stored->columnar->ForEachContentId([&](const OrdPath& id) {
+            if (doc->FindByOrdPath(id) == kInvalidNode) {
+              return Status::NotFound("content reference " + id.ToString() +
+                                      " not in the document");
+            }
+            return Status::OK();
+          }));
+      stored->decode_doc = doc;
+    }
+    stored->residency = std::make_shared<ExtentResidency>(budget_);
+    stored->residency->SetCompressedBytes(stored->compressed_bytes);
+    if (load->decoded != nullptr) stored->InstallResident(load->decoded);
 
     fs::path stats_path =
         fs::path(dir_) / (version >= 2 ? StatsFileName(*stored)
@@ -780,7 +898,18 @@ Status ViewCatalog::LoadImpl(const Document* doc,
     for (const auto& v : loaded) {
       by_name[v->def.name] = const_cast<StoredView*>(v.get());
     }
-    std::set<StoredView*> dirty;
+    // Replay mutates rows, so each touched view decodes into a private
+    // working table once, and re-encodes when every record is folded.
+    std::map<StoredView*, Table> dirty;
+    auto working_rows = [&](StoredView* sv) -> Result<Table*> {
+      auto it = dirty.find(sv);
+      if (it == dirty.end()) {
+        Result<Table> decoded = sv->columnar->Decode(sv->decode_doc);
+        if (!decoded.ok()) return decoded.status();
+        it = dirty.emplace(sv, std::move(decoded).value()).first;
+      }
+      return &it->second;
+    };
     for (const WalRecord& rec : *records) {
       max_epoch = std::max(max_epoch, rec.epoch);
       for (const WalViewDelta& wd : rec.views) {
@@ -791,11 +920,12 @@ Status ViewCatalog::LoadImpl(const Document* doc,
           return Status::ParseError("WAL record references unknown view: " +
                                     wd.view);
         }
-        StoredView* sv = it->second;
+        Result<Table*> working = working_rows(it->second);
+        if (!working.ok()) return working.status();
         if (!wd.delete_keys.empty()) {
           std::set<std::string> keys(wd.delete_keys.begin(),
                                      wd.delete_keys.end());
-          std::vector<Tuple>& rows = sv->extent.mutable_rows();
+          std::vector<Tuple>& rows = (*working)->mutable_rows();
           size_t out = 0;
           for (size_t i = 0; i < rows.size(); ++i) {
             if (keys.count(EncodeTupleKey(rows[i])) != 0) continue;
@@ -808,16 +938,16 @@ Status ViewCatalog::LoadImpl(const Document* doc,
           Result<Table> inserts = DeserializeExtent(wd.inserts_bytes, doc);
           if (!inserts.ok()) return inserts.status();
           for (Tuple& row : inserts->mutable_rows()) {
-            sv->extent.mutable_rows().push_back(std::move(row));
+            (*working)->mutable_rows().push_back(std::move(row));
           }
         }
-        dirty.insert(sv);
       }
     }
-    for (StoredView* sv : dirty) {
-      sv->extent.SortRowsCanonical();
-      sv->stats = ComputeViewStats(sv->extent);
-      sv->extent_bytes = ExtentByteSize(sv->extent);
+    for (auto& [sv, table] : dirty) {
+      table.SortRowsCanonical();
+      sv->stats = ComputeViewStats(table);
+      const int64_t bytes = ExtentByteSize(table);
+      SetExtent(sv, std::move(table), bytes, sv->columnar.get(), budget_);
       sv->generation = 0;
     }
   }
@@ -855,6 +985,11 @@ std::string ViewCatalog::DebugMetrics() const {
   w.KV("epochs_live", metrics::EpochsLive()->Value());
   w.KV("views", static_cast<int64_t>(snap->size()));
   w.KV("total_bytes", snap->TotalBytes());
+  w.KV("extent_compressed_bytes", snap->TotalCompressedBytes());
+  w.KV("extent_resident_bytes", budget_->resident_bytes());
+  w.KV("extent_evictions", budget_->evictions());
+  w.KV("extent_reloads", budget_->reloads());
+  w.KV("memory_budget_bytes", budget_->limit_bytes());
   w.Key("rewrite_cache");
   w.BeginObject();
   w.KV("entries", static_cast<uint64_t>(cache->size()));

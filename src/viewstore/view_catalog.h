@@ -63,6 +63,7 @@
 #include "src/viewstore/catalog_snapshot.h"
 #include "src/viewstore/cost_model.h"
 #include "src/viewstore/delta_log.h"
+#include "src/viewstore/memory_budget.h"
 #include "src/viewstore/rewrite_cache.h"
 #include "src/viewstore/statistics.h"
 #include "src/xml/update.h"
@@ -88,6 +89,15 @@ struct ViewCatalogOptions {
   /// file comment). Maintenance passes append to the log instead of
   /// rewriting extents; Save() checkpoints and rotates.
   bool enable_delta_log = false;
+  /// Memory budget for decoded extents, in bytes; <= 0 = unlimited (every
+  /// decoded extent stays resident — the pre-budget behavior). The
+  /// compressed columnar extents are always resident; when the decoded
+  /// tables exceed the budget the coldest are evicted and re-decoded
+  /// lazily on the next access (memory_budget.h).
+  int64_t memory_budget_bytes = 0;
+  /// Share one budget across several catalogs (ShardedCatalog passes one
+  /// to all shards). When set, memory_budget_bytes is ignored.
+  std::shared_ptr<MemoryBudget> memory_budget;
 };
 
 /// Row-level partition filter for catalogs that store only one shard's
@@ -217,6 +227,13 @@ class ViewCatalog {
   /// Total serialized size of all extents — the advisor's budget currency.
   int64_t TotalBytes() const { return Current()->TotalBytes(); }
 
+  /// Total compressed (columnar) size of all extents — what the store
+  /// actually keeps resident; compare against TotalBytes() for the
+  /// compression ratio.
+  int64_t TotalCompressedBytes() const {
+    return Current()->TotalCompressedBytes();
+  }
+
   /// The current epoch's rewrite cache (src/viewstore/rewrite_cache.h).
   /// Every catalog mutation publishes a successor epoch with a fresh cache
   /// — the successor serves no stale plans — carrying the cumulative
@@ -270,6 +287,12 @@ class ViewCatalog {
     return wal_depth_.load(std::memory_order_relaxed);
   }
 
+  /// The decoded-extent memory budget this catalog charges (never null;
+  /// unlimited unless configured, possibly shared across catalogs).
+  const std::shared_ptr<MemoryBudget>& memory_budget() const {
+    return budget_;
+  }
+
  private:
   /// The current epoch for the single-threaded convenience accessors. The
   /// returned shared_ptr keeps the epoch alive for the full expression;
@@ -310,6 +333,9 @@ class ViewCatalog {
 
   std::string dir_;
   bool enable_delta_log_ = false;
+  /// Decoded-extent accounting; every StoredView's residency slot is
+  /// charged here. Set in the ctor, immutable afterwards.
+  std::shared_ptr<MemoryBudget> budget_;
   /// Per-operator cost constants baked into every published snapshot's cost
   /// model. Starts from the last tools/calibrate_costs fit; a store-local
   /// cost_profile.txt (written with --write) overrides it at open. Set in

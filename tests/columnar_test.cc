@@ -1,0 +1,360 @@
+// Columnar extent representation: randomized round-trip determinism,
+// row-major (v1) store back-compat, dictionary-driven statistics parity,
+// column-selective decoding, memory-budget eviction/reload, and epoch
+// chunk sharing.
+#include "src/algebra/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/executor.h"
+#include "src/pattern/pattern_parser.h"
+#include "src/rewriting/view.h"
+#include "src/util/rng.h"
+#include "src/viewstore/extent_io.h"
+#include "src/viewstore/statistics.h"
+#include "src/viewstore/view_catalog.h"
+#include "src/workload/xmark.h"
+#include "src/xml/builder.h"
+#include "src/xml/update.h"
+
+namespace svx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<Document> Doc(std::string_view s) {
+  Result<std::unique_ptr<Document>> r = ParseTreeNotation(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+/// View shapes covering every chunk encoding: plain ids+values
+/// (delta-coded ids, dictionary values), optional edges (⊥ cells), nested
+/// tables, content references, and label columns.
+std::vector<ViewDef> CoveringViews() {
+  return {
+      {"plain", MustParsePattern("site(//item{id}(/name{id,v}))")},
+      {"opt", MustParsePattern("site(//item{id}(?//keyword{v}))")},
+      {"nest", MustParsePattern("site(//item{id}(n//keyword{id,v}))")},
+      {"content", MustParsePattern("site(//person{id,c})")},
+      {"labels", MustParsePattern("site(//description{id}(//keyword{l}))")},
+  };
+}
+
+std::unique_ptr<Document> RandomXmark(uint64_t seed) {
+  XmarkOptions opts;
+  opts.scale = 0.2;
+  opts.seed = seed;
+  return GenerateXmark(opts);
+}
+
+std::string TempDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("svx_columnar_test_" + tag + "_" +
+                  std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip determinism and decode equality
+// ---------------------------------------------------------------------------
+
+TEST(Columnar, RandomizedRoundTripIsByteDeterministic) {
+  for (uint64_t seed : {3u, 17u, 51u}) {
+    std::unique_ptr<Document> doc = RandomXmark(seed);
+    for (const ViewDef& def : CoveringViews()) {
+      Table table = MaterializeView(def.pattern, def.name, *doc);
+      table.SortRowsCanonical();
+
+      // Encoding is deterministic: two independent encodes of the same
+      // table serialize identically.
+      ColumnarExtent a = ColumnarExtent::Encode(table);
+      ColumnarExtent b = ColumnarExtent::Encode(table);
+      const int64_t v1_bytes = ExtentByteSize(table);
+      std::string bytes_a = SerializeColumnarExtent(a, v1_bytes);
+      std::string bytes_b = SerializeColumnarExtent(b, v1_bytes);
+      EXPECT_EQ(bytes_a, bytes_b) << def.name << " seed " << seed;
+      EXPECT_EQ(static_cast<int64_t>(a.SerializedByteSize()),
+                static_cast<int64_t>(b.SerializedByteSize()));
+
+      // Parse -> re-serialize round-trips to the same bytes.
+      Result<ColumnarLoad> load = DeserializeExtentColumnar(bytes_a, doc.get());
+      ASSERT_TRUE(load.ok()) << load.status().ToString();
+      EXPECT_EQ(load->uncompressed_bytes, v1_bytes);
+      EXPECT_TRUE(*load->columnar == a) << def.name << " seed " << seed;
+      EXPECT_EQ(SerializeColumnarExtent(*load->columnar, v1_bytes), bytes_a);
+
+      // Decode reproduces the row-major table.
+      Result<Table> decoded = load->columnar->Decode(doc.get());
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_TRUE(decoded->EqualsIgnoringOrder(table))
+          << def.name << " seed " << seed;
+      EXPECT_EQ(SerializeExtent(*decoded), SerializeExtent(table))
+          << def.name << " decode must preserve canonical row order";
+    }
+  }
+}
+
+TEST(Columnar, CompressedSmallerThanRowMajorOnRealExtents) {
+  std::unique_ptr<Document> doc = RandomXmark(7);
+  int64_t row_major = 0;
+  int64_t compressed = 0;
+  for (const ViewDef& def : CoveringViews()) {
+    Table table = MaterializeView(def.pattern, def.name, *doc);
+    table.SortRowsCanonical();
+    row_major += ExtentByteSize(table);
+    compressed += ColumnarExtent::Encode(table).SerializedByteSize();
+  }
+  EXPECT_LT(compressed * 2, row_major)
+      << "columnar extents must be at least 2x smaller than row-major";
+}
+
+TEST(Columnar, SelectiveDecodeMatchesFullDecodeOnUsedColumns) {
+  std::unique_ptr<Document> doc = RandomXmark(29);
+  for (const ViewDef& def : CoveringViews()) {
+    Table table = MaterializeView(def.pattern, def.name, *doc);
+    table.SortRowsCanonical();
+    ColumnarExtent extent = ColumnarExtent::Encode(table);
+    const size_t ncols = table.schema().size();
+    for (size_t keep = 0; keep < ncols; ++keep) {
+      std::vector<bool> used(ncols, false);
+      used[keep] = true;
+      Result<Table> partial = extent.DecodeColumns(used, doc.get());
+      ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+      ASSERT_EQ(partial->NumRows(), table.NumRows());
+      for (int64_t r = 0; r < table.NumRows(); ++r) {
+        std::string want;
+        EncodeValue(table.row(r)[keep], &want);
+        std::string got;
+        EncodeValue(partial->row(r)[keep], &got);
+        EXPECT_EQ(got, want) << def.name << " col " << keep << " row " << r;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v-old (row-major) store back-compat
+// ---------------------------------------------------------------------------
+
+TEST(Columnar, RowMajorV1StoreStillLoads) {
+  const std::string dir = TempDir("v1");
+  std::unique_ptr<Document> doc = RandomXmark(11);
+  ViewCatalog catalog(dir);
+  for (const ViewDef& def : CoveringViews()) {
+    ASSERT_TRUE(catalog.Materialize(def, *doc).ok());
+  }
+  ASSERT_TRUE(catalog.Save().ok());
+
+  // Rewrite every extent file with the version-1 (row-major) bytes a
+  // pre-columnar build would have produced. The manifest is untouched.
+  for (const auto& v : catalog.views()) {
+    fs::path extent_path;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(v->def.name + ".", 0) == 0 &&
+          entry.path().extension() == ".extent") {
+        extent_path = entry.path();
+      }
+    }
+    ASSERT_FALSE(extent_path.empty()) << v->def.name;
+    Result<TablePtr> table = v->table();
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    std::ofstream out(extent_path, std::ios::binary | std::ios::trunc);
+    out << SerializeExtent(**table);
+  }
+
+  ViewCatalog reloaded(dir);
+  ASSERT_TRUE(reloaded.Load(doc.get()).ok());
+  ASSERT_EQ(reloaded.size(), catalog.size());
+  for (const auto& v : catalog.views()) {
+    const StoredView* got = reloaded.Find(v->def.name);
+    ASSERT_NE(got, nullptr) << v->def.name;
+    EXPECT_EQ(SerializeExtent(got->extent()), SerializeExtent(v->extent()))
+        << v->def.name;
+    EXPECT_EQ(got->extent_bytes, v->extent_bytes) << v->def.name;
+    // A v1 parse decoded the rows anyway, so they install resident.
+    EXPECT_NE(got->TryResident(), nullptr) << v->def.name;
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics parity: dictionaries vs row rescans
+// ---------------------------------------------------------------------------
+
+TEST(Columnar, StatsFromDictionariesMatchRowScan) {
+  for (uint64_t seed : {5u, 23u}) {
+    std::unique_ptr<Document> doc = RandomXmark(seed);
+    for (const ViewDef& def : CoveringViews()) {
+      Table table = MaterializeView(def.pattern, def.name, *doc);
+      table.SortRowsCanonical();
+      ColumnarExtent extent = ColumnarExtent::Encode(table);
+      ViewStats want = ComputeViewStats(table);
+      ViewStats got = ComputeViewStats(extent, doc.get());
+      EXPECT_TRUE(got == want) << def.name << " seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Executor: columnar bindings match eager tables
+// ---------------------------------------------------------------------------
+
+TEST(Columnar, ColumnarScanMatchesEagerScan) {
+  std::unique_ptr<Document> doc = RandomXmark(13);
+  for (const ViewDef& def : CoveringViews()) {
+    Table table = MaterializeView(def.pattern, def.name, *doc);
+    table.SortRowsCanonical();
+    ColumnarExtent extent = ColumnarExtent::Encode(table);
+
+    Catalog eager;
+    eager.Register(def.name, &table);
+    Result<Table> want =
+        Execute(*MakeViewScan(def.name, table.schema()), eager);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    // Cold columnar binding: no resident table, so the scan decodes from
+    // the chunks and reports the decode through `loaded`.
+    int loads = 0;
+    Catalog cold;
+    ColumnarSource src;
+    src.extent = &extent;
+    src.doc = doc.get();
+    src.resident = []() { return TablePtr(); };
+    src.loaded = [&loads](TablePtr, int64_t decode_us) {
+      ++loads;
+      EXPECT_GE(decode_us, 0);
+    };
+    cold.RegisterColumnar(def.name, std::move(src));
+    Result<Table> got =
+        Execute(*MakeViewScan(def.name, table.schema()), cold);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->EqualsIgnoringOrder(*want)) << def.name;
+    EXPECT_EQ(loads, 1) << def.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory budget: eviction and lazy reload
+// ---------------------------------------------------------------------------
+
+TEST(Columnar, TinyBudgetEvictsAndReloadsWithoutChangingResults) {
+  std::unique_ptr<Document> doc = RandomXmark(31);
+  ViewCatalogOptions opts;
+  opts.memory_budget_bytes = 2048;  // far below the working set
+  ViewCatalog catalog(opts);
+  std::vector<std::string> expected;
+  int64_t working_set = 0;
+  for (const ViewDef& def : CoveringViews()) {
+    ASSERT_TRUE(catalog.Materialize(def, *doc).ok());
+    Table fresh = MaterializeView(def.pattern, def.name, *doc);
+    fresh.SortRowsCanonical();
+    working_set += ExtentByteSize(fresh);
+    expected.push_back(SerializeExtent(fresh));
+  }
+  const std::shared_ptr<MemoryBudget>& budget = catalog.memory_budget();
+  EXPECT_GT(budget->evictions(), 0)
+      << "materializing past the budget must evict";
+  EXPECT_LT(budget->resident_bytes(), working_set)
+      << "residency must track the budget, not the working set";
+
+  // Sweep all views repeatedly: every pass re-decodes evicted extents and
+  // every decode must reproduce the materialized bytes.
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto& views = catalog.views();
+    for (size_t i = 0; i < views.size(); ++i) {
+      Result<TablePtr> t = views[i]->table();
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      EXPECT_EQ(SerializeExtent(**t), expected[i])
+          << views[i]->def.name << " pass " << pass;
+    }
+  }
+  EXPECT_GT(budget->reloads(), 0) << "sweeps past the budget must reload";
+}
+
+TEST(Columnar, PinnedTableSurvivesEviction) {
+  std::unique_ptr<Document> doc = RandomXmark(37);
+  ViewCatalogOptions opts;
+  opts.memory_budget_bytes = 1;  // evict everything not pinned
+  ViewCatalog catalog(opts);
+  std::vector<ViewDef> defs = CoveringViews();
+  for (const ViewDef& def : defs) {
+    ASSERT_TRUE(catalog.Materialize(def, *doc).ok());
+  }
+  // Pin one view's decoded table, then force evictions by sweeping the
+  // rest; the pinned shared_ptr must stay valid and unchanged.
+  Result<TablePtr> pinned = catalog.Find("plain")->table();
+  ASSERT_TRUE(pinned.ok());
+  std::string before = SerializeExtent(**pinned);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& v : catalog.views()) {
+      Result<TablePtr> t = v->table();
+      ASSERT_TRUE(t.ok());
+    }
+  }
+  EXPECT_EQ(SerializeExtent(**pinned), before);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch sharing: untouched views share the whole compressed extent
+// ---------------------------------------------------------------------------
+
+TEST(Columnar, UntouchedViewsShareColumnarAcrossEpochs) {
+  std::shared_ptr<Document> d = Doc("a(b=1 b=2 c(x=3))");
+  ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Materialize({"VB", MustParsePattern("a(/b{id,v})")}, *d).ok());
+  ASSERT_TRUE(
+      catalog.Materialize({"VX", MustParsePattern("a(//x{id,c})")}, *d).ok());
+  const ColumnarExtentPtr vb_before = catalog.Find("VB")->columnar;
+  const ColumnarExtentPtr vx_before = catalog.Find("VX")->columnar;
+
+  // Insert another b: VB changes, VX (a content view of an untouched
+  // subtree) carries its compressed extent — the same object — into the
+  // new epoch.
+  Result<UpdateResult> up = InsertSubtree(*d, OrdPath::Root(), *Doc("b=9"));
+  ASSERT_TRUE(up.ok());
+  ASSERT_TRUE(catalog.ApplyUpdate(up->delta).ok());
+
+  EXPECT_EQ(catalog.Find("VX")->columnar.get(), vx_before.get())
+      << "untouched content view must share the compressed extent object";
+  EXPECT_NE(catalog.Find("VB")->columnar.get(), vb_before.get());
+  EXPECT_EQ(catalog.Find("VB")->extent().NumRows(), 3);
+  EXPECT_EQ(catalog.Find("VX")->extent().NumRows(), 1);
+}
+
+TEST(Columnar, MaintenanceSharesUnchangedChunksAcrossEpochs) {
+  std::shared_ptr<Document> d = Doc("a(b(v=1) b(v=2))");
+  ViewCatalog catalog;
+  // Two columns: the b ids (unchanged by a value-subtree insert below an
+  // existing b) and the v values.
+  ASSERT_TRUE(catalog
+                  .Materialize({"V", MustParsePattern("a(/b{id}(/v{v}))")},
+                               *d)
+                  .ok());
+  const ColumnarExtentPtr before = catalog.Find("V")->columnar;
+  ASSERT_EQ(before->num_columns(), 2);
+
+  // Re-encoding an equal table against the previous epoch's extent must
+  // reuse the previous chunk objects, not just produce equal bytes — that
+  // pointer identity is what lets epochs share untouched columns.
+  Table same = catalog.Find("V")->extent();
+  ColumnarExtent shared = ColumnarExtent::EncodeSharing(same, *before);
+  for (int32_t c = 0; c < shared.num_columns(); ++c) {
+    EXPECT_EQ(shared.column(c).get(), before->column(c).get())
+        << "identical column " << c << " must reuse the prior epoch's chunk";
+  }
+}
+
+}  // namespace
+}  // namespace svx

@@ -31,6 +31,13 @@ std::unique_ptr<Document> Doc(std::string_view s) {
   return std::move(r).value();
 }
 
+ViewCatalogOptions WalOptions(const std::string& dir) {
+  ViewCatalogOptions opts;
+  opts.dir = dir;
+  opts.enable_delta_log = true;
+  return opts;
+}
+
 /// A scratch store directory, removed on destruction.
 struct TempDir {
   TempDir() {
@@ -263,7 +270,7 @@ TEST(DeltaLogCatalog, MaintenanceAppendsAndRecoveryReplays) {
       Doc("site(item(name=a) item(name=b) item(name=c))");
   std::vector<std::unique_ptr<Document>> history;
   {
-    ViewCatalog catalog(ViewCatalogOptions{dir.path, true});
+    ViewCatalog catalog(WalOptions(dir.path));
     ASSERT_TRUE(catalog
                     .Materialize({"names",
                                   MustParsePattern("site(/item{id}(/name{id,v}))")},
@@ -275,22 +282,22 @@ TEST(DeltaLogCatalog, MaintenanceAppendsAndRecoveryReplays) {
     // No Save(): destruction is the crash.
   }
   const Document* final_doc = history.back().get();
-  ViewCatalog recovered(ViewCatalogOptions{dir.path, true});
+  ViewCatalog recovered(WalOptions(dir.path));
   ASSERT_TRUE(recovered.Load(final_doc).ok());
   const StoredView* v = recovered.Find("names");
   ASSERT_NE(v, nullptr);
   Table fresh = MaterializeView(v->def.pattern, "names", *final_doc);
   fresh.SortRowsCanonical();
-  EXPECT_EQ(SerializeExtent(v->extent), SerializeExtent(fresh));
+  EXPECT_EQ(SerializeExtent(v->extent()), SerializeExtent(fresh));
   // Recovery keeps the log; only a checkpoint truncates it.
   EXPECT_EQ(recovered.wal_depth(), 3);
   ASSERT_TRUE(recovered.Save().ok());
   EXPECT_EQ(recovered.wal_depth(), 0);
   // After the checkpoint a re-load needs no replay and still agrees.
-  ViewCatalog clean(ViewCatalogOptions{dir.path, true});
+  ViewCatalog clean(WalOptions(dir.path));
   ASSERT_TRUE(clean.Load(final_doc).ok());
   EXPECT_EQ(clean.wal_depth(), 0);
-  EXPECT_EQ(SerializeExtent(clean.Find("names")->extent),
+  EXPECT_EQ(SerializeExtent(clean.Find("names")->extent()),
             SerializeExtent(fresh));
 }
 
@@ -299,7 +306,7 @@ TEST(DeltaLogCatalog, LoadSweepsOrphanSegmentsAndToleratesTornTail) {
   std::unique_ptr<Document> base = Doc("site(item(name=a) item(name=b))");
   std::vector<std::unique_ptr<Document>> history;
   {
-    ViewCatalog catalog(ViewCatalogOptions{dir.path, true});
+    ViewCatalog catalog(WalOptions(dir.path));
     ASSERT_TRUE(catalog
                     .Materialize({"names",
                                   MustParsePattern("site(/item{id}(/name{v}))")},
@@ -328,14 +335,14 @@ TEST(DeltaLogCatalog, LoadSweepsOrphanSegmentsAndToleratesTornTail) {
     f.write("\x99\x00\x00", 3);
   }
   const Document* final_doc = history.back().get();
-  ViewCatalog recovered(ViewCatalogOptions{dir.path, true});
+  ViewCatalog recovered(WalOptions(dir.path));
   ASSERT_TRUE(recovered.Load(final_doc).ok());
   EXPECT_FALSE(fs::exists(fs::path(dir.path) / "wal.1.log"));  // orphan swept
   EXPECT_EQ(fs::file_size(live), intact_size);  // torn tail truncated
   Table fresh = MaterializeView(recovered.Find("names")->def.pattern, "names",
                                 *final_doc);
   fresh.SortRowsCanonical();
-  EXPECT_EQ(SerializeExtent(recovered.Find("names")->extent),
+  EXPECT_EQ(SerializeExtent(recovered.Find("names")->extent()),
             SerializeExtent(fresh));
 }
 
@@ -376,8 +383,8 @@ TEST(DeltaLogCatalog, BatchPublishesOneEpochAndMatchesSerial) {
   EXPECT_EQ(batched.Snapshot()->epoch(), epoch_before + 1);  // ONE epoch
   EXPECT_EQ(ms.deltas_applied, 3);
 
-  EXPECT_EQ(SerializeExtent(batched.Find("names")->extent),
-            SerializeExtent(serial.Find("names")->extent));
+  EXPECT_EQ(SerializeExtent(batched.Find("names")->extent()),
+            SerializeExtent(serial.Find("names")->extent()));
 }
 
 }  // namespace

@@ -77,11 +77,11 @@ void ExpectSameRows(Table a, Table b, const std::string& what) {
 Table MergeShardExtents(ShardedCatalog* catalog, const std::string& name) {
   const StoredView* first = catalog->shard_catalog(0)->Find(name);
   EXPECT_NE(first, nullptr);
-  Table merged(first->extent.schema());
+  Table merged(first->extent().schema());
   for (int i = 0; i < catalog->num_shards(); ++i) {
     const StoredView* v = catalog->shard_catalog(i)->Find(name);
     EXPECT_NE(v, nullptr);
-    for (const Tuple& t : v->extent.rows()) merged.AddRow(t);
+    for (const Tuple& t : v->extent().rows()) merged.AddRow(t);
   }
   merged.SortRowsCanonical();
   return merged;
@@ -257,7 +257,7 @@ TEST(ShardedCatalog, PartitionablePlacementAndGlobalFallback) {
   for (int i = 0; i < (*catalog)->num_shards(); ++i) {
     const StoredView* v = (*catalog)->shard_catalog(i)->Find("item_names");
     ASSERT_NE(v, nullptr);
-    total_rows += static_cast<int>(v->extent.rows().size());
+    total_rows += static_cast<int>(v->extent().rows().size());
   }
   EXPECT_EQ(total_rows, 4);  // one row per item in kBaseDoc
   // The root-anchored view lives only in the global catalog.
@@ -303,12 +303,12 @@ TEST(ShardedCatalog, DifferentialAgainstSingleCatalog) {
   for (const char* name : {"item_names", "item_keywords"}) {
     Table merged = MergeShardExtents(sharded->get(), name);
     EXPECT_EQ(SerializeExtent(merged),
-              SerializeExtent(single.Find(name)->extent))
+              SerializeExtent(single.Find(name)->extent()))
         << name;
   }
   EXPECT_EQ(
-      SerializeExtent((*sharded)->global_catalog()->Find("person_names")->extent),
-      SerializeExtent(single.Find("person_names")->extent));
+      SerializeExtent((*sharded)->global_catalog()->Find("person_names")->extent()),
+      SerializeExtent(single.Find("person_names")->extent()));
 
   // Query results: scatter-gather (serial and parallel) and the global
   // fallback all agree with the single catalog's rewrite+execute.
@@ -420,7 +420,7 @@ TEST(ShardedCatalog, CrashRecoveryReplaysPerShardLogs) {
   fresh_persons.SortRowsCanonical();
   EXPECT_EQ(
       SerializeExtent(
-          (*recovered)->global_catalog()->Find("person_names")->extent),
+          (*recovered)->global_catalog()->Find("person_names")->extent()),
       SerializeExtent(fresh_persons));
 
   // The recovered store serves scatter-gather queries.

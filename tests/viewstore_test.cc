@@ -374,17 +374,17 @@ TEST(ViewCatalog, SaveLoadRoundTripIsByteIdentical) {
     const StoredView* orig = catalog.Find(name);
     const StoredView* back = reloaded.Find(name);
     ASSERT_NE(back, nullptr);
-    EXPECT_TRUE(back->extent.EqualsIgnoringOrder(orig->extent));
+    EXPECT_TRUE(back->extent().EqualsIgnoringOrder(orig->extent()));
     EXPECT_TRUE(back->stats == orig->stats);
     // Byte-identical: re-serializing the reloaded extent reproduces the
     // stored bytes exactly.
-    EXPECT_EQ(SerializeExtent(back->extent), SerializeExtent(orig->extent));
+    EXPECT_EQ(SerializeExtent(back->extent()), SerializeExtent(orig->extent()));
   }
   // Saving the reloaded catalog reproduces identical extent files.
   TempDir dir2;
   ViewCatalog resave(dir2.path);
   for (const auto& v : reloaded.views()) {
-    ASSERT_TRUE(resave.Add(v->def, v->extent).ok());
+    ASSERT_TRUE(resave.Add(v->def, v->extent()).ok());
   }
   ASSERT_TRUE(resave.Save().ok());
   for (const char* name : {"V1.extent", "V2.extent"}) {
@@ -460,17 +460,21 @@ TEST(ViewCatalog, ResaveSweepsOrphanedFilesAndSizesMatch) {
     }
   }
   EXPECT_TRUE(leftovers.empty()) << leftovers.front();
-  // Exactly one V1 generation survives: the new one, whose size equals the
-  // catalog's recorded byte size (no half-written or stale content).
+  // Exactly one V1 generation survives: the new one, a complete columnar
+  // file whose size matches the catalog's recorded compressed size (no
+  // half-written or stale content).
   ASSERT_EQ(v1_extents.size(), 1u);
   EXPECT_EQ(static_cast<int64_t>(fs::file_size(v1_extents.front())),
-            replaced.Find("V1")->extent_bytes);
+            static_cast<int64_t>(
+                SerializeColumnarExtent(*replaced.Find("V1")->columnar,
+                                        replaced.Find("V1")->extent_bytes)
+                    .size()));
 
   ViewCatalog reloaded(dir.path);
   ASSERT_TRUE(reloaded.Load(d2.get()).ok());
   ASSERT_EQ(reloaded.size(), 1);
-  EXPECT_TRUE(reloaded.Find("V1")->extent.EqualsIgnoringOrder(
-      replaced.Find("V1")->extent));
+  EXPECT_TRUE(reloaded.Find("V1")->extent().EqualsIgnoringOrder(
+      replaced.Find("V1")->extent()));
 }
 
 TEST(ViewCatalog, LoadFailsOnManifestPointingAtMissingExtent) {
@@ -507,7 +511,7 @@ TEST(ViewCatalog, InterruptedSaveLeavesPreviousStateLoadable) {
   ASSERT_TRUE(
       catalog.Materialize({"V", MustParsePattern("a(/b{id,v})")}, *d).ok());
   ASSERT_TRUE(catalog.Save().ok());
-  const Table& saved_extent = catalog.Find("V")->extent;
+  const Table& saved_extent = catalog.Find("V")->extent();
 
   // Simulate the crash: a newer generation of V exists on disk (with
   // different content), manifest untouched.
@@ -523,7 +527,7 @@ TEST(ViewCatalog, InterruptedSaveLeavesPreviousStateLoadable) {
   ViewCatalog reloaded(dir.path);
   ASSERT_TRUE(reloaded.Load(d.get()).ok());
   ASSERT_EQ(reloaded.size(), 1);
-  EXPECT_EQ(SerializeExtent(reloaded.Find("V")->extent),
+  EXPECT_EQ(SerializeExtent(reloaded.Find("V")->extent()),
             SerializeExtent(saved_extent))
       << "load mixed in a generation the manifest never referenced";
   // The orphaned generation is swept, so later saves can never collide
@@ -605,8 +609,8 @@ TEST(ViewCatalog, ApplyUpdatePersistsChangedViewsUnderFreshGenerations) {
   ASSERT_TRUE(reloaded.Load(up->doc.get()).ok());
   for (const char* name : {"VB", "VC"}) {
     ASSERT_NE(reloaded.Find(name), nullptr);
-    EXPECT_EQ(SerializeExtent(reloaded.Find(name)->extent),
-              SerializeExtent(catalog.Find(name)->extent))
+    EXPECT_EQ(SerializeExtent(reloaded.Find(name)->extent()),
+              SerializeExtent(catalog.Find(name)->extent()))
         << name;
   }
 }
